@@ -1,0 +1,71 @@
+// shasta-bench regenerates the tables and figures of the Shasta paper's
+// evaluation (§6) on the simulated cluster.
+//
+// Usage:
+//
+//	shasta-bench -list
+//	shasta-bench -run table1,table2
+//	shasta-bench -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+var registry = []struct {
+	name string
+	desc string
+	fn   func() *experiments.Table
+}{
+	{"table1", "lock acquire latencies (MP vs SM vs SM+prefetch)", experiments.Table1},
+	{"mb", "memory barrier costs (§6.2)", experiments.MemoryBarrierCosts},
+	{"table2", "system call validation costs", experiments.Table2},
+	{"table3", "checking overheads and code growth", experiments.Table3},
+	{"rewrite", "executable conversion times (§6.3)", experiments.RewriteTimes},
+	{"figure3", "SPLASH-2 speedups, MP vs Alpha sync (slow)", experiments.Figure3},
+	{"figure4", "RC vs SC breakdowns at 16 processors (slow)", experiments.Figure4},
+	{"table4", "Oracle DSS-1 run times", experiments.Table4},
+	{"figure5", "DSS-1 server time breakdowns EX vs EQ", experiments.Figure5},
+	{"abl-downgrade", "ablation: direct downgrade (§4.3.4)", experiments.AblationDirectDowngrade},
+	{"abl-flag", "ablation: invalid-flag load check", experiments.AblationFlagCheck},
+	{"abl-batch", "ablation: batched checks", experiments.AblationBatching},
+	{"abl-prefetch", "ablation: prefetch-exclusive", experiments.AblationPrefetchExclusive},
+	{"abl-line", "ablation: line size 64 vs 128", experiments.AblationLineSize},
+	{"abl-smp", "ablation: SMP-Shasta vs Base-Shasta", experiments.AblationSMP},
+	{"abl-queues", "ablation: shared message queues", experiments.AblationSharedQueues},
+	{"abl-llsc", "ablation: optimized vs emulated LL/SC", experiments.AblationEmulatedLLSC},
+}
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "comma-separated experiment names, or 'all'")
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range registry {
+			fmt.Printf("  %-14s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	matched := 0
+	for _, e := range registry {
+		if want["all"] || want[e.name] {
+			matched++
+			e.fn().Render(os.Stdout)
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %q (try -list)\n", *run)
+		os.Exit(1)
+	}
+}

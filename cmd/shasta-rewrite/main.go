@@ -1,0 +1,59 @@
+// shasta-rewrite instruments an assembled ISA program with Shasta's in-line
+// miss checks, polls and LL/SC support, printing the instrumentation
+// statistics and (optionally) the rewritten code.
+//
+// Usage:
+//
+//	shasta-rewrite [-nobatch] [-nopoll] [-prefetch] [-print] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/rewriter"
+)
+
+func main() {
+	noBatch := flag.Bool("nobatch", false, "disable check batching")
+	noPoll := flag.Bool("nopoll", false, "disable back-edge polls")
+	prefetch := flag.Bool("prefetch", false, "insert prefetch-exclusive before LL/SC")
+	print := flag.Bool("print", false, "disassemble the rewritten program")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: shasta-rewrite [flags] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opt := rewriter.Options{Batching: !*noBatch, Polls: !*noPoll, PrefetchExclusive: *prefetch}
+	out, st, err := rewriter.Rewrite(prog, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("instructions        %6d -> %d words\n", st.OrigWords, st.NewWords)
+	fmt.Printf("code growth         %6.1f%%\n", st.GrowthPercent())
+	fmt.Printf("load checks         %6d\n", st.LoadChecks)
+	fmt.Printf("store checks        %6d\n", st.StoreChecks)
+	fmt.Printf("batched runs        %6d (%d accesses)\n", st.BatchedRuns, st.BatchedMembers)
+	fmt.Printf("back-edge polls     %6d\n", st.Polls)
+	fmt.Printf("LL/SC sequences     %6d\n", st.LLSCPairs)
+	fmt.Printf("MB protocol calls   %6d\n", st.MBCalls)
+	if *print {
+		fmt.Println()
+		for i := range out.Instrs {
+			fmt.Printf("%4d  %s\n", i, out.Disassemble(i))
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// shasta-run executes one SPLASH-2-style workload on the simulated Shasta
+// cluster and prints its statistics.
+//
+// Usage:
+//
+//	shasta-run -app Barnes -procs 8 -sync sm -scale 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	appName := flag.String("app", "Barnes", "workload (see -listapps)")
+	procs := flag.Int("procs", 8, "number of processes (1-16)")
+	scale := flag.Int("scale", 1, "problem size multiplier")
+	syncStyle := flag.String("sync", "mp", "synchronization: mp (message passing) or sm (Alpha LL/SC)")
+	smp := flag.Bool("smp", true, "SMP-Shasta (false = Base-Shasta)")
+	sc := flag.Bool("sc", false, "sequential consistency (default: release consistency)")
+	listApps := flag.Bool("listapps", false, "list workloads")
+	flag.Parse()
+
+	if *listApps {
+		for _, a := range workloads.All() {
+			fmt.Println(a.Name)
+		}
+		return
+	}
+	app, ok := workloads.Get(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig()
+	cfg.SMP = *smp
+	if *sc {
+		cfg.Consistency = core.SequentiallyConsistent
+	}
+	cfg.MaxTime = sim.Cycles(900e6)
+	sync := workloads.MPSync
+	if *syncStyle == "sm" {
+		sync = workloads.SMSync
+	}
+	res, err := workloads.Run(core.NewSystem(cfg), app, workloads.RunConfig{
+		Procs: *procs, Scale: *scale, Sync: sync,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := res.Stats
+	fmt.Printf("%s: procs=%d sync=%v smp=%v model=%v\n", app.Name, *procs, sync, *smp, cfg.Consistency)
+	fmt.Printf("  elapsed             %10.2f ms (simulated)\n", sim.Microseconds(res.Elapsed)/1000)
+	fmt.Printf("  loads/stores        %10d / %d\n", st.Loads, st.Stores)
+	fmt.Printf("  remote misses       %10d read, %d write\n", st.ReadMisses, st.WriteMisses)
+	fmt.Printf("  SMP local fills     %10d\n", st.LocalFills)
+	fmt.Printf("  messages            %10d sent\n", st.MessagesSent)
+	fmt.Printf("  invalidations       %10d\n", st.Invalidations)
+	fmt.Printf("  downgrades          %10d explicit, %d direct\n", st.DowngradesSent, st.DowngradesDirect)
+	fmt.Printf("  LL/SC               %10d/%d (%d hw, %d failed)\n", st.LLs, st.SCs, st.SCHardware, st.SCFailures)
+	fmt.Printf("  locks/barriers      %10d / %d\n", st.LockAcquires, st.BarrierWaits)
+	fmt.Println("  time breakdown (all processes):")
+	total := st.Total()
+	for _, c := range core.Categories() {
+		if st.Time[c] == 0 {
+			continue
+		}
+		fmt.Printf("    %-8s %6.1f%%\n", c, float64(st.Time[c])/float64(total)*100)
+	}
+}

@@ -1,0 +1,148 @@
+// Package clusterfs approximates the shared file system of the Shasta
+// cluster (§4.2): the same filesystems mounted at the same locations on
+// every node via NFS. Accesses by different nodes are not kept strictly
+// coherent, because of the caching and buffering required for good NFS
+// performance — sufficient for decision-support workloads that mainly read
+// the database, but not for write-shared files across nodes.
+//
+// The model is a server-authoritative copy per file plus a per-node cache
+// with close-to-open consistency: a node's cache entry is refreshed at
+// open; reads hit the (possibly stale) cache; writes go through to the
+// server and update only the writer node's cache.
+package clusterfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FS is the cluster file system.
+type FS struct {
+	nodes  int
+	files  map[string]*file
+	caches []map[string]*cacheEntry
+}
+
+type file struct {
+	name    string
+	data    []byte
+	version int64
+}
+
+type cacheEntry struct {
+	data    []byte
+	version int64
+}
+
+// New creates a file system shared by the given number of nodes.
+func New(nodes int) *FS {
+	fs := &FS{nodes: nodes, files: make(map[string]*file)}
+	for i := 0; i < nodes; i++ {
+		fs.caches = append(fs.caches, make(map[string]*cacheEntry))
+	}
+	return fs
+}
+
+// Create makes an empty file (or truncates an existing one).
+func (fs *FS) Create(path string) {
+	f := fs.files[path]
+	if f == nil {
+		f = &file{name: path}
+		fs.files[path] = f
+	}
+	f.data = nil
+	f.version++
+}
+
+// Exists reports whether the file exists on the server.
+func (fs *FS) Exists(path string) bool { return fs.files[path] != nil }
+
+// Size returns the server-side size of the file.
+func (fs *FS) Size(path string) int {
+	if f := fs.files[path]; f != nil {
+		return len(f.data)
+	}
+	return 0
+}
+
+// Open refreshes the node's cache entry for the file (close-to-open
+// consistency: attributes are revalidated at open). It reports whether the
+// file exists and whether the open was cold (server round-trip for data).
+func (fs *FS) Open(node int, path string) (exists, cold bool) {
+	f := fs.files[path]
+	if f == nil {
+		return false, false
+	}
+	c := fs.caches[node][path]
+	if c == nil || c.version != f.version {
+		snap := make([]byte, len(f.data))
+		copy(snap, f.data)
+		fs.caches[node][path] = &cacheEntry{data: snap, version: f.version}
+		return true, true
+	}
+	return true, false
+}
+
+// ReadAt reads from the node's cached copy of the file, fetching it from
+// the server if the node has no cache entry at all. Staleness is possible
+// by design: a cached copy is served even if another node has since written
+// the file.
+func (fs *FS) ReadAt(node int, path string, off, n int) (data []byte, cold bool, err error) {
+	c := fs.caches[node][path]
+	if c == nil {
+		if exists, _ := fs.Open(node, path); !exists {
+			return nil, false, fmt.Errorf("clusterfs: %q does not exist", path)
+		}
+		c = fs.caches[node][path]
+		cold = true
+	}
+	if off < 0 || off > len(c.data) {
+		return nil, cold, fmt.Errorf("clusterfs: read %q at %d beyond size %d", path, off, len(c.data))
+	}
+	end := off + n
+	if end > len(c.data) {
+		end = len(c.data)
+	}
+	out := make([]byte, end-off)
+	copy(out, c.data[off:end])
+	return out, cold, nil
+}
+
+// WriteAt writes through to the server and updates the writer node's cache.
+// Other nodes' caches keep their old versions until they re-open the file.
+func (fs *FS) WriteAt(node int, path string, off int, data []byte) error {
+	f := fs.files[path]
+	if f == nil {
+		return fmt.Errorf("clusterfs: %q does not exist", path)
+	}
+	if off < 0 {
+		return fmt.Errorf("clusterfs: negative offset")
+	}
+	for len(f.data) < off+len(data) {
+		f.data = append(f.data, 0)
+	}
+	copy(f.data[off:], data)
+	f.version++
+	snap := make([]byte, len(f.data))
+	copy(snap, f.data)
+	fs.caches[node][path] = &cacheEntry{data: snap, version: f.version}
+	return nil
+}
+
+// Stale reports whether the node's cached copy lags the server (used by
+// tests and by DESIGN.md's coherence caveat).
+func (fs *FS) Stale(node int, path string) bool {
+	f := fs.files[path]
+	c := fs.caches[node][path]
+	return f != nil && c != nil && c.version != f.version
+}
+
+// List returns all file paths in sorted order.
+func (fs *FS) List() []string {
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,136 @@
+package clusterfs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateReadWrite(t *testing.T) {
+	fs := New(2)
+	fs.Create("/db/table1")
+	if err := fs.WriteAt(0, "/db/table1", 0, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := fs.ReadAt(0, "/db/table1", 0, 5)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read %q err %v", data, err)
+	}
+	if fs.Size("/db/table1") != 11 {
+		t.Fatalf("size=%d", fs.Size("/db/table1"))
+	}
+}
+
+func TestCloseToOpenConsistency(t *testing.T) {
+	fs := New(2)
+	fs.Create("/f")
+	fs.WriteAt(0, "/f", 0, []byte("v1"))
+
+	// Node 1 opens and reads v1.
+	if exists, cold := fs.Open(1, "/f"); !exists || !cold {
+		t.Fatalf("open exists=%v cold=%v", exists, cold)
+	}
+	d, _, _ := fs.ReadAt(1, "/f", 0, 2)
+	if string(d) != "v1" {
+		t.Fatalf("read %q", d)
+	}
+
+	// Node 0 writes v2. Node 1's cache is now stale — and its reads see
+	// the old data (the NFS behaviour the paper relies on being weak).
+	fs.WriteAt(0, "/f", 0, []byte("v2"))
+	if !fs.Stale(1, "/f") {
+		t.Fatal("node 1 cache should be stale")
+	}
+	d, _, _ = fs.ReadAt(1, "/f", 0, 2)
+	if string(d) != "v1" {
+		t.Fatalf("stale read got %q, want old v1", d)
+	}
+
+	// Re-open revalidates.
+	if _, cold := fs.Open(1, "/f"); !cold {
+		t.Fatal("re-open after remote write should be cold")
+	}
+	d, _, _ = fs.ReadAt(1, "/f", 0, 2)
+	if string(d) != "v2" {
+		t.Fatalf("after re-open got %q", d)
+	}
+}
+
+func TestWriterSeesOwnWrites(t *testing.T) {
+	fs := New(2)
+	fs.Create("/log")
+	fs.WriteAt(0, "/log", 0, []byte("abc"))
+	fs.WriteAt(0, "/log", 3, []byte("def"))
+	d, _, err := fs.ReadAt(0, "/log", 0, 6)
+	if err != nil || string(d) != "abcdef" {
+		t.Fatalf("read %q err %v", d, err)
+	}
+}
+
+func TestReadBeyondEOF(t *testing.T) {
+	fs := New(1)
+	fs.Create("/s")
+	fs.WriteAt(0, "/s", 0, []byte("xy"))
+	d, _, err := fs.ReadAt(0, "/s", 0, 100)
+	if err != nil || len(d) != 2 {
+		t.Fatalf("short read got %d bytes err %v", len(d), err)
+	}
+	if _, _, err := fs.ReadAt(0, "/s", 5, 1); err == nil {
+		t.Fatal("read past EOF offset should error")
+	}
+	if _, _, err := fs.ReadAt(0, "/missing", 0, 1); err == nil {
+		t.Fatal("read of missing file should error")
+	}
+}
+
+func TestSparseWriteExtends(t *testing.T) {
+	fs := New(1)
+	fs.Create("/sparse")
+	fs.WriteAt(0, "/sparse", 10, []byte("z"))
+	if fs.Size("/sparse") != 11 {
+		t.Fatalf("size=%d", fs.Size("/sparse"))
+	}
+	d, _, _ := fs.ReadAt(0, "/sparse", 0, 11)
+	if d[10] != 'z' || d[0] != 0 {
+		t.Fatalf("sparse content %v", d)
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := New(1)
+	fs.Create("/b")
+	fs.Create("/a")
+	l := fs.List()
+	if len(l) != 2 || l[0] != "/a" || l[1] != "/b" {
+		t.Fatalf("list=%v", l)
+	}
+}
+
+// Property: a single-node FS behaves like a plain byte store.
+func TestSingleNodePropertyRoundTrip(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		fs := New(1)
+		fs.Create("/p")
+		var ref []byte
+		off := 0
+		for _, c := range chunks {
+			if len(c) > 256 {
+				c = c[:256]
+			}
+			fs.WriteAt(0, "/p", off, c)
+			for len(ref) < off+len(c) {
+				ref = append(ref, 0)
+			}
+			copy(ref[off:], c)
+			off += len(c)
+			if off > 1<<16 {
+				break
+			}
+		}
+		got, _, err := fs.ReadAt(0, "/p", 0, len(ref))
+		return err == nil && bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package clusteros
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// This file implements the file system calls with shared-memory argument
+// validation (§4.1): a system call is logically a batch of loads and stores
+// to the ranges its arguments reference, validated with the same mechanism
+// as batched miss checks. While the ranges are validated for an in-flight
+// call, the protocol disallows direct downgrades of their lines (§4.3.4
+// footnote).
+
+// validationCost models the wrapper's per-call work: walking the argument
+// ranges and checking each line's state, which is more expensive under
+// SMP-Shasta because of the locking on shared protocol state (Table 2).
+func (os *OS) validationCost(bytes int) sim.Time {
+	cfg := os.sys.Cfg
+	lines := (bytes + cfg.LineSize - 1) / cfg.LineSize
+	per := cfg.Cost.ValidateRange + sim.Time(lines)*38
+	if cfg.SMP {
+		per += sim.Time(lines) * cfg.Cost.QueueLock
+	}
+	return per
+}
+
+// Open opens a file whose name may live in shared memory; nameAddr is 0
+// for a private-memory name (no validation needed — §2.2: static and stack
+// areas are not shared).
+func (os *OS) Open(p *core.Proc, path string, nameAddr uint64) (int, error) {
+	st := os.state(p)
+	p.SyscallEnter()
+	defer p.SyscallExit()
+	if nameAddr != 0 && os.sys.Cfg.Checks {
+		p.Stats().SyscallValidations++
+		p.PinRange(nameAddr, len(path))
+		defer p.UnpinAll()
+		b := p.BatchStart(core.Range{Addr: nameAddr, Bytes: len(path), Write: false})
+		p.BatchEnd(b)
+		p.ChargeTime(core.CatTask, os.validationCost(len(path)))
+	}
+	p.ChargeTime(core.CatTask, os.sys.Cfg.Cost.SyscallOpen)
+	exists, cold := os.fs.Open(p.Node(), path)
+	if !exists {
+		return -1, fmt.Errorf("clusteros: open %q: no such file", path)
+	}
+	if cold {
+		p.ChargeTime(core.CatBlocked, os.sys.Cfg.Cost.DiskAccess)
+	}
+	st.nextFD++
+	st.fds[st.nextFD] = &fd{path: path}
+	return st.nextFD, nil
+}
+
+// Close releases a file descriptor.
+func (os *OS) Close(p *core.Proc, fdnum int) error {
+	st := os.state(p)
+	p.ChargeTime(core.CatTask, os.sys.Cfg.Cost.SyscallTrap)
+	if st.fds[fdnum] == nil {
+		return fmt.Errorf("clusteros: close: bad fd %d", fdnum)
+	}
+	delete(st.fds, fdnum)
+	return nil
+}
+
+// Read reads n bytes from the file into shared memory at bufAddr,
+// validating (fetching exclusive) the buffer lines first so the kernel's
+// stores are not lost (§4.1). It returns the bytes read.
+func (os *OS) Read(p *core.Proc, fdnum int, bufAddr uint64, n int) (int, error) {
+	st := os.state(p)
+	f := st.fds[fdnum]
+	if f == nil {
+		return 0, fmt.Errorf("clusteros: read: bad fd %d", fdnum)
+	}
+	p.SyscallEnter()
+	defer p.SyscallExit()
+
+	data, cold, err := os.fs.ReadAt(p.Node(), f.path, f.off, n)
+	if err != nil {
+		return 0, err
+	}
+	// Base kernel cost of the read (Table 2, standard application column).
+	cost := os.sys.Cfg.Cost.SyscallReadBase + sim.Time(float64(len(data))*os.sys.Cfg.Cost.ReadPerByte)
+	p.ChargeTime(core.CatTask, cost)
+	if cold {
+		p.ChargeTime(core.CatBlocked, os.sys.Cfg.Cost.DiskAccess)
+	}
+
+	if bufAddr >= core.SharedBase {
+		// Validate the buffer: exclusive copies of all lines written by
+		// the system call (§4.1).
+		if os.sys.Cfg.Checks {
+			p.Stats().SyscallValidations++
+			p.ChargeTime(core.CatTask, os.validationCost(len(data)))
+		}
+		p.PinRange(bufAddr, len(data))
+		defer p.UnpinAll()
+		b := p.BatchStart(core.Range{Addr: bufAddr, Bytes: len(data), Write: true})
+		for i := 0; i < len(data); i += 8 {
+			var w uint64
+			for j := 0; j < 8 && i+j < len(data); j++ {
+				w |= uint64(data[i+j]) << (8 * j)
+			}
+			b.Store(bufAddr+uint64(i), w)
+		}
+		p.BatchEnd(b)
+	}
+	f.off += len(data)
+	return len(data), nil
+}
+
+// Write writes n bytes from shared memory at bufAddr to the file,
+// validating (fetching at least shared copies of) the buffer lines (§4.1).
+func (os *OS) Write(p *core.Proc, fdnum int, bufAddr uint64, n int) (int, error) {
+	st := os.state(p)
+	f := st.fds[fdnum]
+	if f == nil {
+		return 0, fmt.Errorf("clusteros: write: bad fd %d", fdnum)
+	}
+	p.SyscallEnter()
+	defer p.SyscallExit()
+
+	data := make([]byte, n)
+	if bufAddr >= core.SharedBase {
+		if os.sys.Cfg.Checks {
+			p.Stats().SyscallValidations++
+			p.ChargeTime(core.CatTask, os.validationCost(n))
+		}
+		p.PinRange(bufAddr, n)
+		defer p.UnpinAll()
+		b := p.BatchStart(core.Range{Addr: bufAddr, Bytes: n, Write: false})
+		for i := 0; i < n; i += 8 {
+			w := b.Load(bufAddr + uint64(i))
+			for j := 0; j < 8 && i+j < n; j++ {
+				data[i+j] = byte(w >> (8 * j))
+			}
+		}
+		p.BatchEnd(b)
+	}
+	cost := os.sys.Cfg.Cost.SyscallReadBase + sim.Time(float64(n)*os.sys.Cfg.Cost.ReadPerByte)
+	p.ChargeTime(core.CatTask, cost)
+	if err := os.fs.WriteAt(p.Node(), f.path, f.off, data); err != nil {
+		return 0, err
+	}
+	f.off += n
+	return n, nil
+}
+
+// Seek repositions a file descriptor.
+func (os *OS) Seek(p *core.Proc, fdnum int, off int) error {
+	st := os.state(p)
+	f := st.fds[fdnum]
+	if f == nil {
+		return fmt.Errorf("clusteros: seek: bad fd %d", fdnum)
+	}
+	p.ChargeTime(core.CatTask, os.sys.Cfg.Cost.SyscallTrap)
+	f.off = off
+	return nil
+}

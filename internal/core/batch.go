@@ -1,0 +1,192 @@
+package core
+
+import "fmt"
+
+// This file implements batched miss checks (§2.2) and their §4.1 semantics:
+// a batch validates the state of several ranges of lines at once, after
+// which the enclosed loads and stores run without further checking. The
+// same mechanism validates system call arguments (§4.1): a system call is
+// logically a batch of loads and stores to the ranges its arguments
+// reference.
+//
+// The batch miss handler cannot guarantee lines stay in the right state
+// once all replies return: an invalidation can arrive mid-batch. Loads
+// still return correct values (under the Alpha model) as long as the old
+// contents remain in memory, so flag fills for invalidated lines are
+// deferred until after the batch. Stores to lines that lost exclusivity
+// are reissued at the next protocol entry.
+
+// Range describes one span of shared memory touched by a batch.
+type Range struct {
+	Addr  uint64
+	Bytes int
+	Write bool
+}
+
+// Batch is an open batched-check window.
+type Batch struct {
+	p      *Proc
+	ranges []Range
+	lines  map[int]bool // lines covered by the batch
+	stores []pendingStore
+}
+
+func (b *Batch) covers(blk *blockInfo) bool {
+	for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
+		if b.lines[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// BatchStart validates all ranges — fetching shared or exclusive copies as
+// needed, with all requests outstanding in parallel — and opens a batch
+// window. The in-line cost is one check per line instead of one per access.
+func (p *Proc) BatchStart(ranges ...Range) *Batch {
+	s := p.sys
+	if p.curBatch != nil {
+		panic("core: nested batch")
+	}
+	b := &Batch{p: p, ranges: ranges, lines: make(map[int]bool)}
+	if !s.Cfg.Checks {
+		p.curBatch = b
+		return b
+	}
+	p.stats.BatchesIssued++
+	p.enterProtocol()
+	defer p.exitProtocol()
+
+	type need struct {
+		blk   *blockInfo
+		write bool
+	}
+	var needs []need
+	seen := make(map[int]int) // block id -> index in needs
+	for _, r := range ranges {
+		if r.Bytes <= 0 {
+			continue
+		}
+		first := s.lineOf(r.Addr)
+		last := s.lineOf(r.Addr + uint64(r.Bytes) - 1)
+		for l := first; l <= last; l++ {
+			b.lines[l] = true
+			p.stats.BatchChecks++
+			blk := s.blockOf(l)
+			if i, ok := seen[blk.id]; ok {
+				needs[i].write = needs[i].write || r.Write
+			} else {
+				seen[blk.id] = len(needs)
+				needs = append(needs, need{blk, r.Write})
+			}
+		}
+		p.charge(CatCheck, s.Cfg.Cost.FullCheck)
+	}
+	// Issue all misses in parallel, then wait for the whole set.
+	for _, n := range needs {
+		line := n.blk.firstLine
+		for {
+			st := p.priv[line]
+			if st == Exclusive || (st == Shared && !n.write) {
+				break
+			}
+			if p.mshr[n.blk.id] != nil {
+				break // already in flight (pending state)
+			}
+			if st == Pending {
+				// Another local process's miss; wait for it.
+				p.stallOnAgent(CatReadStall, func() bool { return p.priv[line] == Pending && p.mshr[n.blk.id] == nil })
+				continue
+			}
+			if s.Cfg.SMP {
+				nst := p.mem.table[line]
+				if nst == Pending {
+					blkID := n.blk.id
+					p.stallOnAgent(CatReadStall, func() bool { return p.mem.table[line] == Pending && p.mshr[blkID] == nil })
+					continue
+				}
+				if nst == Exclusive || (nst == Shared && !n.write) {
+					p.localFill(line)
+					continue
+				}
+			}
+			if !p.tryBeginTransition(n.blk, CatReadStall) {
+				continue
+			}
+			if n.write {
+				p.stats.WriteMisses++
+			} else {
+				p.stats.ReadMisses++
+			}
+			p.issueMiss(n.blk, n.write, nil)
+			break
+		}
+	}
+	cat := CatReadStall
+	for _, n := range needs {
+		if n.write {
+			cat = CatWriteStall
+			break
+		}
+	}
+	p.stallWhile(cat, func() bool {
+		for _, n := range needs {
+			if p.mshr[n.blk.id] != nil {
+				return true
+			}
+		}
+		return false
+	})
+	p.curBatch = b
+	return b
+}
+
+// Load performs an unchecked load inside the batch window.
+func (b *Batch) Load(addr uint64) uint64 {
+	p := b.p
+	p.stats.Loads++
+	p.charge(CatTask, 1)
+	return p.mem.data[p.sys.wordOf(addr)]
+}
+
+// Store performs an unchecked store inside the batch window, recording it
+// for possible reissue (§4.1).
+func (b *Batch) Store(addr uint64, v uint64) {
+	p := b.p
+	p.stats.Stores++
+	p.charge(CatTask, 1)
+	p.mem.data[p.sys.wordOf(addr)] = v
+	p.resetLocalLLs(p.sys.lineOf(addr))
+	if p.sys.Cfg.Checks {
+		b.stores = append(b.stores, pendingStore{addr, v})
+	}
+}
+
+// End closes the batch: deferred invalidations take effect, and stores to
+// lines that were lost during the batch are reissued through the normal
+// protocol (§4.1).
+func (p *Proc) BatchEnd(b *Batch) {
+	if p.curBatch != b {
+		panic(fmt.Sprintf("core: BatchEnd of non-current batch on %s", p))
+	}
+	p.curBatch = nil
+	if !p.sys.Cfg.Checks {
+		return
+	}
+	p.enterProtocol()
+	var reissue []pendingStore
+	for _, st := range b.stores {
+		line := p.sys.lineOf(st.addr)
+		if p.priv[line] != Exclusive {
+			reissue = append(reissue, st)
+		}
+	}
+	p.exitProtocol() // applies deferred flag fills
+	for _, st := range reissue {
+		p.stats.BatchStoreReissues++
+		line := p.sys.lineOf(st.addr)
+		p.enterProtocol()
+		p.storeMissLocked(st.addr, st.val, line)
+		p.exitProtocol()
+	}
+}

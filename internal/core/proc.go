@@ -1,0 +1,694 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Proc is one Shasta application process. Guest code runs inside the
+// process body and accesses shared memory through the checked Load/Store
+// API, which executes the same logic as the in-line checks inserted by the
+// Shasta binary rewriter.
+type Proc struct {
+	ID   int
+	Name string
+	Sim  *sim.Proc
+
+	sys   *System
+	node  int
+	cpu   int
+	agent int
+
+	mem  *agentMem   // this process's view of shared data
+	priv []LineState // private state table (aliases mem.table in Base mode)
+
+	replyQ *queueBox
+	reqQ   *queueBox // only when SharedQueues is off
+
+	mshr        map[int]*mshrEntry
+	outstanding int
+
+	deferredReqs []msg       // forwarded requests deferred behind a fill
+	dgAcks       map[int]int // downgrade acks received, by block
+	granted      map[int]bool
+	barrierSeen  map[int]int
+	barrierWaits map[int]int
+
+	// inProtocol is the not-in-application-code flag of §4.3.4: set while
+	// executing protocol code or a system call, it permits other processes
+	// to directly downgrade this process's private state table.
+	inProtocol bool
+	// pinnedLines are lines validated for an in-flight system call; direct
+	// downgrades of these are disallowed (§4.3.4 footnote).
+	pinnedLines map[int]bool
+
+	deferredFills []int // lines logically invalid, flag fill deferred (§4.1)
+
+	llValid bool
+	llLine  int
+	llState LineState
+	// scWatch tracks an SC-upgrade in flight: any local store to the line
+	// or invalidation of it while the request is outstanding breaks the
+	// reservation and the SC must fail even if the directory granted it.
+	scWatchValid bool
+	scWatchLine  int
+	// Conservative LL/SC emulation state (§3.1.2 footnote).
+	emuLockFlag bool
+	emuLockLine int
+
+	curBatch *Batch
+
+	override   TimeCategory // active stall category
+	overridden bool
+
+	pollGap sim.Time // cycles until the next back-edge poll in Compute
+
+	stats  Stats
+	rng    *rand.Rand
+	exited bool
+
+	// OSData is used by the cluster OS layer for per-process state.
+	OSData any
+}
+
+// Node returns the node this process runs on.
+func (p *Proc) Node() int { return p.node }
+
+// CPU returns the global CPU index this process is bound to.
+func (p *Proc) CPU() int { return p.cpu }
+
+// System returns the owning system.
+func (p *Proc) System() *System { return p.sys }
+
+// Stats returns this process's statistics.
+func (p *Proc) Stats() *Stats { return &p.stats }
+
+// Rand returns the process-local deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Now returns the process's local simulated time.
+func (p *Proc) Now() sim.Time { return p.Sim.Now() }
+
+// charge advances simulated time and attributes it to a category. While a
+// stall is in progress (override set), all time funnels into the stall's
+// category, matching the paper's breakdowns.
+func (p *Proc) charge(cat TimeCategory, c sim.Time) {
+	if p.overridden {
+		cat = p.override
+	}
+	p.stats.Time[cat] += c
+	p.Sim.Advance(c)
+}
+
+// chargeWallClock attributes time that passed while waiting (Sim.Wait).
+func (p *Proc) chargeWallClock(cat TimeCategory, c sim.Time) {
+	if c <= 0 {
+		return
+	}
+	if p.overridden {
+		cat = p.override
+	}
+	p.stats.Time[cat] += c
+}
+
+// Compute models application work: it advances time, inserting loop
+// back-edge polls at the configured interval (§2.1).
+func (p *Proc) Compute(c sim.Time) {
+	if !p.sys.Cfg.Checks {
+		p.charge(CatTask, c)
+		return
+	}
+	for c > 0 {
+		if p.pollGap <= 0 {
+			p.Poll()
+			p.pollGap = p.sys.Cfg.PollInterval
+		}
+		step := c
+		if step > p.pollGap {
+			step = p.pollGap
+		}
+		p.charge(CatTask, step)
+		p.pollGap -= step
+		c -= step
+	}
+}
+
+// Poll executes one in-line message poll ("three instructions"): it tests
+// the receive flag and services any ready messages.
+func (p *Proc) Poll() {
+	p.stats.Polls++
+	p.charge(CatPoll, p.sys.Cfg.Cost.Poll)
+	for p.serviceReady(CatMessage) {
+	}
+}
+
+// forwardedStore returns the value of this process's own buffered store to
+// addr, if an exclusive miss with such a store is in flight (read-own-write
+// forwarding: even the Alpha memory model requires a processor to see its
+// own stores).
+func (p *Proc) forwardedStore(addr uint64) (uint64, bool) {
+	if p.outstanding == 0 {
+		return 0, false
+	}
+	blk := p.sys.lineBlock[p.sys.lineOf(addr)]
+	m := p.mshr[int(blk)]
+	if m == nil {
+		return 0, false
+	}
+	for i := len(m.stores) - 1; i >= 0; i-- {
+		if m.stores[i].addr == addr {
+			return m.stores[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// Load performs a checked 64-bit load from shared memory.
+func (p *Proc) Load(addr uint64) uint64 {
+	p.stats.Loads++
+	s := p.sys
+	w := s.wordOf(addr)
+	if !s.Cfg.Checks {
+		p.charge(CatTask, 1)
+		if v, ok := p.forwardedStore(addr); ok {
+			return v
+		}
+		return p.mem.data[w]
+	}
+	if v, ok := p.forwardedStore(addr); ok {
+		p.stats.LoadChecks++
+		p.charge(CatCheck, s.Cfg.Cost.LoadCheck)
+		return v
+	}
+	line := s.lineOf(addr)
+	if s.Cfg.FlagCheck {
+		// Flag technique (§2.2): load the data, compare against the flag
+		// value; only enter the protocol when it matches.
+		p.stats.LoadChecks++
+		p.charge(CatCheck, s.Cfg.Cost.LoadCheck)
+		v := p.mem.data[w]
+		if v != FlagWord {
+			return v
+		}
+		p.charge(CatCheck, s.Cfg.Cost.ProtocolEntry)
+		if st := p.priv[line]; st == Shared || st == Exclusive {
+			p.stats.FalseMisses++
+			return v
+		}
+		p.loadMiss(line)
+		return p.mem.data[w]
+	}
+	// Full state-table check ("about seven instructions").
+	p.stats.LoadChecks++
+	p.charge(CatCheck, s.Cfg.Cost.FullCheck)
+	if st := p.priv[line]; st == Shared || st == Exclusive {
+		return p.mem.data[w]
+	}
+	p.loadMiss(line)
+	return p.mem.data[w]
+}
+
+// loadMiss brings the line to at least shared state and returns.
+func (p *Proc) loadMiss(line int) {
+	s := p.sys
+	p.enterProtocol()
+	defer p.exitProtocol()
+	blk := s.blockOf(line)
+	for {
+		// A pending miss of our own: stall until it completes.
+		if p.mshr[blk.id] != nil {
+			p.stallWhile(CatReadStall, func() bool { return p.mshr[blk.id] != nil })
+			continue
+		}
+		if st := p.priv[line]; st == Shared || st == Exclusive {
+			return
+		}
+		if s.Cfg.SMP {
+			// Another local process may hold — or be fetching — the line.
+			switch p.mem.table[line] {
+			case Shared, Exclusive:
+				if p.localFill(line) {
+					return
+				}
+				continue
+			case Pending:
+				p.stallOnAgent(CatReadStall, func() bool {
+					return p.mem.table[line] == Pending && p.mshr[blk.id] == nil
+				})
+				continue
+			}
+		}
+		if !p.tryBeginTransition(blk, CatReadStall) {
+			continue
+		}
+		p.stats.ReadMisses++
+		p.issueMiss(blk, false, nil)
+		p.stallWhile(CatReadStall, func() bool { return p.mshr[blk.id] != nil })
+		// Loop: in rare races the line may have been invalidated again
+		// before we could use it; re-fetch.
+	}
+}
+
+// localFill upgrades the private table from the node's shared table (SMP).
+// It reports false if the node state changed while the fill was charged
+// (the caller must re-evaluate) — the SMP-Shasta protocol guarantees this
+// by holding the line pending during agent-level transitions.
+func (p *Proc) localFill(line int) bool {
+	s := p.sys
+	p.charge(CatCheck, s.Cfg.Cost.NodeFill)
+	st := p.mem.table[line]
+	if st != Shared && st != Exclusive {
+		return false
+	}
+	p.stats.LocalFills++
+	blk := s.blockOf(line)
+	for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
+		p.priv[l] = st
+		p.mem.sharerProcs[l] |= 1 << uint(p.ID)
+	}
+	return true
+}
+
+// stallOnAgent is stallWhile for conditions over this agent's shared state
+// (pending fills, transition locks): the stalled process registers as an
+// agent state-waiter so completions wake it — and only it — rather than
+// broadcasting to every local process.
+func (p *Proc) stallOnAgent(cat TimeCategory, cond func() bool) {
+	if !p.sys.Cfg.SMP {
+		p.stallWhile(cat, cond)
+		return
+	}
+	p.mem.stateWaiters[p]++
+	p.stallWhile(cat, cond)
+	if p.mem.stateWaiters[p]--; p.mem.stateWaiters[p] <= 0 {
+		delete(p.mem.stateWaiters, p)
+	}
+}
+
+// notifyAgentWaiters wakes local processes stalled on agent state.
+func (p *Proc) notifyAgentWaiters() {
+	if !p.sys.Cfg.SMP {
+		return
+	}
+	now := p.Sim.Now()
+	for q := range p.mem.stateWaiters {
+		if q != p {
+			q.Sim.NotifyAt(now)
+		}
+	}
+}
+
+// tryBeginTransition attempts to take the agent-level transition lock for
+// the block (SMP-Shasta). It returns true when the lock was acquired
+// without yielding, so the caller's state checks are still valid; if the
+// lock was busy it waits for the holder to finish and returns false, and
+// the caller must re-evaluate. In Base-Shasta there is nothing to lock.
+func (p *Proc) tryBeginTransition(blk *blockInfo, cat TimeCategory) bool {
+	if !p.sys.Cfg.SMP {
+		return true
+	}
+	if p.mem.busy[blk.id] == nil {
+		p.mem.busy[blk.id] = p
+		return true
+	}
+	p.stallOnAgent(cat, func() bool { return p.mem.busy[blk.id] != nil })
+	return false
+}
+
+// endTransition releases the agent-level transition lock and wakes local
+// processes waiting on it.
+func (p *Proc) endTransition(blk *blockInfo) {
+	if !p.sys.Cfg.SMP {
+		return
+	}
+	if p.mem.busy[blk.id] != p {
+		panic(fmt.Sprintf("core: %s releasing transition lock it does not hold (block %d)", p, blk.id))
+	}
+	delete(p.mem.busy, blk.id)
+	p.notifyAgentWaiters()
+}
+
+// debugTrace, when non-nil, observes protocol events (tests only).
+var debugTrace func(p *Proc, blk *blockInfo, site string)
+
+// DebugSvcDelay observes message service delays (tests only).
+var debugSvcDelay func(p *Proc, kind string, delay sim.Time)
+
+// SetDebugSvcDelay installs a service-delay observer (tests only).
+func SetDebugSvcDelay(fn func(p *Proc, kind string, delay sim.Time)) { debugSvcDelay = fn }
+
+// debugDeliver observes message deliveries (tests only).
+var debugDeliver func(from, to *Proc, kind string, arrive sim.Time)
+
+// SetDebugDeliver installs a delivery observer (tests only).
+func SetDebugDeliver(fn func(from, to *Proc, kind string, arrive sim.Time)) { debugDeliver = fn }
+
+func traceEvent(p *Proc, blk *blockInfo, site string) {
+	if debugTrace != nil {
+		debugTrace(p, blk, site)
+	}
+}
+
+// Store performs a checked 64-bit store to shared memory.
+func (p *Proc) Store(addr uint64, v uint64) {
+	p.stats.Stores++
+	s := p.sys
+	w := s.wordOf(addr)
+	if !s.Cfg.Checks {
+		p.charge(CatTask, 1)
+		p.mem.data[w] = v
+		return
+	}
+	line := s.lineOf(addr)
+	p.stats.StoreChecks++
+	p.charge(CatCheck, s.Cfg.Cost.FullCheck)
+	if p.priv[line] == Exclusive {
+		p.mem.data[w] = v
+		p.resetLocalLLs(line)
+		return
+	}
+	p.storeMiss(addr, v, line)
+}
+
+// storeMiss obtains exclusive ownership and performs the store, blocking
+// (SC) or buffering the store behind the miss (RC).
+func (p *Proc) storeMiss(addr, v uint64, line int) {
+	p.enterProtocol()
+	defer p.exitProtocol()
+	p.storeMissLocked(addr, v, line)
+}
+
+func (p *Proc) storeMissLocked(addr, v uint64, line int) {
+	s := p.sys
+	blk := s.blockOf(line)
+	for {
+		if m := p.mshr[blk.id]; m != nil {
+			if m.wantExcl {
+				// Merge into the outstanding exclusive miss.
+				m.stores = append(m.stores, pendingStore{addr, v})
+				if s.Cfg.Consistency == SequentiallyConsistent {
+					p.stallWhile(CatWriteStall, func() bool { return p.mshr[blk.id] != nil })
+				}
+				return
+			}
+			// A read miss is in flight; wait for it, then retry.
+			p.stallWhile(CatWriteStall, func() bool { return p.mshr[blk.id] != nil })
+			continue
+		}
+		if p.priv[line] == Exclusive { // resolved while stalled
+			p.mem.data[s.wordOf(addr)] = v
+			p.resetLocalLLs(line)
+			return
+		}
+		if s.Cfg.SMP {
+			switch p.mem.table[line] {
+			case Exclusive:
+				if p.localFill(line) && p.priv[line] == Exclusive {
+					p.mem.data[s.wordOf(addr)] = v
+					p.resetLocalLLs(line)
+					return
+				}
+				continue
+			case Pending:
+				p.stallOnAgent(CatWriteStall, func() bool {
+					return p.mem.table[line] == Pending && p.mshr[blk.id] == nil
+				})
+				continue
+			}
+		}
+		if !p.tryBeginTransition(blk, CatWriteStall) {
+			continue
+		}
+		p.stats.WriteMisses++
+		p.issueMiss(blk, true, []pendingStore{{addr, v}})
+		if s.Cfg.Consistency == SequentiallyConsistent {
+			p.stallWhile(CatWriteStall, func() bool { return p.mshr[blk.id] != nil })
+			continue // verify we really obtained the line
+		}
+		// Release consistency: the store is non-blocking; the buffered
+		// store is performed by the protocol when the reply arrives.
+		return
+	}
+}
+
+// MemBar executes a memory barrier (§3.2.3): protocol code runs after the
+// hardware MB, completing all outstanding operations and servicing any
+// received invalidations.
+func (p *Proc) MemBar() {
+	s := p.sys
+	p.stats.MemoryBarriers++
+	if !s.Cfg.Checks {
+		p.charge(CatTask, 1)
+		return
+	}
+	cost := s.Cfg.Cost.MBBase
+	if s.Cfg.SMP {
+		cost = s.Cfg.Cost.MBSMP
+	}
+	p.charge(CatMBStall, cost)
+	if p.outstanding > 0 {
+		p.enterProtocol()
+		p.stallWhile(CatMBStall, func() bool { return p.outstanding > 0 })
+		p.exitProtocol()
+	}
+}
+
+// RawLoad reads shared memory without any in-line check — what an
+// un-instrumented binary does. Correct only when the data is known
+// coherent (single node, or inside a validated batch).
+func (p *Proc) RawLoad(addr uint64) uint64 {
+	p.stats.Loads++
+	p.charge(CatTask, 1)
+	return p.mem.data[p.sys.wordOf(addr)]
+}
+
+// RawStore writes shared memory without any in-line check.
+func (p *Proc) RawStore(addr uint64, v uint64) {
+	p.stats.Stores++
+	p.charge(CatTask, 1)
+	p.mem.data[p.sys.wordOf(addr)] = v
+	p.resetLocalLLs(p.sys.lineOf(addr))
+}
+
+// SyscallEnter marks the process as executing a system call: it is outside
+// application code (§4.3.4), so other processes may directly downgrade its
+// private state table while it is (possibly) blocked in the kernel.
+func (p *Proc) SyscallEnter() { p.enterProtocol() }
+
+// SyscallExit returns the process to application code.
+func (p *Proc) SyscallExit() { p.exitProtocol() }
+
+// PinRange records that a system call may access the given shared range;
+// direct downgrades of these lines are disallowed for the duration
+// (§4.3.4 footnote).
+func (p *Proc) PinRange(addr uint64, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	first := p.sys.lineOf(addr)
+	last := p.sys.lineOf(addr + uint64(bytes) - 1)
+	for l := first; l <= last; l++ {
+		p.pinnedLines[l] = true
+	}
+}
+
+// UnpinAll clears all system-call range pins.
+func (p *Proc) UnpinAll() {
+	for l := range p.pinnedLines {
+		delete(p.pinnedLines, l)
+	}
+}
+
+// ChargeTime advances simulated time, attributing it to the category (used
+// by the cluster OS layer for system call costs).
+func (p *Proc) ChargeTime(cat TimeCategory, c sim.Time) { p.charge(cat, c) }
+
+// AccountWait attributes time that elapsed while the process was blocked.
+func (p *Proc) AccountWait(cat TimeCategory, dt sim.Time) { p.chargeWallClock(cat, dt) }
+
+// Outstanding returns the number of incomplete misses.
+func (p *Proc) Outstanding() int { return p.outstanding }
+
+// DrainOutstanding waits for all outstanding misses to complete.
+func (p *Proc) DrainOutstanding() { p.drainOutstanding() }
+
+// drainOutstanding stalls until all outstanding misses complete (release
+// semantics for the built-in synchronization routines).
+func (p *Proc) drainOutstanding() {
+	if p.outstanding > 0 {
+		p.stallWhile(CatMBStall, func() bool { return p.outstanding > 0 })
+	}
+}
+
+// enterProtocol marks the process as outside application code (§4.3.4).
+func (p *Proc) enterProtocol() { p.inProtocol = true }
+
+func (p *Proc) exitProtocol() {
+	if p.curBatch == nil && len(p.deferredFills) > 0 {
+		p.applyDeferredFills()
+	}
+	p.inProtocol = false
+}
+
+// stallWhile services messages and waits until cond becomes false, charging
+// all elapsed time to cat.
+func (p *Proc) stallWhile(cat TimeCategory, cond func() bool) {
+	if !cond() {
+		return
+	}
+	prevOv, prevCat := p.overridden, p.override
+	p.overridden, p.override = true, cat
+	defer func() { p.overridden, p.override = prevOv, prevCat }()
+	reqBox := p.sys.requestBox(p)
+	p.replyQ.addWaiter(p)
+	reqBox.addWaiter(p)
+	defer func() {
+		p.replyQ.removeWaiter(p)
+		reqBox.removeWaiter(p)
+	}()
+	for cond() {
+		if p.serviceReady(cat) {
+			continue
+		}
+		before := p.Sim.Now()
+		if a, ok := p.nextArrival(); ok {
+			p.Sim.NotifyAt(a)
+		}
+		p.Sim.Wait()
+		p.chargeWallClock(cat, p.Sim.Now()-before)
+	}
+}
+
+// nextArrival returns the earliest queued arrival on any watched queue.
+func (p *Proc) nextArrival() (sim.Time, bool) {
+	best := sim.Forever
+	ok := false
+	if a, has := p.replyQ.q.NextArrival(); has && a < best {
+		best, ok = a, true
+	}
+	if a, has := p.sys.requestBox(p).q.NextArrival(); has && a < best {
+		best, ok = a, true
+	}
+	return best, ok
+}
+
+// serviceReady pops and services one ready message from the reply queue or
+// the request queue; it reports whether anything was handled.
+func (p *Proc) serviceReady(cat TimeCategory) bool {
+	now := p.Sim.Now()
+	if m, ok := p.replyQ.q.Pop(now); ok {
+		p.handleMessage(m, cat)
+		return true
+	}
+	box := p.sys.requestBox(p)
+	if p.sys.Cfg.SMP && p.sys.Cfg.SharedQueues {
+		if m, ok := box.q.Pop(now); ok {
+			p.charge(cat, p.sys.Cfg.Cost.QueueLock)
+			p.handleMessage(m, cat)
+			return true
+		}
+		return false
+	}
+	if m, ok := box.q.Pop(now); ok {
+		p.handleMessage(m, cat)
+		return true
+	}
+	return false
+}
+
+// resetLocalLLs clears the lock flag of any other local process that has a
+// load-locked outstanding on the given line (hardware LL/SC semantics).
+func (p *Proc) resetLocalLLs(line int) {
+	if !p.sys.Cfg.SMP {
+		return
+	}
+	for _, q := range p.sys.localProcs(p.agent) {
+		if q == p {
+			continue
+		}
+		if q.llValid && q.llLine == line {
+			q.llValid = false
+		}
+		if q.emuLockFlag && q.emuLockLine == line {
+			q.emuLockFlag = false
+		}
+		if q.scWatchValid && q.scWatchLine == line {
+			q.scWatchValid = false
+		}
+	}
+}
+
+// invalidateLocalLLs clears lock flags on this process for a line that has
+// been invalidated or downgraded by the protocol.
+func (p *Proc) invalidateLocalLLs(line int) {
+	if p.llValid && p.llLine == line {
+		p.llValid = false
+	}
+	if p.emuLockFlag && p.emuLockLine == line {
+		p.emuLockFlag = false
+	}
+	if p.scWatchValid && p.scWatchLine == line {
+		p.scWatchValid = false
+	}
+}
+
+// applyDeferredFills stores the flag value into lines whose invalidation
+// was deferred past a batch (§4.1).
+func (p *Proc) applyDeferredFills() {
+	s := p.sys
+	for _, line := range p.deferredFills {
+		if p.priv[line] != Invalid {
+			continue // re-fetched since
+		}
+		if s.Cfg.SMP && p.mem.table[line] != Invalid {
+			continue // the node has a valid copy again; data is live
+		}
+		fillFlag(p.mem, line, s.wordsPerLine)
+	}
+	p.deferredFills = p.deferredFills[:0]
+}
+
+func fillFlag(mem *agentMem, line, wordsPerLine int) {
+	base := line * wordsPerLine
+	for w := 0; w < wordsPerLine; w++ {
+		mem.data[base+w] = FlagWord
+	}
+}
+
+// serveAfterExit keeps the Shasta process alive after the application
+// process terminates, continuing to serve requests for its protocol and
+// application data (§4.3.3). A terminated process that receives no
+// requests sleeps for successively longer periods so as not to take CPU
+// time from active processes.
+func (p *Proc) serveAfterExit() {
+	s := p.sys
+	reqBox := s.requestBox(p)
+	p.replyQ.addWaiter(p)
+	reqBox.addWaiter(p)
+	defer func() {
+		p.replyQ.removeWaiter(p)
+		reqBox.removeWaiter(p)
+	}()
+	backoff := sim.Cycles(20)
+	const maxBackoff = sim.Time(3000 * sim.CyclesPerMicrosecond)
+	for s.appLive > 0 {
+		if p.serviceReady(CatMessage) {
+			backoff = sim.Cycles(20)
+			continue
+		}
+		p.Sim.NotifyAt(p.Sim.Now() + backoff)
+		p.Sim.Block()
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// Exited reports whether the process body has returned.
+func (p *Proc) Exited() bool { return p.exited }
+
+func (p *Proc) String() string {
+	return fmt.Sprintf("%s[%d]@n%dc%d", p.Name, p.ID, p.node, p.cpu)
+}

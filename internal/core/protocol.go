@@ -1,0 +1,625 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// issueMiss allocates an MSHR for the block and sends the appropriate
+// request to the home (§2.1: read, read-exclusive, or exclusive/upgrade).
+// scMode marks a store-conditional upgrade, which the directory may refuse.
+func (p *Proc) issueMiss(blk *blockInfo, wantExcl bool, stores []pendingStore) *mshrEntry {
+	return p.issueMissKind(blk, wantExcl, stores, false)
+}
+
+func (p *Proc) issueMissKind(blk *blockInfo, wantExcl bool, stores []pendingStore, scMode bool) *mshrEntry {
+	s := p.sys
+	if s.Cfg.SMP && p.mem.busy[blk.id] != p {
+		panic(fmt.Sprintf("core: %s issuing miss for block %d without the transition lock", p, blk.id))
+	}
+	m := &mshrEntry{block: blk.id, wantExcl: wantExcl, stores: stores, batch: p.curBatch}
+	p.mshr[blk.id] = m
+	p.outstanding++
+
+	// Decide between upgrade (agent already shares the data) and a full
+	// data fetch, then mark the lines pending.
+	agentState := p.mem.table[blk.firstLine]
+	kind := msgReadReq
+	if wantExcl {
+		switch {
+		case scMode:
+			kind = msgSCUpgradeReq
+		case agentState == Shared:
+			kind = msgUpgradeReq
+		default:
+			kind = msgReadExclReq
+		}
+	}
+	for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
+		p.priv[l] = Pending
+		if s.Cfg.SMP {
+			p.mem.table[l] = Pending
+		}
+	}
+	traceEvent(p, blk, "issue:"+kind.String())
+	req := msg{kind: kind, block: blk.id, from: p.ID, reqProc: p.ID}
+	home := s.procs[blk.home]
+	if home == p {
+		p.handleMessage(req, CatMessage)
+	} else {
+		p.sys.deliver(p, home, req, CatReadStall)
+	}
+	return m
+}
+
+// handleMessage dispatches one protocol message on the servicing process.
+func (p *Proc) handleMessage(m msg, cat TimeCategory) {
+	s := p.sys
+	if debugSvcDelay != nil && m.arrive > 0 {
+		debugSvcDelay(p, m.kind.String(), p.Sim.Now()-m.arrive)
+	}
+	p.stats.MessagesHandled++
+	p.charge(cat, s.Cfg.Cost.MsgHandle)
+	wasIn := p.inProtocol
+	p.inProtocol = true
+	defer func() { p.inProtocol = wasIn }()
+	switch m.kind {
+	case msgReadReq, msgReadExclReq, msgUpgradeReq, msgSCUpgradeReq:
+		p.handleHome(m)
+	case msgFwdRead:
+		p.handleFwdRead(m)
+	case msgFwdReadExcl:
+		p.handleFwdReadExcl(m)
+	case msgInvalReq:
+		p.handleInval(m)
+	case msgReadReply, msgReadExclReply, msgUpgradeAck, msgSCFail:
+		p.handleReply(m)
+	case msgInvalAck:
+		p.handleInvalAck(m)
+	case msgShareWB:
+		p.handleShareWB(m)
+	case msgOwnerTransfer:
+		p.handleOwnerTransfer(m)
+	case msgDowngradeReq:
+		p.handleDowngradeReq(m)
+	case msgDowngradeAck:
+		p.dgAcks[m.block]++
+	case msgLockReq:
+		p.handleLockReq(m)
+	case msgLockGrant:
+		p.grantedLock(m.id)
+	case msgLockRelease:
+		p.handleLockRelease(m)
+	case msgBarrierEnter:
+		p.handleBarrierEnter(m)
+	case msgBarrierRelease:
+		p.barrierSeen[m.id]++
+	case msgUser:
+		// User messages are applied on behalf of their target process —
+		// which may be blocked in a system call — by whichever process
+		// services them (§4.3.2).
+		if s.userHandler != nil {
+			s.userHandler(s.procs[m.reqProc], m.from, m.id, m.payload)
+		}
+	default:
+		panic(fmt.Sprintf("core: %s cannot handle %s", p, m.kind))
+	}
+}
+
+// handleHome services a request at the block's home.
+func (p *Proc) handleHome(m msg) {
+	s := p.sys
+	blk := s.blocks[m.block]
+	d := &blk.dir
+	if d.state == dirBusy {
+		d.queue = append(d.queue, m)
+		return
+	}
+	reqProc := s.procs[m.reqProc]
+	reqAgent := s.agentOf(reqProc)
+	homeAgent := s.agentOf(s.procs[blk.home])
+	homeMem := s.agents[homeAgent]
+
+	switch m.kind {
+	case msgReadReq:
+		switch d.state {
+		case dirShared:
+			d.sharers |= 1 << uint(reqAgent)
+			p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID, data: s.blockData(homeMem, blk)})
+		case dirExclusive:
+			switch d.owner {
+			case reqAgent:
+				// Another process on the requester's agent took
+				// ownership while this request was in flight; the data
+				// is already local and the grant is exclusive.
+				p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID, downTo: Exclusive})
+			case homeAgent:
+				// Home agent owns it: downgrade locally and reply — but
+				// defer if the home's own exclusive fill is incomplete,
+				// exactly as a forwarded request would be.
+				if p.deferIfPending(m, blk) {
+					return
+				}
+				p.downgradeAgent(blk, Shared, false)
+				d.state = dirShared
+				d.sharers = 1<<uint(homeAgent) | 1<<uint(reqAgent)
+				p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID, data: s.blockData(homeMem, blk)})
+			default:
+				d.state = dirBusy
+				owner := s.agentLeader(d.owner)
+				s.deliver(p, owner, msg{kind: msgFwdRead, block: blk.id, from: p.ID, reqProc: m.reqProc}, CatMessage)
+			}
+		}
+
+	case msgReadExclReq, msgUpgradeReq, msgSCUpgradeReq:
+		isUpgrade := m.kind == msgUpgradeReq || m.kind == msgSCUpgradeReq
+		if isUpgrade && !(d.state == dirShared && d.sharers&(1<<uint(reqAgent)) != 0) {
+			if m.kind == msgSCUpgradeReq {
+				// The requester lost its shared copy: the SC fails
+				// (§3.1.2); crucially no invalidations are sent, which
+				// avoids livelock.
+				p.reply(reqProc, msg{kind: msgSCFail, block: blk.id, from: p.ID})
+				return
+			}
+			// A plain upgrade whose copy was invalidated in flight is
+			// converted to a full read-exclusive.
+			isUpgrade = false
+		}
+		if m.kind == msgSCUpgradeReq && d.state == dirExclusive {
+			// Exclusivity moved (possibly to the requester's own agent
+			// via another local process) — some write serialized ahead
+			// of this SC, so it must fail.
+			p.reply(reqProc, msg{kind: msgSCFail, block: blk.id, from: p.ID})
+			return
+		}
+		switch d.state {
+		case dirShared:
+			others := d.sharers &^ (1 << uint(reqAgent))
+			homeIsSharer := others&(1<<uint(homeAgent)) != 0
+			remote := others &^ (1 << uint(homeAgent))
+			nacks := bits.OnesCount64(others)
+			var data []uint64
+			if !isUpgrade {
+				data = s.blockData(homeMem, blk)
+			}
+			d.state = dirExclusive
+			d.owner = reqAgent
+			d.sharers = 0
+			// Send remote invalidations; acks flow to the requester.
+			for a := 0; remote != 0; a++ {
+				if remote&(1<<uint(a)) != 0 {
+					remote &^= 1 << uint(a)
+					s.deliver(p, s.agentLeader(a), msg{kind: msgInvalReq, block: blk.id, from: p.ID, reqProc: m.reqProc}, CatMessage)
+				}
+			}
+			// Reply before doing the (possibly slow) local invalidation.
+			k := msgReadExclReply
+			if isUpgrade {
+				k = msgUpgradeAck
+			}
+			p.reply(reqProc, msg{kind: k, block: blk.id, from: p.ID, invals: nacks, data: data})
+			if homeIsSharer && homeAgent != reqAgent {
+				p.downgradeAgent(blk, Invalid, false)
+				p.reply(reqProc, msg{kind: msgInvalAck, block: blk.id, from: p.ID})
+			}
+		case dirExclusive:
+			switch d.owner {
+			case reqAgent:
+				p.reply(reqProc, msg{kind: msgUpgradeAck, block: blk.id, from: p.ID})
+			case homeAgent:
+				if p.deferIfPending(m, blk) {
+					return
+				}
+				data := p.downgradeAgent(blk, Invalid, true)
+				d.owner = reqAgent
+				p.reply(reqProc, msg{kind: msgReadExclReply, block: blk.id, from: p.ID, data: data})
+			default:
+				d.state = dirBusy
+				d.pendingOwner = reqAgent
+				owner := s.agentLeader(d.owner)
+				s.deliver(p, owner, msg{kind: msgFwdReadExcl, block: blk.id, from: p.ID, reqProc: m.reqProc}, CatMessage)
+			}
+		}
+	}
+}
+
+// reply routes a response to the requesting process, short-circuiting when
+// the servicer is the requester (home-local miss).
+func (p *Proc) reply(to *Proc, m msg) {
+	if to == p {
+		p.handleReplyLocal(m)
+		return
+	}
+	p.sys.deliver(p, to, m, CatMessage)
+}
+
+// handleReplyLocal applies a reply generated on the requester itself.
+func (p *Proc) handleReplyLocal(m msg) {
+	p.handleReply(m)
+}
+
+// blockData copies the block's contents out of an agent's memory.
+func (s *System) blockData(mem *agentMem, blk *blockInfo) []uint64 {
+	base := blk.firstLine * s.wordsPerLine
+	n := blk.lines * s.wordsPerLine
+	out := make([]uint64, n)
+	copy(out, mem.data[base:base+n])
+	return out
+}
+
+// setAgentState sets the agent-level state of every line of a block.
+func (s *System) setAgentState(mem *agentMem, blk *blockInfo, st LineState) {
+	for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
+		mem.table[l] = st
+	}
+}
+
+// handleFwdRead services a forwarded read at the owning agent: downgrade to
+// shared, send the data to the requester, and write it back to the home.
+func (p *Proc) handleFwdRead(m msg) {
+	s := p.sys
+	blk := s.blocks[m.block]
+	if p.deferIfPending(m, blk) {
+		return
+	}
+	p.downgradeAgent(blk, Shared, false)
+	data := s.blockData(p.mem, blk)
+	reqProc := s.procs[m.reqProc]
+	p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID, data: data})
+	home := s.procs[blk.home]
+	wb := msg{kind: msgShareWB, block: blk.id, from: p.ID, reqProc: m.reqProc, data: data}
+	if home == p {
+		p.handleShareWB(wb)
+	} else {
+		s.deliver(p, home, wb, CatMessage)
+	}
+}
+
+// handleFwdReadExcl services a forwarded read-exclusive at the owning
+// agent: invalidate the local copy, ship the data to the requester, and
+// notify the home of the ownership transfer.
+func (p *Proc) handleFwdReadExcl(m msg) {
+	s := p.sys
+	blk := s.blocks[m.block]
+	if p.deferIfPending(m, blk) {
+		return
+	}
+	data := p.downgradeAgent(blk, Invalid, true)
+	reqProc := s.procs[m.reqProc]
+	p.reply(reqProc, msg{kind: msgReadExclReply, block: blk.id, from: p.ID, data: data})
+	home := s.procs[blk.home]
+	ot := msg{kind: msgOwnerTransfer, block: blk.id, from: p.ID}
+	if home == p {
+		p.handleOwnerTransfer(ot)
+	} else {
+		s.deliver(p, home, ot, CatMessage)
+	}
+}
+
+// deferIfPending queues a forwarded request when this agent's copy is still
+// in flight (the grant from the home can outrun the data reply). The
+// request is re-executed when the local miss completes.
+func (p *Proc) deferIfPending(m msg, blk *blockInfo) bool {
+	if !p.sys.Cfg.SMP {
+		if p.mshr[blk.id] != nil {
+			p.deferredReqs = append(p.deferredReqs, m)
+			return true
+		}
+		return false
+	}
+	if holder := p.mem.busy[blk.id]; holder != nil && holder.mshr[blk.id] != nil {
+		holder.deferredReqs = append(holder.deferredReqs, m)
+		return true
+	}
+	return false
+}
+
+// downgradeAgent transitions this agent's copy of a block to the target
+// state: it marks the block pending (so concurrent local fills cannot slip
+// between a private-table downgrade and the agent state change), downgrades
+// every local private table (§2.3), optionally snapshots the data just
+// before an invalidating transition, installs the final state, and wakes
+// local processes waiting on the transition.
+func (p *Proc) downgradeAgent(blk *blockInfo, to LineState, wantData bool) []uint64 {
+	s := p.sys
+	for !p.tryBeginTransition(blk, CatMessage) {
+	}
+	if s.Cfg.SMP {
+		s.setAgentState(p.mem, blk, Pending)
+	}
+	p.waitDowngrades(blk, to)
+	var data []uint64
+	if wantData {
+		data = s.blockData(p.mem, blk)
+	}
+	if to == Invalid {
+		p.fillAgentInvalid(blk)
+	}
+	s.setAgentState(p.mem, blk, to)
+	traceEvent(p, blk, "downgradeAgent:"+to.String())
+	p.endTransition(blk)
+	return data
+}
+
+// fillAgentInvalid stores the flag value into the block's words, deferring
+// the fill for lines inside an open batch (§4.1), and clears per-line
+// bookkeeping.
+func (p *Proc) fillAgentInvalid(blk *blockInfo) {
+	s := p.sys
+	deferFill := false
+	for _, q := range s.localProcs(p.agent) {
+		if q.curBatch != nil && q.curBatch.covers(blk) {
+			q.deferredFills = append(q.deferredFills, blk.firstLine)
+			q.stats.DeferredFlagFills++
+			deferFill = true
+		}
+	}
+	for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
+		if !deferFill {
+			fillFlag(p.mem, l, s.wordsPerLine)
+		}
+		if s.Cfg.SMP {
+			p.mem.sharerProcs[l] = 0
+		}
+	}
+	p.invalidateLocalLLs(blk.firstLine)
+}
+
+// handleInval invalidates this agent's copy and acks the requester (§2.1).
+func (p *Proc) handleInval(m msg) {
+	s := p.sys
+	blk := s.blocks[m.block]
+	p.stats.Invalidations++
+	missInFlight := false
+	if p.sys.Cfg.SMP {
+		if h := p.mem.busy[blk.id]; h != nil && h.mshr[blk.id] != nil {
+			missInFlight = true
+		}
+	} else {
+		missInFlight = p.mshr[blk.id] != nil
+	}
+	if missInFlight {
+		// An upgrade by a local process is in flight; this invalidation
+		// targets the previous epoch. Local private copies are dropped;
+		// the pending fill will install fresh data.
+		p.waitDowngrades(blk, Invalid)
+	} else if p.mem.table[blk.firstLine] != Invalid {
+		p.downgradeAgent(blk, Invalid, false)
+	}
+	reqProc := s.procs[m.reqProc]
+	if reqProc == p {
+		p.handleInvalAck(msg{kind: msgInvalAck, block: blk.id, from: p.ID})
+		return
+	}
+	s.deliver(p, reqProc, msg{kind: msgInvalAck, block: blk.id, from: p.ID}, CatMessage)
+}
+
+// waitDowngrades brings every local process's private state table down to
+// the target state for the block, using direct downgrades for processes
+// outside application code (§4.3.4) and explicit messages otherwise (§2.3).
+func (p *Proc) waitDowngrades(blk *blockInfo, to LineState) {
+	s := p.sys
+	if !s.Cfg.SMP {
+		// Base-Shasta: the private table is the agent table; the caller
+		// adjusts it.
+		p.downgradeSelf(blk, to)
+		return
+	}
+	expected := 0
+	for _, q := range s.localProcs(p.agent) {
+		if q == p {
+			p.downgradeSelf(blk, to)
+			continue
+		}
+		needs := false
+		for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
+			if q.priv[l] > to && q.priv[l] != Pending {
+				needs = true
+				break
+			}
+		}
+		if !needs {
+			continue
+		}
+		if q.exited || (s.Cfg.DirectDowngrade && q.inProtocol && !q.pinned(blk)) {
+			p.directDowngrade(q, blk, to)
+			continue
+		}
+		// Explicit downgrade message; the target handles it at its next
+		// poll or protocol entry.
+		p.stats.DowngradesSent++
+		s.deliver(p, q, msg{kind: msgDowngradeReq, block: blk.id, from: p.ID, downTo: to}, CatMessage)
+		expected++
+	}
+	if expected > 0 {
+		if p.dgAcks == nil {
+			p.dgAcks = make(map[int]int)
+		}
+		base := p.dgAcks[blk.id]
+		want := base + expected
+		p.stallWhile(CatMessage, func() bool { return p.dgAcks[blk.id] < want })
+		p.dgAcks[blk.id] -= expected
+		if p.dgAcks[blk.id] == 0 {
+			delete(p.dgAcks, blk.id)
+		}
+	}
+}
+
+// downgradeSelf lowers this process's own private entries.
+func (p *Proc) downgradeSelf(blk *blockInfo, to LineState) {
+	for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
+		if p.priv[l] > to && p.priv[l] != Pending {
+			p.priv[l] = to
+		}
+		if p.sys.Cfg.SMP && to == Invalid {
+			p.mem.sharerProcs[l] &^= 1 << uint(p.ID)
+		}
+	}
+	if to == Invalid {
+		p.invalidateLocalLLs(blk.firstLine)
+	}
+}
+
+// directDowngrade edits another process's private state table (§4.3.4).
+func (p *Proc) directDowngrade(q *Proc, blk *blockInfo, to LineState) {
+	p.stats.DowngradesDirect++
+	p.charge(CatMessage, p.sys.Cfg.Cost.DirectDowngrade)
+	q.downgradeSelf(blk, to)
+}
+
+// pinned reports whether any line of the block is within a shared-memory
+// range validated for an in-flight system call (§4.3.4 footnote).
+func (p *Proc) pinned(blk *blockInfo) bool {
+	if len(p.pinnedLines) == 0 {
+		return false
+	}
+	for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
+		if p.pinnedLines[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// handleDowngradeReq services an explicit downgrade at its target.
+func (p *Proc) handleDowngradeReq(m msg) {
+	s := p.sys
+	blk := s.blocks[m.block]
+	p.stats.DowngradesReceived++
+	p.charge(CatMessage, s.Cfg.Cost.DowngradeHandle)
+	p.downgradeSelf(blk, m.downTo)
+	s.deliver(p, s.procs[m.from], msg{kind: msgDowngradeAck, block: blk.id, from: p.ID}, CatMessage)
+}
+
+// handleShareWB installs written-back data at the home and reopens the
+// directory entry as shared.
+func (p *Proc) handleShareWB(m msg) {
+	s := p.sys
+	blk := s.blocks[m.block]
+	d := &blk.dir
+	homeAgent := s.agentOf(s.procs[blk.home])
+	homeMem := s.agents[homeAgent]
+	base := blk.firstLine * s.wordsPerLine
+	copy(homeMem.data[base:base+len(m.data)], m.data)
+	// The home memory is valid again; the home agent becomes a sharer so
+	// the state table and flag invariants hold.
+	if homeMem.table[blk.firstLine] == Invalid {
+		s.setAgentState(homeMem, blk, Shared)
+	}
+	traceEvent(p, blk, "shareWB")
+	fromAgent := s.agentOf(s.procs[m.from])
+	reqAgent := s.agentOf(s.procs[m.reqProc])
+	d.state = dirShared
+	d.sharers = 1<<uint(homeAgent) | 1<<uint(fromAgent) | 1<<uint(reqAgent)
+	p.drainDirQueue(blk)
+}
+
+// handleOwnerTransfer completes a 3-hop exclusive transfer at the home.
+func (p *Proc) handleOwnerTransfer(m msg) {
+	s := p.sys
+	blk := s.blocks[m.block]
+	d := &blk.dir
+	d.state = dirExclusive
+	d.owner = d.pendingOwner
+	p.drainDirQueue(blk)
+}
+
+// drainDirQueue re-services requests that queued while the entry was busy.
+func (p *Proc) drainDirQueue(blk *blockInfo) {
+	d := &blk.dir
+	for len(d.queue) > 0 && d.state != dirBusy {
+		m := d.queue[0]
+		d.queue = d.queue[1:]
+		p.handleHome(m)
+	}
+}
+
+// handleReply completes (part of) an outstanding miss at the requester.
+func (p *Proc) handleReply(m msg) {
+	mshr := p.mshr[m.block]
+	if mshr == nil {
+		panic(fmt.Sprintf("core: %s got %s for block %d with no MSHR", p, m.kind, m.block))
+	}
+	mshr.haveReply = true
+	mshr.acksWanted = m.invals
+	mshr.grant = Shared
+	if m.kind == msgReadExclReply || m.kind == msgUpgradeAck || m.downTo == Exclusive {
+		mshr.grant = Exclusive
+	}
+	if m.kind == msgSCFail {
+		mshr.scFailed = true
+	}
+	if m.data != nil {
+		s := p.sys
+		blk := s.blocks[m.block]
+		base := blk.firstLine * s.wordsPerLine
+		copy(p.mem.data[base:base+len(m.data)], m.data)
+	}
+	if mshr.complete() {
+		p.finishMiss(mshr)
+	}
+}
+
+// handleInvalAck counts one invalidation acknowledgment.
+func (p *Proc) handleInvalAck(m msg) {
+	mshr := p.mshr[m.block]
+	if mshr == nil {
+		panic(fmt.Sprintf("core: %s got inval-ack for block %d with no MSHR", p, m.block))
+	}
+	mshr.acksGot++
+	if mshr.complete() {
+		p.finishMiss(mshr)
+	}
+}
+
+// finishMiss installs the final line states, performs buffered stores, and
+// re-executes any requests deferred while the fill was in flight.
+func (p *Proc) finishMiss(m *mshrEntry) {
+	s := p.sys
+	blk := s.blocks[m.block]
+	if m.scFailed {
+		traceEvent(p, blk, "finish:scfail")
+		// The SC upgrade was refused: the line reverts to invalid.
+		for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
+			if p.priv[l] == Pending {
+				p.priv[l] = Invalid
+			}
+			if s.Cfg.SMP {
+				if p.mem.table[l] == Pending {
+					p.mem.table[l] = Invalid
+					fillFlag(p.mem, l, s.wordsPerLine)
+				}
+			} else if p.priv[l] == Invalid {
+				fillFlag(p.mem, l, s.wordsPerLine)
+			}
+		}
+	} else {
+		st := m.grant
+		if m.wantExcl {
+			st = Exclusive
+		}
+		for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
+			p.priv[l] = st
+			if s.Cfg.SMP {
+				p.mem.table[l] = st
+				p.mem.sharerProcs[l] |= 1 << uint(p.ID)
+			}
+		}
+		for _, st := range m.stores {
+			p.mem.data[s.wordOf(st.addr)] = st.val
+			p.resetLocalLLs(s.lineOf(st.addr))
+		}
+		traceEvent(p, blk, fmt.Sprintf("finish:grant-%v-data%v-acks%d", st, m.grant != 0 && len(m.stores) >= 0, m.acksWanted))
+	}
+	delete(p.mshr, m.block)
+	p.outstanding--
+	p.endTransition(blk)
+	p.notifyAgentWaiters()
+	if len(p.deferredReqs) > 0 {
+		pending := p.deferredReqs
+		p.deferredReqs = nil
+		for _, req := range pending {
+			p.handleMessage(req, CatMessage)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import "fmt"
+
+// LineState is the state of one coherence line in a state table (§2.1):
+// invalid, shared (this agent and possibly others hold valid copies), or
+// exclusive (only this agent holds a valid copy and may write it).
+// Pending marks a line with an outstanding miss; the in-line check always
+// enters protocol code for pending lines.
+type LineState uint8
+
+const (
+	// Invalid: the data is not valid on this agent; its copy is filled
+	// with the flag value.
+	Invalid LineState = iota
+	// Shared: valid here, other agents may also hold copies; writable
+	// only after an upgrade.
+	Shared
+	// Exclusive: valid here and nowhere else; freely writable.
+	Exclusive
+	// Pending: a miss is outstanding for this line.
+	Pending
+)
+
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "invalid"
+	case Shared:
+		return "shared"
+	case Exclusive:
+		return "exclusive"
+	case Pending:
+		return "pending"
+	}
+	return "bad-state"
+}
+
+// FlagWord is the "flag" bit pattern stored into every word of an
+// invalidated line (§2.2). A load that does not see this value is
+// guaranteed to have read valid data, so the in-line load check can skip
+// the state-table lookup. Application data that happens to equal the flag
+// causes a (counted, harmless) false miss.
+const FlagWord uint64 = 0x8badf00d8badf00d
+
+// dirState is the directory's view of a block at its home (§2.1).
+type dirState uint8
+
+const (
+	dirShared    dirState = iota // home memory valid; sharers hold copies
+	dirExclusive                 // one agent (owner) holds the only copy
+	dirBusy                      // a forwarded request is in flight
+)
+
+func (s dirState) String() string {
+	switch s {
+	case dirShared:
+		return "shared"
+	case dirExclusive:
+		return "exclusive"
+	case dirBusy:
+		return "busy"
+	}
+	return "bad-dir-state"
+}
+
+// dirEntry is the per-block directory record kept at the block's home.
+type dirEntry struct {
+	state        dirState
+	owner        int    // owning agent when state == dirExclusive
+	pendingOwner int    // next owner during a busy ownership transfer
+	sharers      uint64 // bitmask of agents holding shared copies
+	queue        []msg  // requests queued while state == dirBusy
+}
+
+// blockInfo describes one variable-granularity coherence block (§2.1):
+// a range of lines fetched and kept coherent as a unit.
+type blockInfo struct {
+	id        int
+	home      int // home process ID
+	firstLine int
+	lines     int
+	dir       dirEntry
+}
+
+// msgKind enumerates protocol and synchronization message types.
+type msgKind uint8
+
+const (
+	msgInvalid msgKind = iota
+
+	// Requests, serviced at the home (or forwarded owner).
+	msgReadReq     // fetch a shared copy
+	msgReadExclReq // fetch an exclusive copy
+	msgUpgradeReq  // shared -> exclusive, no data needed
+	msgSCUpgradeReq
+	msgFwdRead     // home -> owner: send shared copy to requester
+	msgFwdReadExcl // home -> owner: yield exclusive copy to requester
+	msgInvalReq    // invalidate your copy, ack the requester
+
+	// Replies and acks, handled only by the requesting process.
+	msgReadReply     // data, grants shared
+	msgReadExclReply // data, grants exclusive; carries inval count
+	msgUpgradeAck    // grants exclusive without data; carries inval count
+	msgSCFail        // store-conditional upgrade refused (§3.1.2)
+	msgInvalAck
+
+	// Home bookkeeping.
+	msgShareWB       // owner -> home: data written back, now shared
+	msgOwnerTransfer // owner -> home: ownership moved to requester
+
+	// Intra-node private-state-table downgrades (§2.3).
+	msgDowngradeReq
+	msgDowngradeAck
+
+	// Message-passing synchronization (§6.2 "MP" locks and barriers).
+	msgLockReq
+	msgLockGrant
+	msgLockRelease
+	msgBarrierEnter
+	msgBarrierRelease
+
+	// User-defined messages (cluster OS layer: fork, kill, signals...).
+	msgUser
+)
+
+var msgKindNames = [...]string{
+	msgInvalid:        "invalid",
+	msgReadReq:        "read-req",
+	msgReadExclReq:    "read-excl-req",
+	msgUpgradeReq:     "upgrade-req",
+	msgSCUpgradeReq:   "sc-upgrade-req",
+	msgFwdRead:        "fwd-read",
+	msgFwdReadExcl:    "fwd-read-excl",
+	msgInvalReq:       "inval-req",
+	msgReadReply:      "read-reply",
+	msgReadExclReply:  "read-excl-reply",
+	msgUpgradeAck:     "upgrade-ack",
+	msgSCFail:         "sc-fail",
+	msgInvalAck:       "inval-ack",
+	msgShareWB:        "share-wb",
+	msgOwnerTransfer:  "owner-transfer",
+	msgDowngradeReq:   "downgrade-req",
+	msgDowngradeAck:   "downgrade-ack",
+	msgLockReq:        "lock-req",
+	msgLockGrant:      "lock-grant",
+	msgLockRelease:    "lock-release",
+	msgBarrierEnter:   "barrier-enter",
+	msgBarrierRelease: "barrier-release",
+	msgUser:           "user",
+}
+
+func (k msgKind) String() string {
+	if int(k) < len(msgKindNames) {
+		return msgKindNames[k]
+	}
+	return fmt.Sprintf("msgKind(%d)", int(k))
+}
+
+// msg is one protocol message. Requests carry the requesting process so
+// replies and invalidation acks can be routed to it.
+type msg struct {
+	kind    msgKind
+	block   int
+	from    int      // sending process
+	reqProc int      // requesting process (destination of acks/replies)
+	invals  int      // acks the requester must collect (replies)
+	data    []uint64 // block contents, nil if the message carries none
+	downTo  LineState
+	id      int // user message tag / sync object index
+	payload any // user message body
+	arrive  int64
+}
+
+// headerBytes is the wire size of a message without data payload.
+const headerBytes = 16
+
+func (m msg) wireSize(lineBytes int) int {
+	if m.data != nil {
+		return headerBytes + len(m.data)*8
+	}
+	return headerBytes
+}
+
+// mshrEntry tracks one outstanding miss (one per block, per process).
+type mshrEntry struct {
+	block      int
+	wantExcl   bool
+	haveReply  bool
+	acksWanted int
+	acksGot    int
+	scFailed   bool
+	grant      LineState // state granted by the reply
+	stores     []pendingStore
+	batch      *Batch // non-nil if issued as part of a batch
+}
+
+// pendingStore is a store buffered behind a non-blocking (RC) store miss;
+// it is performed by the protocol when the exclusive reply arrives.
+type pendingStore struct {
+	addr uint64
+	val  uint64
+}
+
+func (m *mshrEntry) complete() bool {
+	return m.haveReply && m.acksGot >= m.acksWanted
+}
+
+// agentMem is one agent's copy of the shared region plus its node-level
+// state table. In SMP-Shasta there is one agentMem per node; in
+// Base-Shasta, one per process.
+type agentMem struct {
+	agent int
+	data  []uint64
+	table []LineState
+	// busy serializes agent-level transitions per block in SMP mode: a
+	// local miss (issue to finish) or a downgrade transition holds the
+	// entry; all other transitions for the block wait.
+	busy map[int]*Proc
+	// stateWaiters are local processes stalled on an agent-level state
+	// change (pending fills, transition locks); only these are woken when
+	// a transition completes.
+	stateWaiters map[*Proc]int
+	// sharerProcs, per line, is the set of local processes whose private
+	// state tables hold the line in a valid state; downgrades are sent
+	// only to these (§2.3). Only used in SMP mode.
+	sharerProcs []uint64
+}
+
+func newAgentMem(agent, words, lines int, smp bool) *agentMem {
+	m := &agentMem{
+		agent: agent, data: make([]uint64, words), table: make([]LineState, lines),
+		busy: make(map[int]*Proc), stateWaiters: make(map[*Proc]int),
+	}
+	for i := range m.data {
+		m.data[i] = FlagWord
+	}
+	if smp {
+		m.sharerProcs = make([]uint64, lines)
+	}
+	return m
+}

@@ -1,0 +1,133 @@
+package core
+
+import "repro/internal/sim"
+
+// TimeCategory classifies where a process's cycles go, matching the
+// execution-time breakdowns of Figures 4 and 5.
+type TimeCategory int
+
+const (
+	// CatTask is useful application work.
+	CatTask TimeCategory = iota
+	// CatCheck is in-line miss-check overhead.
+	CatCheck
+	// CatPoll is loop back-edge polling overhead.
+	CatPoll
+	// CatReadStall is time stalled on read misses.
+	CatReadStall
+	// CatWriteStall is time stalled on write misses (SC, or RC limits).
+	CatWriteStall
+	// CatSyncStall is time stalled acquiring locks or waiting at barriers.
+	CatSyncStall
+	// CatMBStall is time stalled at memory barriers for pending stores.
+	CatMBStall
+	// CatBlocked is time blocked in system calls (e.g. pid_block).
+	CatBlocked
+	// CatMessage is time servicing protocol messages while not stalled.
+	CatMessage
+	numCategories
+)
+
+var categoryNames = [...]string{
+	CatTask:       "task",
+	CatCheck:      "check",
+	CatPoll:       "poll",
+	CatReadStall:  "read",
+	CatWriteStall: "write",
+	CatSyncStall:  "sync",
+	CatMBStall:    "mb",
+	CatBlocked:    "blocked",
+	CatMessage:    "message",
+}
+
+func (c TimeCategory) String() string { return categoryNames[c] }
+
+// Categories lists all time categories in display order.
+func Categories() []TimeCategory {
+	out := make([]TimeCategory, numCategories)
+	for i := range out {
+		out[i] = TimeCategory(i)
+	}
+	return out
+}
+
+// Stats aggregates per-process counters and the time breakdown.
+type Stats struct {
+	Time [numCategories]sim.Time
+
+	Loads, Stores      int64 // checked application accesses
+	LoadChecks         int64 // in-line load checks executed
+	StoreChecks        int64
+	BatchChecks        int64 // per-line checks saved into batches
+	Polls              int64
+	ReadMisses         int64 // remote (inter-agent) read misses
+	WriteMisses        int64
+	LocalFills         int64 // SMP: private table filled from shared table
+	FalseMisses        int64 // flag value matched but state was valid (§2.2)
+	MessagesSent       int64
+	MessagesHandled    int64
+	Invalidations      int64 // invalidations applied at this agent
+	DowngradesSent     int64
+	DowngradesDirect   int64 // applied via direct downgrade (§4.3.4)
+	DowngradesReceived int64
+	LLs, SCs           int64
+	SCFailures         int64
+	SCHardware         int64 // store-conditionals completed in "hardware"
+	Prefetches         int64
+	MemoryBarriers     int64
+	LockAcquires       int64
+	BarrierWaits       int64
+	BatchesIssued      int64
+	BatchStoreReissues int64 // §4.1: stores reissued after losing the line
+	DeferredFlagFills  int64 // §4.1: invalidations deferred past a batch
+	SyscallValidations int64
+	Forks              int64
+}
+
+// Total returns the sum of all time categories (the process's active life).
+func (s *Stats) Total() sim.Time {
+	var t sim.Time
+	for _, v := range s.Time {
+		t += v
+	}
+	return t
+}
+
+// Busy returns total time excluding blocked time.
+func (s *Stats) Busy() sim.Time { return s.Total() - s.Time[CatBlocked] }
+
+// Add accumulates other into s.
+func (s *Stats) Add(o *Stats) {
+	for i := range s.Time {
+		s.Time[i] += o.Time[i]
+	}
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.LoadChecks += o.LoadChecks
+	s.StoreChecks += o.StoreChecks
+	s.BatchChecks += o.BatchChecks
+	s.Polls += o.Polls
+	s.ReadMisses += o.ReadMisses
+	s.WriteMisses += o.WriteMisses
+	s.LocalFills += o.LocalFills
+	s.FalseMisses += o.FalseMisses
+	s.MessagesSent += o.MessagesSent
+	s.MessagesHandled += o.MessagesHandled
+	s.Invalidations += o.Invalidations
+	s.DowngradesSent += o.DowngradesSent
+	s.DowngradesDirect += o.DowngradesDirect
+	s.DowngradesReceived += o.DowngradesReceived
+	s.LLs += o.LLs
+	s.SCs += o.SCs
+	s.SCFailures += o.SCFailures
+	s.SCHardware += o.SCHardware
+	s.Prefetches += o.Prefetches
+	s.MemoryBarriers += o.MemoryBarriers
+	s.LockAcquires += o.LockAcquires
+	s.BarrierWaits += o.BarrierWaits
+	s.BatchesIssued += o.BatchesIssued
+	s.BatchStoreReissues += o.BatchStoreReissues
+	s.DeferredFlagFills += o.DeferredFlagFills
+	s.SyscallValidations += o.SyscallValidations
+	s.Forks += o.Forks
+}

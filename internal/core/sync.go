@@ -1,0 +1,182 @@
+package core
+
+// This file implements Shasta's message-passing synchronization: the
+// queue-based locks and centralized barriers that applications can use
+// instead of (or alongside) transparent Alpha LL/SC sequences (§6.2's "MP"
+// synchronization). Both are implemented directly on the message layer
+// rather than on top of the shared-memory abstraction.
+
+// LockAcquire obtains the message-passing lock with the given ID, blocking
+// until it is granted. Grants are queue-based: a release hands the lock
+// directly to the next waiter, which gives MP locks their low contended
+// latency (Table 1).
+func (p *Proc) LockAcquire(id int) {
+	s := p.sys
+	lk := s.locks[id]
+	p.stats.LockAcquires++
+	p.enterProtocol()
+	defer p.exitProtocol()
+	p.charge(CatSyncStall, s.Cfg.Cost.ProtocolEntry)
+	if lk.home == p.ID {
+		// Home-local acquire: manipulate the lock state directly.
+		p.charge(CatSyncStall, s.Cfg.Cost.SyncLocal)
+		if !lk.held {
+			lk.held = true
+			lk.holder = p.ID
+			return
+		}
+		lk.waiters = append(lk.waiters, p.ID)
+	} else {
+		home := s.procs[lk.home]
+		s.deliver(p, home, msg{kind: msgLockReq, id: id, from: p.ID, reqProc: p.ID}, CatSyncStall)
+	}
+	if p.granted == nil {
+		p.granted = make(map[int]bool)
+	}
+	p.stallWhile(CatSyncStall, func() bool { return !p.granted[id] })
+	delete(p.granted, id)
+}
+
+// LockRelease releases a lock acquired with LockAcquire. Like Shasta's own
+// lock routines it has release semantics: all outstanding stores complete
+// before the lock is handed on.
+func (p *Proc) LockRelease(id int) {
+	s := p.sys
+	lk := s.locks[id]
+	p.enterProtocol()
+	defer p.exitProtocol()
+	p.drainOutstanding()
+	p.charge(CatTask, s.Cfg.Cost.ProtocolEntry)
+	if lk.home == p.ID {
+		p.charge(CatTask, s.Cfg.Cost.SyncLocal)
+		p.releaseLock(lk)
+		return
+	}
+	home := s.procs[lk.home]
+	s.deliver(p, home, msg{kind: msgLockRelease, id: id, from: p.ID}, CatTask)
+}
+
+func (p *Proc) releaseLock(lk *lockState) {
+	if len(lk.waiters) > 0 {
+		next := lk.waiters[0]
+		lk.waiters = lk.waiters[1:]
+		lk.holder = next
+		p.grantLock(lk, next)
+		return
+	}
+	lk.held = false
+	lk.holder = -1
+}
+
+func (p *Proc) grantLock(lk *lockState, to int) {
+	dst := p.sys.procs[to]
+	id := p.lockIndex(lk)
+	if dst == p {
+		p.grantedLock(id)
+		return
+	}
+	p.sys.deliver(p, dst, msg{kind: msgLockGrant, id: id, from: p.ID}, CatMessage)
+}
+
+func (p *Proc) lockIndex(lk *lockState) int {
+	for i, l := range p.sys.locks {
+		if l == lk {
+			return i
+		}
+	}
+	panic("core: unknown lock")
+}
+
+func (p *Proc) grantedLock(id int) {
+	if p.granted == nil {
+		p.granted = make(map[int]bool)
+	}
+	p.granted[id] = true
+}
+
+func (p *Proc) handleLockReq(m msg) {
+	lk := p.sys.locks[m.id]
+	if !lk.held {
+		lk.held = true
+		lk.holder = m.reqProc
+		p.grantLock(lk, m.reqProc)
+		return
+	}
+	lk.waiters = append(lk.waiters, m.reqProc)
+}
+
+func (p *Proc) handleLockRelease(m msg) {
+	p.releaseLock(p.sys.locks[m.id])
+}
+
+// BarrierWait enters the message-passing barrier and blocks until every
+// participant has arrived. The barrier home counts arrivals and broadcasts
+// a release.
+func (p *Proc) BarrierWait(id int) {
+	s := p.sys
+	b := s.barriers[id]
+	p.stats.BarrierWaits++
+	p.enterProtocol()
+	defer p.exitProtocol()
+	p.drainOutstanding()
+	p.charge(CatSyncStall, s.Cfg.Cost.ProtocolEntry)
+	if p.barrierSeen == nil {
+		p.barrierSeen = make(map[int]int)
+		p.barrierWaits = make(map[int]int)
+	}
+	target := p.barrierWaits[id] + 1
+	p.barrierWaits[id] = target
+	if b.home == p.ID {
+		p.charge(CatSyncStall, s.Cfg.Cost.SyncLocal)
+		p.barrierArrive(b, p.ID)
+	} else {
+		home := s.procs[b.home]
+		s.deliver(p, home, msg{kind: msgBarrierEnter, id: id, from: p.ID, reqProc: p.ID}, CatSyncStall)
+	}
+	p.stallWhile(CatSyncStall, func() bool { return p.barrierSeen[id] < target })
+}
+
+func (p *Proc) handleBarrierEnter(m msg) {
+	p.barrierArrive(p.sys.barriers[m.id], m.reqProc)
+}
+
+func (p *Proc) barrierArrive(b *barrierState, who int) {
+	b.arrived = append(b.arrived, who)
+	if len(b.arrived) < b.needed {
+		return
+	}
+	id := p.barrierIndex(b)
+	arrived := b.arrived
+	b.arrived = nil
+	b.epoch++
+	for _, proc := range arrived {
+		dst := p.sys.procs[proc]
+		if dst == p {
+			p.barrierSeen[id]++
+			continue
+		}
+		p.sys.deliver(p, dst, msg{kind: msgBarrierRelease, id: id, from: p.ID}, CatMessage)
+	}
+}
+
+func (p *Proc) barrierIndex(b *barrierState) int {
+	for i, x := range p.sys.barriers {
+		if x == b {
+			return i
+		}
+	}
+	panic("core: unknown barrier")
+}
+
+// SendUser delivers an application-defined message (used by the cluster OS
+// layer for fork, signals, process management...). The registered
+// UserHandler runs on the receiving process.
+func (p *Proc) SendUser(to int, tag int, payload any) {
+	dst := p.sys.procs[to]
+	m := msg{kind: msgUser, id: tag, from: p.ID, reqProc: to, payload: payload}
+	if dst == p {
+		p.handleMessage(m, CatMessage)
+		return
+	}
+	p.sys.deliver(p, dst, m, CatTask)
+}

@@ -1,0 +1,457 @@
+// Package core implements the Shasta distributed shared memory system of
+// Scales & Gharachorloo (SOSP '97): fine-grained software coherence with
+// in-line state checks, a directory-based invalidation protocol over a
+// Memory Channel-style network, SMP-aware state management, transparent
+// LL/SC and memory-barrier support, and the cluster process model needed to
+// run complex applications such as databases.
+//
+// The system runs on a deterministic discrete-event simulation of an Alpha
+// cluster (see internal/sim); guest code performs loads and stores through
+// the Proc API, each of which executes the same in-line check logic the
+// Shasta binary rewriter inserts into executables.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/memchannel"
+	"repro/internal/sim"
+)
+
+// queueBox couples a receive queue with the set of processes waiting on it.
+// Waiter registrations are reference-counted because stalls nest (a message
+// handler run inside one stall may itself stall).
+type queueBox struct {
+	q       *memchannel.Queue[msg]
+	waiters map[*Proc]int
+}
+
+func newQueueBox() *queueBox {
+	return &queueBox{q: memchannel.NewQueue[msg](), waiters: make(map[*Proc]int)}
+}
+
+func (b *queueBox) put(m msg, arrive sim.Time) {
+	b.q.Put(m, arrive)
+	for w := range b.waiters {
+		w.Sim.NotifyAt(arrive)
+	}
+}
+
+func (b *queueBox) addWaiter(p *Proc) { b.waiters[p]++ }
+func (b *queueBox) removeWaiter(p *Proc) {
+	if b.waiters[p]--; b.waiters[p] <= 0 {
+		delete(b.waiters, p)
+	}
+}
+
+// cpuState holds per-processor protocol state (the shared request queue of
+// §4.3.2 when SharedQueues is enabled).
+type cpuState struct {
+	reqQ *queueBox
+}
+
+// UserHandler services application-defined messages (the cluster OS layer
+// uses these for fork, kill, signals and friends). It runs on the process
+// that receives the message.
+type UserHandler func(p *Proc, from int, tag int, payload any)
+
+// System is one Shasta cluster: the simulation engine, the network, the
+// shared-memory agents, and all processes.
+type System struct {
+	Cfg Config
+	Eng *sim.Engine
+	Net *memchannel.Network
+
+	procs  []*Proc
+	agents []*agentMem
+	cpus   []*cpuState
+
+	numLines     int
+	wordsPerLine int
+	lineBlock    []int32 // line index -> block ID, -1 if unallocated
+	blocks       []*blockInfo
+	allocCursor  int // next free line
+	homeRR       int
+
+	locks    []*lockState
+	barriers []*barrierState
+
+	userHandler UserHandler
+
+	appLive int // live application (non-protocol) processes
+	started bool
+
+	rng *rand.Rand
+}
+
+type lockState struct {
+	home    int // home process
+	held    bool
+	holder  int
+	waiters []int // process IDs queued for the lock
+}
+
+type barrierState struct {
+	home    int
+	needed  int
+	arrived []int
+	epoch   int
+}
+
+// NewSystem builds a cluster from cfg.
+func NewSystem(cfg Config) *System {
+	cfg.validate()
+	s := &System{
+		Cfg: cfg,
+		Eng: sim.NewEngine(sim.Config{
+			Nodes:       cfg.Nodes,
+			CPUsPerNode: cfg.CPUsPerNode,
+			Quantum:     cfg.Cost.Quantum,
+			CtxSwitch:   cfg.Cost.CtxSwitch,
+			MaxTime:     cfg.MaxTime,
+		}),
+		Net:          memchannel.NewNetwork(cfg.Nodes, cfg.Net),
+		numLines:     cfg.SharedBytes / cfg.LineSize,
+		wordsPerLine: cfg.LineSize / 8,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.lineBlock = make([]int32, s.numLines)
+	for i := range s.lineBlock {
+		s.lineBlock[i] = -1
+	}
+	words := cfg.SharedBytes / 8
+	if cfg.SMP {
+		for n := 0; n < cfg.Nodes; n++ {
+			s.agents = append(s.agents, newAgentMem(n, words, s.numLines, true))
+		}
+	}
+	_ = words
+	for i := 0; i < s.Eng.NumCPUs(); i++ {
+		s.cpus = append(s.cpus, &cpuState{reqQ: newQueueBox()})
+	}
+	return s
+}
+
+// NumProcs returns the number of spawned processes.
+func (s *System) NumProcs() int { return len(s.procs) }
+
+// Procs returns all processes.
+func (s *System) Procs() []*Proc { return s.procs }
+
+// Proc returns the process with the given ID.
+func (s *System) Proc(id int) *Proc { return s.procs[id] }
+
+// SetUserHandler installs the handler for user messages.
+func (s *System) SetUserHandler(h UserHandler) { s.userHandler = h }
+
+// agentOf returns the coherence agent index of a process: its node in
+// SMP-Shasta, itself in Base-Shasta.
+func (s *System) agentOf(p *Proc) int {
+	if s.Cfg.SMP {
+		return p.node
+	}
+	return p.ID
+}
+
+// agentLeader returns the process that receives agent-addressed messages
+// (invalidation requests) for the given agent.
+func (s *System) agentLeader(agent int) *Proc {
+	if !s.Cfg.SMP {
+		return s.procs[agent]
+	}
+	for _, p := range s.procs {
+		if p.node == agent {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("core: no process on node %d", agent))
+}
+
+// agentNode returns the node hosting the agent (for network latency).
+func (s *System) agentNode(agent int) int {
+	if s.Cfg.SMP {
+		return agent
+	}
+	return s.procs[agent].node
+}
+
+// localProcs returns processes sharing the agent's memory (SMP: the node's
+// processes; Base: just the one process).
+func (s *System) localProcs(agent int) []*Proc {
+	if !s.Cfg.SMP {
+		return s.procs[agent : agent+1]
+	}
+	var out []*Proc
+	for _, p := range s.procs {
+		if p.node == agent {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Spawn creates an application process on the given global CPU. It may be
+// called before Run or, for dynamic process creation (§4.3), from a running
+// process via the cluster OS layer.
+func (s *System) Spawn(name string, cpu int, body func(*Proc)) *Proc {
+	return s.spawn(name, cpu, 0, 0, body)
+}
+
+// SpawnAt creates a process starting at the given simulated time.
+func (s *System) SpawnAt(name string, cpu int, start sim.Time, body func(*Proc)) *Proc {
+	return s.spawn(name, cpu, 0, start, body)
+}
+
+func (s *System) spawn(name string, cpu, priority int, start sim.Time, body func(*Proc)) *Proc {
+	node := s.Eng.NodeOf(cpu)
+	p := &Proc{
+		ID:           len(s.procs),
+		Name:         name,
+		sys:          s,
+		node:         node,
+		cpu:          cpu,
+		replyQ:       newQueueBox(),
+		mshr:         make(map[int]*mshrEntry),
+		dgAcks:       make(map[int]int),
+		granted:      make(map[int]bool),
+		barrierSeen:  make(map[int]int),
+		barrierWaits: make(map[int]int),
+		pinnedLines:  make(map[int]bool),
+		rng:          rand.New(rand.NewSource(s.Cfg.Seed + int64(len(s.procs))*7919)),
+	}
+	if !s.Cfg.SharedQueues {
+		p.reqQ = newQueueBox()
+	}
+	if s.Cfg.SMP {
+		p.mem = s.agents[node]
+		p.priv = make([]LineState, s.numLines)
+	} else {
+		// Each process is its own agent; extend the agent array.
+		m := newAgentMem(p.ID, s.Cfg.SharedBytes/8, s.numLines, false)
+		s.agents = append(s.agents, m)
+		p.mem = m
+		p.priv = m.table // the private table is the agent table
+		// Copy home data for already-allocated blocks if this agent is
+		// a home (only relevant before allocation; Alloc handles homes).
+	}
+	p.agent = s.agentOf(p)
+	s.procs = append(s.procs, p)
+	if priority == 0 {
+		s.appLive++
+	}
+	wrapped := func(sp *sim.Proc) {
+		p.Sim = sp
+		sp.Data = p
+		body(p)
+		p.exited = true
+		if priority == 0 {
+			s.appLive--
+		}
+		if priority == 0 {
+			p.serveAfterExit()
+		}
+	}
+	p.Sim = s.Eng.SpawnAt(name, cpu, priority, start, wrapped)
+	p.Sim.Data = p
+	return p
+}
+
+// spawnProtocolProcs creates one low-priority protocol process per CPU
+// (§4.3.2's general solution): it serves incoming requests whenever all
+// application processes on its CPU are blocked or descheduled.
+func (s *System) spawnProtocolProcs() {
+	for cpu := 0; cpu < s.Eng.NumCPUs(); cpu++ {
+		cpu := cpu
+		s.spawn(fmt.Sprintf("proto%d", cpu), cpu, 1, 0, func(p *Proc) {
+			for s.appLive > 0 {
+				if !p.serviceReady(CatMessage) {
+					box := s.cpus[cpu].reqQ
+					box.addWaiter(p)
+					if !box.q.Ready(p.Sim.Now()) && s.appLive > 0 {
+						p.Sim.NotifyAt(p.Sim.Now() + sim.Cycles(100))
+						p.Sim.Wait()
+					}
+					box.removeWaiter(p)
+				}
+				p.Sim.YieldCPU()
+			}
+		})
+	}
+}
+
+// Run executes the cluster until all application processes finish.
+func (s *System) Run() error {
+	if s.started {
+		return fmt.Errorf("core: system already ran")
+	}
+	s.started = true
+	if s.Cfg.ProtocolProcs {
+		s.spawnProtocolProcs()
+	}
+	return s.Eng.Run()
+}
+
+// lineOf converts a shared address to a line index.
+func (s *System) lineOf(addr uint64) int {
+	if addr < SharedBase {
+		panic(fmt.Sprintf("core: address %#x is not shared", addr))
+	}
+	off := addr - SharedBase
+	if off >= uint64(s.Cfg.SharedBytes) {
+		panic(fmt.Sprintf("core: shared address %#x out of range", addr))
+	}
+	return int(off) / s.Cfg.LineSize
+}
+
+// wordOf converts a shared address to a word index in an agent copy.
+func (s *System) wordOf(addr uint64) int {
+	return int(addr-SharedBase) / 8
+}
+
+// blockOf returns the block containing the given line.
+func (s *System) blockOf(line int) *blockInfo {
+	b := s.lineBlock[line]
+	if b < 0 {
+		panic(fmt.Sprintf("core: line %d not allocated", line))
+	}
+	return s.blocks[b]
+}
+
+// AllocOptions controls shared-memory allocation.
+type AllocOptions struct {
+	// BlockLines is the coherence block size in lines; 0 uses the default.
+	// Shasta supports different block sizes for different data (§2.1).
+	BlockLines int
+	// Home fixes the home process; -1 assigns round-robin over HomeProcs.
+	Home int
+}
+
+// Alloc carves bytes out of the shared region, creating coherence blocks
+// and assigning homes. The home's copy starts exclusive and zeroed.
+func (s *System) Alloc(bytes int, opts AllocOptions) uint64 {
+	if bytes <= 0 {
+		panic("core: Alloc of non-positive size")
+	}
+	blockLines := opts.BlockLines
+	if blockLines <= 0 {
+		blockLines = s.Cfg.DefaultBlockLines
+	}
+	blockBytes := blockLines * s.Cfg.LineSize
+	nblocks := (bytes + blockBytes - 1) / blockBytes
+	startLine := s.allocCursor
+	if startLine+nblocks*blockLines > s.numLines {
+		panic(fmt.Sprintf("core: shared region exhausted (%d lines)", s.numLines))
+	}
+	for b := 0; b < nblocks; b++ {
+		home := opts.Home
+		if home < 0 {
+			home = s.nextHome()
+		}
+		blk := &blockInfo{
+			id:        len(s.blocks),
+			home:      home,
+			firstLine: startLine + b*blockLines,
+			lines:     blockLines,
+		}
+		homeAgent := s.agentOf(s.procs[home])
+		blk.dir = dirEntry{state: dirExclusive, owner: homeAgent}
+		s.blocks = append(s.blocks, blk)
+		mem := s.agents[homeAgent]
+		for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
+			s.lineBlock[l] = int32(blk.id)
+			mem.table[l] = Exclusive
+			base := l * s.wordsPerLine
+			for w := 0; w < s.wordsPerLine; w++ {
+				mem.data[base+w] = 0
+			}
+		}
+	}
+	s.allocCursor = startLine + nblocks*blockLines
+	return SharedBase + uint64(startLine*s.Cfg.LineSize)
+}
+
+func (s *System) nextHome() int {
+	homes := s.Cfg.HomeProcs
+	if len(homes) == 0 {
+		if len(s.procs) == 0 {
+			panic("core: Alloc before any process spawned and no HomeProcs configured")
+		}
+		h := s.homeRR % len(s.procs)
+		s.homeRR++
+		return h
+	}
+	h := homes[s.homeRR%len(homes)]
+	s.homeRR++
+	return h
+}
+
+// NewLock creates a message-passing lock homed at the given process.
+func (s *System) NewLock(home int) int {
+	s.locks = append(s.locks, &lockState{home: home})
+	return len(s.locks) - 1
+}
+
+// NewBarrier creates a message-passing barrier for n participants, homed
+// at the given process.
+func (s *System) NewBarrier(home, n int) int {
+	s.barriers = append(s.barriers, &barrierState{home: home, needed: n})
+	return len(s.barriers) - 1
+}
+
+// Peek reads a shared word from any agent holding a valid copy; it is a
+// host-side debugging/verification aid, not a guest operation.
+func (s *System) Peek(addr uint64) uint64 {
+	line := s.lineOf(addr)
+	w := s.wordOf(addr)
+	for _, a := range s.agents {
+		if a.table[line] != Invalid {
+			return a.data[w]
+		}
+	}
+	// All copies invalid can only happen mid-transition; fall back to the
+	// home copy.
+	blk := s.blockOf(line)
+	return s.agents[s.agentOf(s.procs[blk.home])].data[w]
+}
+
+// AggregateStats sums the statistics of all processes.
+func (s *System) AggregateStats() Stats {
+	var total Stats
+	for _, p := range s.procs {
+		total.Add(&p.stats)
+	}
+	return total
+}
+
+// requestBox returns the queue that carries requests for process p.
+func (s *System) requestBox(p *Proc) *queueBox {
+	if s.Cfg.SharedQueues {
+		return s.cpus[p.cpu].reqQ
+	}
+	return p.reqQ
+}
+
+// deliver routes message m from sender to the destination process dst,
+// computing network latency and charging the sender's send cost.
+func (s *System) deliver(sender *Proc, dst *Proc, m msg, cat TimeCategory) {
+	sender.charge(cat, s.Cfg.Cost.MsgSend)
+	if s.Cfg.SMP && s.Cfg.SharedQueues {
+		sender.charge(cat, s.Cfg.Cost.QueueLock)
+	}
+	sender.stats.MessagesSent++
+	arrive := s.Net.Deliver(sender.node, dst.node, m.wireSize(s.Cfg.LineSize), sender.Sim.Now())
+	m.arrive = arrive
+	var box *queueBox
+	switch m.kind {
+	case msgReadReply, msgReadExclReply, msgUpgradeAck, msgSCFail, msgInvalAck,
+		msgDowngradeReq, msgDowngradeAck, msgLockGrant, msgBarrierRelease:
+		box = dst.replyQ
+	default:
+		box = s.requestBox(dst)
+	}
+	box.put(m, arrive)
+	if debugDeliver != nil {
+		debugDeliver(sender, dst, m.kind.String(), arrive)
+	}
+}

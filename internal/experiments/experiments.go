@@ -1,0 +1,85 @@
+// Package experiments regenerates every table and figure of the Shasta
+// paper's evaluation (§6) on the simulated cluster: lock latencies
+// (Table 1), system call validation costs (Table 2), checking overheads and
+// code growth (Table 3), SPLASH-2 speedups under both synchronization
+// styles (Figure 3), the consistency-model comparison (Figure 4), the
+// Oracle DSS runs (Table 4, Figure 5), and the ablations DESIGN.md lists.
+//
+// Absolute numbers are simulated microseconds/seconds on the modeled
+// 300 MHz cluster; the claims reproduced are the shapes: who wins, by what
+// rough factor, and where the crossovers are.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/clusterfs"
+	"repro/internal/clusteros"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Table is a generic labelled grid for rendering results.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render prints the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i == 0 {
+				fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+			} else {
+				fmt.Fprintf(w, "%*s", widths[i]+2, c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Columns)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// baseConfig is the paper's default cluster configuration, sized for
+// experiment workloads.
+func baseConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.SharedBytes = 4 << 20
+	cfg.MaxTime = sim.Cycles(900e6) // 15 simulated minutes
+	return cfg
+}
+
+// newDBSystem builds a system plus OS layer for database experiments.
+func newDBSystem(cfg core.Config) (*core.System, *clusteros.OS) {
+	sys := core.NewSystem(cfg)
+	return sys, clusteros.New(sys, clusterfs.New(cfg.Nodes))
+}
+
+func us(t sim.Time) string        { return fmt.Sprintf("%.2f", sim.Microseconds(t)) }
+func usf(v float64) string        { return fmt.Sprintf("%.2f", v) }
+func ms(t sim.Time) string        { return fmt.Sprintf("%.2f", sim.Microseconds(t)/1000) }
+func pct(v float64) string        { return fmt.Sprintf("%.1f%%", v) }
+func speedupStr(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSuffix(tab.Rows[row][col], "%"), "x"), 64)
+	if err != nil {
+		t.Fatalf("cell %d,%d = %q: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab := Table1()
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	// cached: MP ~1.1, SM ~1.9; both far below the miss cases.
+	mpCached, smCached := cell(t, tab, 0, 1), cell(t, tab, 0, 2)
+	mpMiss, smMiss, pfxMiss := cell(t, tab, 1, 1), cell(t, tab, 1, 2), cell(t, tab, 1, 3)
+	mpCont, smCont := cell(t, tab, 2, 1), cell(t, tab, 2, 2)
+	if !(mpCached < smCached) {
+		t.Errorf("cached: MP %.2f should beat SM %.2f", mpCached, smCached)
+	}
+	if !(mpMiss < pfxMiss && pfxMiss < smMiss) {
+		t.Errorf("uncontended: want MP (%.2f) < SM+pfx (%.2f) < SM (%.2f)", mpMiss, pfxMiss, smMiss)
+	}
+	if smMiss < 30 || smMiss > 65 {
+		t.Errorf("SM uncontended miss %.2f, paper ~44", smMiss)
+	}
+	if !(mpCont < smCont) {
+		t.Errorf("contended: MP %.2f should beat SM %.2f", mpCont, smCont)
+	}
+	if !(mpCont > mpMiss) {
+		t.Errorf("contention should raise MP latency: %.2f vs %.2f", mpCont, mpMiss)
+	}
+}
+
+func TestMemoryBarrierCosts(t *testing.T) {
+	tab := MemoryBarrierCosts()
+	native, base, smp := cell(t, tab, 0, 1), cell(t, tab, 1, 1), cell(t, tab, 2, 1)
+	if !(native < base && base < smp) {
+		t.Fatalf("want native (%.2f) < base (%.2f) < smp (%.2f)", native, base, smp)
+	}
+	if base < 0.2 || base > 0.6 {
+		t.Errorf("Base MB %.2f us, paper 0.32", base)
+	}
+	if smp < 1.2 || smp > 2.4 {
+		t.Errorf("SMP MB %.2f us, paper 1.68", smp)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab := Table2()
+	for r := 0; r < 4; r++ {
+		std, base, smp := cell(t, tab, r, 1), cell(t, tab, r, 2), cell(t, tab, r, 3)
+		if !(std < base && base < smp) {
+			t.Errorf("row %d (%s): want std (%.1f) < base (%.1f) < smp (%.1f)",
+				r, tab.Rows[r][0], std, base, smp)
+		}
+	}
+	// read 65536 standard ~370 us.
+	if v := cell(t, tab, 3, 1); v < 250 || v > 500 {
+		t.Errorf("read64k standard %.1f, paper ~370", v)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tab := Table3()
+	// Average row is after the 9 apps.
+	avg := cell(t, tab, 9, 3)
+	if avg <= 1.5 || avg >= 45 {
+		t.Fatalf("average checking overhead %.1f%%, paper 21.7%%", avg)
+	}
+	// Code growth: SPLASH rows ~55-60%, Oracle ~96%.
+	for r := 0; r < 9; r++ {
+		g := cell(t, tab, r, 4)
+		if g < 40 || g > 75 {
+			t.Errorf("%s growth %+.0f%%, paper 55-60%%", tab.Rows[r][0], g)
+		}
+	}
+	or := cell(t, tab, 10, 4)
+	if or < 80 || or > 115 {
+		t.Errorf("Oracle growth %.0f%%, paper 96%%", or)
+	}
+}
+
+func TestRewriteTimesShape(t *testing.T) {
+	tab := RewriteTimes()
+	last := len(tab.Rows) - 1
+	oracle := cell(t, tab, last, 5)
+	if oracle < 150 || oracle > 260 {
+		t.Fatalf("Oracle rewrite time %.0f s, paper 202", oracle)
+	}
+	for r := 0; r < last; r++ {
+		v := cell(t, tab, r, 5)
+		if v < 2 || v > 12 {
+			t.Errorf("%s rewrite time %.1f s, paper 4.0-7.3", tab.Rows[r][0], v)
+		}
+	}
+}
+
+func TestSpeedupSeriesSubset(t *testing.T) {
+	// A cheap Figure 3 sanity check: Barnes speeds up with MP sync.
+	sp, err := SpeedupSeries("Barnes", workloads.MPSync, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[1] <= sp[0] || sp[1] < 1.8 {
+		t.Fatalf("speedups %v: expected growth to >=1.8 at P=8", sp)
+	}
+}
+
+func TestFigure4SCWithinBound(t *testing.T) {
+	// SC should cost little over RC for a fine-grained system (≤ ~25% in
+	// our scaled-down runs; the paper reports ≤10%).
+	ratio := scTotalVsRC("Water-Sp")
+	if ratio > 1.35 {
+		t.Fatalf("SC/RC = %.2f, expected close to 1", ratio)
+	}
+	if ratio < 0.9 {
+		t.Fatalf("SC/RC = %.2f < 0.9: suspicious", ratio)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tab := Table4()
+	// SMP Oracle scales with servers.
+	smp1, smp3 := cell(t, tab, 0, 1), cell(t, tab, 2, 1)
+	if smp3 >= smp1 {
+		t.Errorf("SMP Oracle did not scale: 1srv %.1f vs 3srv %.1f", smp1, smp3)
+	}
+	// Shasta EX is slower than SMP but scales.
+	ex1, ex3 := cell(t, tab, 0, 2), cell(t, tab, 2, 2)
+	if ex1 <= smp1 {
+		t.Errorf("Shasta EX 1srv (%.1f) should exceed SMP (%.1f)", ex1, smp1)
+	}
+	if ex3 >= ex1 {
+		t.Errorf("Shasta EX did not scale: %.1f -> %.1f", ex1, ex3)
+	}
+	// EQ at 2 servers is worse than EX at 2 servers (daemons steal the
+	// first server's CPU).
+	ex2, eq2 := cell(t, tab, 1, 2), cell(t, tab, 1, 3)
+	if eq2 <= ex2 {
+		t.Errorf("EQ 2srv (%.1f) should exceed EX 2srv (%.1f)", eq2, ex2)
+	}
+}
+
+func TestFigure5Renders(t *testing.T) {
+	tab := Figure5()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows=%d", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	if !strings.Contains(buf.String(), "EQ") {
+		t.Fatal("missing EQ rows")
+	}
+}
+
+func TestAblationSMPFaster(t *testing.T) {
+	tab := AblationSMP()
+	for r := range tab.Rows {
+		sp := cell(t, tab, r, 3)
+		if sp < 1.0 {
+			t.Errorf("%s: SMP-Shasta slower than Base (%.2fx)", tab.Rows[r][0], sp)
+		}
+	}
+}
+
+func TestAblationDirectDowngrade(t *testing.T) {
+	tab := AblationDirectDowngrade()
+	if len(tab.Rows) != 2 {
+		t.Fatal("want 2 rows")
+	}
+	on := cell(t, tab, 0, 1)
+	if strings.Contains(tab.Rows[1][1], "cap") {
+		return // unmeasurable, like the paper
+	}
+	off := cell(t, tab, 1, 1)
+	if off < on*2 {
+		t.Errorf("direct downgrade off should be much slower: on=%.1f off=%.1f", on, off)
+	}
+}
+
+func TestAblationFlagCheck(t *testing.T) {
+	tab := AblationFlagCheck()
+	on, off := cell(t, tab, 0, 1), cell(t, tab, 1, 1)
+	if on >= off {
+		t.Errorf("flag check on (%.2f) should beat off (%.2f)", on, off)
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/clusteros"
+	"repro/internal/core"
+	"repro/internal/oracledb"
+	"repro/internal/sim"
+)
+
+// oracleParams builds database parameters for a query by name.
+func oracleParams(query string, servers int, serverCPUs []int, daemonCPU int) oracledb.Params {
+	switch query {
+	case "oltp":
+		return oracledb.OLTP(servers, serverCPUs, daemonCPU, 40)
+	case "dss2":
+		return oracledb.DSS2(servers, serverCPUs, daemonCPU)
+	default:
+		return oracledb.DSS1(servers, serverCPUs, daemonCPU)
+	}
+}
+
+func oracleRun(sys *core.System, osl *clusteros.OS, prm oracledb.Params) (*oracledb.Result, error) {
+	return oracledb.Run(sys, osl, prm)
+}
+
+// table4Placements returns the three Table 4 configurations for a given
+// server count (§6.5):
+//
+//   - SMP: standard Oracle on one AlphaServer (no miss checks), as many
+//     processors as servers;
+//   - EX: Shasta across the cluster with an extra processor for the most
+//     active daemons (daemons on node-0 CPU 0, server 1 on node-0 CPU 1,
+//     servers 2-3 on the second AlphaServer);
+//   - EQ: exactly one processor per server — all daemons run on the same
+//     processor as the first server.
+type table4Placement struct {
+	name      string
+	checks    bool
+	daemonCPU int
+	serverCPU []int
+	quantumUS int // debug override; 0 = default
+}
+
+func table4Placements(servers int) []table4Placement {
+	ex := []int{1, 4, 5}[:servers]
+	eq := []int{0, 4, 5}[:servers]
+	smp := []int{1, 2, 3}[:servers]
+	return []table4Placement{
+		{name: "Oracle on SMP", checks: false, daemonCPU: 0, serverCPU: smp},
+		{name: "Shasta extra proc", checks: true, daemonCPU: 0, serverCPU: ex},
+		{name: "Shasta 1 proc/server", checks: true, daemonCPU: 0, serverCPU: eq},
+	}
+}
+
+// Table4 reproduces the DSS-1 run times for one to three servers on
+// standard SMP Oracle, Shasta with an extra daemon processor (EX), and
+// Shasta with exactly one processor per server (EQ).
+func Table4() *Table {
+	t := &Table{
+		Title:   "Table 4: Oracle DSS-1 run times (simulated ms)",
+		Columns: []string{"servers", "Oracle on SMP", "Shasta extra proc", "Shasta 1 proc/server"},
+		Notes: []string{
+			"paper (seconds): 1 srv 8.83/15.51/15.40; 2 srv 4.77/12.57/19.29; 3 srv 3.06/8.11/11.11",
+			"shape: SMP scales; EX scales but with overhead; EQ loses at 2 servers (daemons steal the first server's CPU)",
+		},
+	}
+	for servers := 1; servers <= 3; servers++ {
+		row := []string{fmt.Sprint(servers)}
+		for _, pl := range table4Placements(servers) {
+			res := runTable4(pl, servers, "dss1")
+			row = append(row, ms(res.Elapsed))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func runTable4(pl table4Placement, servers int, query string) *oracledb.Result {
+	cfg := baseConfig()
+	cfg.Checks = pl.checks
+	cfg.ProtocolProcs = true
+	if pl.quantumUS > 0 {
+		cfg.Cost.Quantum = sim.Cycles(float64(pl.quantumUS))
+	}
+	sys, osl := newDBSystem(cfg)
+	daemonCPU := pl.daemonCPU
+	if pl.name == "Shasta 1 proc/server" {
+		daemonCPU = pl.serverCPU[0] // daemons share the first server's CPU
+	}
+	res, err := oracleRun(sys, osl, oracleParams(query, servers, pl.serverCPU, daemonCPU))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: table4 %s/%d: %v", pl.name, servers, err))
+	}
+	return res
+}
+
+// Figure5 reproduces the server-time breakdowns for the two- and
+// three-server DSS-1 runs, extra-processor (EX) vs equal-processors (EQ),
+// normalized so each EX run is 100%.
+func Figure5() *Table {
+	t := &Table{
+		Title:   "Figure 5: DSS-1 server time breakdowns (percent of the EX run)",
+		Columns: []string{"run", "task", "read", "write", "blocked", "mb", "message", "total"},
+		Notes: []string{
+			"paper: the EQ runs blow up in blocked (pid_block) and memory-barrier stall time",
+		},
+	}
+	for _, servers := range []int{2, 3} {
+		pls := table4Placements(servers)
+		ex := runTable4(pls[1], servers, "dss1")
+		eq := runTable4(pls[2], servers, "dss1")
+		exBusy := float64(ex.ServerStats.Total())
+		addRow := func(name string, st core.Stats) {
+			get := func(c core.TimeCategory) string {
+				return fmt.Sprintf("%.0f%%", float64(st.Time[c])/exBusy*100)
+			}
+			taskPct := float64(st.Time[core.CatTask]+st.Time[core.CatCheck]+st.Time[core.CatPoll]) / exBusy * 100
+			t.Rows = append(t.Rows, []string{
+				name,
+				fmt.Sprintf("%.0f%%", taskPct),
+				get(core.CatReadStall), get(core.CatWriteStall),
+				get(core.CatBlocked), get(core.CatMBStall), get(core.CatMessage),
+				fmt.Sprintf("%.0f%%", float64(st.Total())/exBusy*100),
+			})
+		}
+		addRow(fmt.Sprintf("%d servers EX", servers), ex.ServerStats)
+		addRow(fmt.Sprintf("%d servers EQ", servers), eq.ServerStats)
+	}
+	return t
+}
+
+// AblationDirectDowngrade shows §6.5's observation: with direct downgrades
+// turned off, responses wait on descheduled processes and the runs take so
+// long the paper did not measure them. We cap the run and report the blow-up.
+func AblationDirectDowngrade() *Table {
+	t := &Table{
+		Title:   "Ablation: direct downgrade (§4.3.4) on DSS-1, 2 servers EQ",
+		Columns: []string{"direct downgrade", "elapsed (ms)", "explicit downgrades", "direct downgrades"},
+		Notes:   []string{"paper: with it off, 'all of the runs take so long that we did not measure them'"},
+	}
+	for _, on := range []bool{true, false} {
+		cfg := baseConfig()
+		cfg.ProtocolProcs = true
+		cfg.DirectDowngrade = on
+		cfg.MaxTime = sim.Cycles(3000e6)
+		sys, osl := newDBSystem(cfg)
+		prm := oracleParams("dss1", 2, []int{0, 4}, 0)
+		res, err := oracleRun(sys, osl, prm)
+		elapsed := "> cap (unmeasurable)"
+		var expl, direct int64
+		if err == nil {
+			elapsed = ms(res.Elapsed)
+			expl, direct = res.Stats.DowngradesSent, res.Stats.DowngradesDirect
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(on), elapsed, fmt.Sprint(expl), fmt.Sprint(direct)})
+	}
+	return t
+}

@@ -1,0 +1,221 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual assembly language into a Program.
+//
+// Syntax (one instruction per line, ';' starts a comment):
+//
+//	proc NAME            start a procedure
+//	endproc              end it
+//	LABEL:               define a label
+//	ldq  rD, IMM(rA)     memory ops; also stq, ldq_l, stq_c
+//	lda  rD, IMM(rA)     rD = rA + IMM (rA optional: lda rD, IMM)
+//	addq rD, rA, rB|#IMM ALU ops; also subq mulq and or xor sll srl cmpeq cmplt
+//	beq  rA, LABEL       branches; also bne blt bge
+//	br   LABEL
+//	jsr  LABEL
+//	ret
+//	mb | syscall #N | halt | nop
+func Assemble(src string) (*Program, error) {
+	p := &Program{Labels: map[string]int{}}
+	var curProc string
+	var procStart int
+	type fixup struct {
+		instr int
+		sym   string
+	}
+	var fixups []fixup
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("asm: line %d: %s: %s", lineNo+1, fmt.Sprintf(format, args...), raw)
+		}
+		if strings.HasSuffix(line, ":") {
+			label := strings.TrimSuffix(line, ":")
+			if _, dup := p.Labels[label]; dup {
+				return nil, fail("duplicate label %q", label)
+			}
+			p.Labels[label] = len(p.Instrs)
+			continue
+		}
+		fields := strings.Fields(line)
+		mnem := strings.ToLower(fields[0])
+		rest := strings.TrimSpace(line[len(fields[0]):])
+		args := splitArgs(rest)
+
+		switch mnem {
+		case "proc":
+			if curProc != "" {
+				return nil, fail("nested proc")
+			}
+			if len(args) != 1 {
+				return nil, fail("proc needs a name")
+			}
+			curProc, procStart = args[0], len(p.Instrs)
+			p.Labels[curProc] = procStart
+			continue
+		case "endproc":
+			if curProc == "" {
+				return nil, fail("endproc without proc")
+			}
+			p.Procs = append(p.Procs, ProcSym{Name: curProc, Start: procStart, End: len(p.Instrs)})
+			curProc = ""
+			continue
+		}
+
+		in := Instr{}
+		var err error
+		switch mnem {
+		case "nop":
+			in.Op = NOP
+		case "mb":
+			in.Op = MB
+		case "halt":
+			in.Op = HALT
+		case "ret":
+			in.Op = RET
+		case "syscall":
+			in.Op = SYSCALL
+			if len(args) == 1 {
+				in.Imm, err = parseImm(args[0])
+			}
+		case "ldq", "stq", "ldq_l", "stq_c", "lda":
+			in.Op = map[string]Op{"ldq": LDQ, "stq": STQ, "ldq_l": LDQL, "stq_c": STQC, "lda": LDA}[mnem]
+			if len(args) != 2 {
+				return nil, fail("%s needs rD, IMM(rA)", mnem)
+			}
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return nil, fail("%v", err)
+			}
+			in.Imm, in.Ra, err = parseMemOperand(args[1])
+		case "addq", "subq", "mulq", "and", "or", "xor", "sll", "srl", "cmpeq", "cmplt":
+			in.Op = map[string]Op{
+				"addq": ADDQ, "subq": SUBQ, "mulq": MULQ, "and": AND, "or": OR,
+				"xor": XOR, "sll": SLL, "srl": SRL, "cmpeq": CMPEQ, "cmplt": CMPLT,
+			}[mnem]
+			if len(args) != 3 {
+				return nil, fail("%s needs rD, rA, rB|#IMM", mnem)
+			}
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return nil, fail("%v", err)
+			}
+			if in.Ra, err = parseReg(args[1]); err != nil {
+				return nil, fail("%v", err)
+			}
+			if strings.HasPrefix(args[2], "#") {
+				in.UseImm = true
+				in.Imm, err = parseImm(args[2][1:])
+			} else {
+				in.Rb, err = parseReg(args[2])
+			}
+		case "beq", "bne", "blt", "bge":
+			in.Op = map[string]Op{"beq": BEQ, "bne": BNE, "blt": BLT, "bge": BGE}[mnem]
+			if len(args) != 2 {
+				return nil, fail("%s needs rA, LABEL", mnem)
+			}
+			if in.Ra, err = parseReg(args[0]); err != nil {
+				return nil, fail("%v", err)
+			}
+			fixups = append(fixups, fixup{len(p.Instrs), args[1]})
+		case "br", "jsr":
+			in.Op = map[string]Op{"br": BR, "jsr": JSR}[mnem]
+			if len(args) != 1 {
+				return nil, fail("%s needs LABEL", mnem)
+			}
+			fixups = append(fixups, fixup{len(p.Instrs), args[0]})
+		default:
+			return nil, fail("unknown mnemonic %q", mnem)
+		}
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	if curProc != "" {
+		return nil, fmt.Errorf("asm: proc %q never ended", curProc)
+	}
+	for _, f := range fixups {
+		t, ok := p.Labels[f.sym]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.sym)
+		}
+		p.Instrs[f.instr].Target = t
+		p.Instrs[f.instr].Sym = f.sym
+	}
+	return p, nil
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "sp" {
+		return RegSP, nil
+	}
+	if s == "gp" {
+		return RegGP, nil
+	}
+	if s == "zero" {
+		return RegZero, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMemOperand parses "IMM(rA)" or a bare "IMM" (rA = r31).
+func parseMemOperand(s string) (int64, uint8, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		imm, err := parseImm(s)
+		return imm, RegZero, err
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	imm := int64(0)
+	var err error
+	if open > 0 {
+		if imm, err = parseImm(s[:open]); err != nil {
+			return 0, 0, err
+		}
+	}
+	reg, err := parseReg(s[open+1 : len(s)-1])
+	return imm, reg, err
+}

@@ -1,0 +1,313 @@
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// PrivateBase is the base address of a process's private memory (static
+// data and stack); private accesses are never checked (§2.2).
+const PrivateBase uint64 = 0x10000
+
+// PrivateWords is the size of the interpreter's private memory.
+const PrivateWords = 1 << 15
+
+// SyscallHandler services SYSCALL instructions; the interpreter gives
+// full access to the machine state (the cluster OS layer hooks in here).
+type SyscallHandler func(p *core.Proc, m *Interp, code int64)
+
+// retHalt is the link-register sentinel that makes RET halt the machine.
+const retHalt = ^uint64(0)
+
+// Interp executes a Program on a Shasta process. Instructions cost one
+// cycle each; checked pseudo-instructions additionally run the real
+// in-line check logic (and protocol) through the core API.
+type Interp struct {
+	Prog    *Program
+	Regs    [NumRegs]uint64
+	PC      int
+	priv    []uint64
+	Syscall SyscallHandler
+	// MaxInstrs guards against runaway programs (0 = default limit).
+	MaxInstrs int64
+	executed  int64
+	halted    bool
+	// openBatch is the active BATCHCHK region, if any.
+	openBatch *core.Batch
+}
+
+// NewInterp creates an interpreter for the program.
+func NewInterp(prog *Program) *Interp {
+	return &Interp{Prog: prog, priv: make([]uint64, PrivateWords), MaxInstrs: 50_000_000}
+}
+
+// Executed returns the number of instructions retired.
+func (m *Interp) Executed() int64 { return m.executed }
+
+// privSlot maps a private address to a slot in the private memory.
+func (m *Interp) privSlot(addr uint64) (int, error) {
+	if addr < PrivateBase || addr >= PrivateBase+PrivateWords*8 {
+		return 0, fmt.Errorf("isa: private address %#x out of range", addr)
+	}
+	return int(addr-PrivateBase) / 8, nil
+}
+
+// WritePriv initializes private memory (argument passing).
+func (m *Interp) WritePriv(addr uint64, v uint64) error {
+	s, err := m.privSlot(addr)
+	if err != nil {
+		return err
+	}
+	m.priv[s] = v
+	return nil
+}
+
+// ReadPriv reads private memory (result extraction).
+func (m *Interp) ReadPriv(addr uint64) (uint64, error) {
+	s, err := m.privSlot(addr)
+	if err != nil {
+		return 0, err
+	}
+	return m.priv[s], nil
+}
+
+// Run executes the program on the given Shasta process, starting at the
+// entry procedure, until HALT.
+func (m *Interp) Run(p *core.Proc, entry string) error {
+	ps, ok := m.Prog.FindProc(entry)
+	if !ok {
+		return fmt.Errorf("isa: no procedure %q", entry)
+	}
+	m.PC = ps.Start
+	m.Regs[RegSP] = PrivateBase + PrivateWords*8 - 1024 // headroom for positive offsets
+	m.Regs[RegGP] = PrivateBase
+	m.Regs[RegRA] = retHalt // returning from entry halts
+	m.halted = false
+	for !m.halted {
+		if m.PC < 0 || m.PC >= len(m.Prog.Instrs) {
+			return fmt.Errorf("isa: PC %d out of range", m.PC)
+		}
+		if m.executed++; m.executed > m.MaxInstrs {
+			return fmt.Errorf("isa: exceeded %d instructions", m.MaxInstrs)
+		}
+		if err := m.step(p); err != nil {
+			return fmt.Errorf("isa: @%d %s: %w", m.PC, m.Prog.Disassemble(m.PC), err)
+		}
+	}
+	return nil
+}
+
+func (m *Interp) reg(r uint8) uint64 {
+	if r == RegZero {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+func (m *Interp) setReg(r uint8, v uint64) {
+	if r != RegZero {
+		m.Regs[r] = v
+	}
+}
+
+func (m *Interp) ea(in Instr) uint64 { return m.reg(in.Ra) + uint64(in.Imm) }
+
+// load performs a data read at the address, checked or raw per op.
+func (m *Interp) load(p *core.Proc, in Instr, checked bool) (uint64, error) {
+	addr := m.ea(in)
+	if addr < core.SharedBase {
+		s, err := m.privSlot(addr)
+		if err != nil {
+			return 0, err
+		}
+		p.ChargeTime(core.CatTask, 1)
+		return m.priv[s], nil
+	}
+	if m.openBatch != nil {
+		return m.openBatch.Load(addr), nil
+	}
+	if checked {
+		return p.Load(addr), nil
+	}
+	return p.RawLoad(addr), nil
+}
+
+func (m *Interp) store(p *core.Proc, in Instr, v uint64, checked bool) error {
+	addr := m.ea(in)
+	if addr < core.SharedBase {
+		s, err := m.privSlot(addr)
+		if err != nil {
+			return err
+		}
+		p.ChargeTime(core.CatTask, 1)
+		m.priv[s] = v
+		return nil
+	}
+	if m.openBatch != nil {
+		m.openBatch.Store(addr, v)
+		return nil
+	}
+	if checked {
+		p.Store(addr, v)
+	} else {
+		p.RawStore(addr, v)
+	}
+	return nil
+}
+
+func (m *Interp) step(p *core.Proc) error {
+	in := m.Prog.Instrs[m.PC]
+	next := m.PC + 1
+	charge1 := func() { p.ChargeTime(core.CatTask, 1) }
+
+	switch in.Op {
+	case NOP:
+		charge1()
+	case HALT:
+		charge1()
+		m.halted = true
+	case LDA:
+		charge1()
+		m.setReg(in.Rd, m.reg(in.Ra)+uint64(in.Imm))
+	case LDQ:
+		// Plain loads are unchecked: in an un-rewritten binary every
+		// load is one of these; the rewriter converts possibly-shared
+		// ones to CHKLD.
+		v, err := m.load(p, in, false)
+		if err != nil {
+			return err
+		}
+		m.setReg(in.Rd, v)
+	case CHKLD:
+		v, err := m.load(p, in, true)
+		if err != nil {
+			return err
+		}
+		m.setReg(in.Rd, v)
+	case STQ:
+		if err := m.store(p, in, m.reg(in.Rd), false); err != nil {
+			return err
+		}
+	case CHKST:
+		if err := m.store(p, in, m.reg(in.Rd), true); err != nil {
+			return err
+		}
+	case LDQL, CHKLDL:
+		addr := m.ea(in)
+		if addr < core.SharedBase {
+			return fmt.Errorf("ldq_l to private memory")
+		}
+		m.setReg(in.Rd, p.LoadLocked(addr))
+	case STQC, CHKSTC:
+		addr := m.ea(in)
+		if addr < core.SharedBase {
+			return fmt.Errorf("stq_c to private memory")
+		}
+		ok := p.StoreCond(addr, m.reg(in.Rd))
+		if ok {
+			m.setReg(in.Rd, 1)
+		} else {
+			m.setReg(in.Rd, 0)
+		}
+	case MB:
+		p.MemBar()
+	case MBPROT:
+		// The protocol part of the barrier already ran in MemBar; this
+		// pseudo-instruction only accounts the extra call.
+		p.ChargeTime(core.CatCheck, 1)
+	case POLL:
+		p.Poll()
+	case PFXEXCL:
+		p.PrefetchExclusive(m.ea(in))
+	case BATCHCHK:
+		if m.openBatch != nil {
+			return fmt.Errorf("nested batch")
+		}
+		addr := m.ea(in)
+		if addr >= core.SharedBase {
+			m.openBatch = p.BatchStart(core.Range{Addr: addr, Bytes: in.BatchBytes, Write: in.Rd != 0})
+		}
+	case BATCHEND:
+		if m.openBatch != nil {
+			p.BatchEnd(m.openBatch)
+			m.openBatch = nil
+		}
+	case ADDQ, SUBQ, MULQ, AND, OR, XOR, SLL, SRL, CMPEQ, CMPLT:
+		charge1()
+		a := m.reg(in.Ra)
+		b := m.reg(in.Rb)
+		if in.UseImm {
+			b = uint64(in.Imm)
+		}
+		var v uint64
+		switch in.Op {
+		case ADDQ:
+			v = a + b
+		case SUBQ:
+			v = a - b
+		case MULQ:
+			v = a * b
+		case AND:
+			v = a & b
+		case OR:
+			v = a | b
+		case XOR:
+			v = a ^ b
+		case SLL:
+			v = a << (b & 63)
+		case SRL:
+			v = a >> (b & 63)
+		case CMPEQ:
+			if a == b {
+				v = 1
+			}
+		case CMPLT:
+			if int64(a) < int64(b) {
+				v = 1
+			}
+		}
+		m.setReg(in.Rd, v)
+	case BEQ, BNE, BLT, BGE:
+		charge1()
+		a := m.reg(in.Ra)
+		taken := false
+		switch in.Op {
+		case BEQ:
+			taken = a == 0
+		case BNE:
+			taken = a != 0
+		case BLT:
+			taken = int64(a) < 0
+		case BGE:
+			taken = int64(a) >= 0
+		}
+		if taken {
+			next = in.Target
+		}
+	case BR:
+		charge1()
+		next = in.Target
+	case JSR:
+		charge1()
+		m.Regs[RegRA] = uint64(m.PC + 1)
+		next = in.Target
+	case RET:
+		charge1()
+		ra := m.Regs[RegRA]
+		if ra == retHalt {
+			m.halted = true
+		} else {
+			next = int(ra)
+		}
+	case SYSCALL:
+		charge1()
+		if m.Syscall != nil {
+			m.Syscall(p, m, in.Imm)
+		}
+	default:
+		return fmt.Errorf("unimplemented op %v", in.Op)
+	}
+	m.PC = next
+	return nil
+}

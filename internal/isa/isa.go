@@ -1,0 +1,210 @@
+// Package isa defines a compact Alpha-like instruction set — loads and
+// stores, LL/SC, memory barriers, ALU operations, branches, calls and
+// system calls — together with an assembler and an interpreter that
+// executes programs against the Shasta checked shared-memory API.
+//
+// This is the substrate for the paper's transparency story: the rewriter
+// (package rewriter) instruments these "binaries" exactly as Shasta's
+// modified ATOM instruments Alpha executables (§2.2, §3, §5), and the
+// instrumented program runs unmodified across the simulated cluster.
+package isa
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op uint8
+
+const (
+	NOP Op = iota
+	// Memory.
+	LDQ  // ldq rd, imm(ra): load 64-bit
+	STQ  // stq rs, imm(ra): store 64-bit
+	LDQL // ldq_l rd, imm(ra): load-locked
+	STQC // stq_c rs, imm(ra): store-conditional; rs gets success flag
+	MB   // memory barrier
+	// ALU (rd, ra, rb or immediate).
+	LDA // lda rd, imm(ra): rd = ra + imm (address/constant former)
+	ADDQ
+	SUBQ
+	MULQ
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	CMPEQ
+	CMPLT
+	// Control.
+	BEQ // beq ra, label
+	BNE
+	BLT
+	BGE
+	BR
+	JSR // jsr label (saves return in r26)
+	RET // ret (jumps to r26)
+	SYSCALL
+	HALT
+
+	// Pseudo-instructions inserted by the Shasta rewriter; they never
+	// appear in source programs.
+	CHKLD    // checked shared load (flag-technique in-line check)
+	CHKST    // checked shared store (state-table in-line check)
+	CHKLDL   // checked load-locked (§3.1.2 in-line sequence)
+	CHKSTC   // checked store-conditional
+	POLL     // message poll at a loop back-edge
+	MBPROT   // protocol call after a hardware MB (§3.2.3)
+	PFXEXCL  // prefetch-exclusive before an LL/SC loop (§3.1.2)
+	BATCHCHK // batched miss check covering several accesses (§2.2)
+	BATCHEND // end of a batched region (§4.1 semantics apply)
+)
+
+var opNames = map[Op]string{
+	NOP: "nop", LDQ: "ldq", STQ: "stq", LDQL: "ldq_l", STQC: "stq_c",
+	MB: "mb", LDA: "lda", ADDQ: "addq", SUBQ: "subq", MULQ: "mulq",
+	AND: "and", OR: "or", XOR: "xor", SLL: "sll", SRL: "srl",
+	CMPEQ: "cmpeq", CMPLT: "cmplt", BEQ: "beq", BNE: "bne", BLT: "blt",
+	BGE: "bge", BR: "br", JSR: "jsr", RET: "ret", SYSCALL: "syscall",
+	HALT: "halt", CHKLD: "chkld", CHKST: "chkst", CHKLDL: "chkld_l",
+	CHKSTC: "chkst_c", POLL: "poll", MBPROT: "mbprot", PFXEXCL: "pfx_excl",
+	BATCHCHK: "batchchk", BATCHEND: "batchend",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsMem reports whether the op accesses memory through a base register.
+func (o Op) IsMem() bool {
+	switch o {
+	case LDQ, STQ, LDQL, STQC, CHKLD, CHKST, CHKLDL, CHKSTC:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the op reads memory.
+func (o Op) IsLoad() bool {
+	switch o {
+	case LDQ, LDQL, CHKLD, CHKLDL:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the op may transfer control to Target.
+func (o Op) IsBranch() bool {
+	switch o {
+	case BEQ, BNE, BLT, BGE, BR, JSR:
+		return true
+	}
+	return false
+}
+
+// Registers: r31 reads as zero; r30 is the stack pointer; r26 the return
+// address; r29 the global (static data) pointer.
+const (
+	RegRA   = 26
+	RegGP   = 29
+	RegSP   = 30
+	RegZero = 31
+	NumRegs = 32
+)
+
+// Instr is one decoded instruction. ExpandWords is the number of machine
+// words the instruction occupies after rewriting (pseudo-instructions
+// stand for multi-instruction in-line sequences; see SizeWords).
+type Instr struct {
+	Op     Op
+	Rd     uint8 // destination (or store source)
+	Ra     uint8 // base / first operand
+	Rb     uint8 // second operand (when UseImm is false)
+	UseImm bool
+	Imm    int64
+	Target int    // branch target, instruction index
+	Sym    string // unresolved label (assembler only)
+	// Batch metadata for BATCHCHK: the accesses covered run from the
+	// instruction after the BATCHCHK to the matching BATCHEND.
+	BatchBytes int
+}
+
+// SizeWords returns the code-size contribution of the instruction in
+// 32-bit instruction words, modeling the in-line expansion of the Shasta
+// rewriter: a full miss check is about seven instructions (§2.2), a poll
+// three (§2.1).
+func (i Instr) SizeWords() int {
+	switch i.Op {
+	case CHKLD:
+		return 1 + 3 // flag-technique load check is shorter (§2.2)
+	case CHKST:
+		return 1 + 7
+	case CHKLDL, CHKSTC:
+		return 1 + 8 // state save and branch-around (§3.1.2)
+	case POLL:
+		return 3
+	case MBPROT:
+		return 2
+	case PFXEXCL:
+		return 2
+	case BATCHCHK:
+		return 9 // one combined check for the whole run
+	case BATCHEND:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// ProcSym is a procedure in the program's symbol table.
+type ProcSym struct {
+	Name  string
+	Start int // first instruction index
+	End   int // one past the last
+}
+
+// Program is an assembled (or rewritten) executable.
+type Program struct {
+	Instrs []Instr
+	Procs  []ProcSym
+	Labels map[string]int
+	// Rewritten marks a program instrumented by the rewriter.
+	Rewritten bool
+}
+
+// SizeWords is the program's total code size in instruction words.
+func (p *Program) SizeWords() int {
+	n := 0
+	for _, in := range p.Instrs {
+		n += in.SizeWords()
+	}
+	return n
+}
+
+// FindProc returns the procedure with the given name.
+func (p *Program) FindProc(name string) (ProcSym, bool) {
+	for _, ps := range p.Procs {
+		if ps.Name == name {
+			return ps, true
+		}
+	}
+	return ProcSym{}, false
+}
+
+// Disassemble renders one instruction.
+func (p *Program) Disassemble(idx int) string {
+	in := p.Instrs[idx]
+	switch {
+	case in.Op.IsMem():
+		return fmt.Sprintf("%-8s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Ra)
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%-8s r%d, @%d", in.Op, in.Ra, in.Target)
+	case in.Op == LDA:
+		return fmt.Sprintf("%-8s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Ra)
+	case in.UseImm:
+		return fmt.Sprintf("%-8s r%d, r%d, #%d", in.Op, in.Rd, in.Ra, in.Imm)
+	default:
+		return fmt.Sprintf("%-8s r%d, r%d, r%d", in.Op, in.Rd, in.Ra, in.Rb)
+	}
+}

@@ -1,0 +1,164 @@
+// Package memchannel models Digital's Memory Channel network as used by the
+// Shasta prototype cluster (SOSP '97, §6.1): a memory-mapped network with
+// protected user-level access, about 4 microseconds one-way latency from
+// user process to user process, 60 MB/s of bandwidth per link, and one link
+// per node. Arriving messages are detected by polling a single cachable
+// flag location.
+//
+// The package is payload-agnostic: it computes delivery times and tracks
+// link occupancy, and provides arrival-time-gated receive queues. The
+// coherence protocol layers its own message types on top.
+package memchannel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config holds the network timing parameters.
+type Config struct {
+	// WireLatency is the one-way user-to-user latency between nodes.
+	WireLatency sim.Time
+	// CyclesPerByte is the per-byte link occupancy for inter-node
+	// transfers (300e6 cycles/s ÷ 60e6 B/s = 5 cycles per byte).
+	CyclesPerByte float64
+	// IntraNodeLatency is the latency of a message between processes on
+	// the same node, passed through a shared-memory segment.
+	IntraNodeLatency sim.Time
+	// IntraNodeCyclesPerByte is the per-byte cost over the 1 GB/s
+	// system bus for intra-node messages.
+	IntraNodeCyclesPerByte float64
+}
+
+// DefaultConfig returns the parameters of the paper's prototype cluster.
+func DefaultConfig() Config {
+	return Config{
+		WireLatency:            sim.Cycles(4), // 4 us one way
+		CyclesPerByte:          5,             // 60 MB/s per link
+		IntraNodeLatency:       sim.Cycles(1), // shared-memory segment
+		IntraNodeCyclesPerByte: 0.3,           // 1 GB/s system bus
+	}
+}
+
+// Stats aggregates network traffic counters.
+type Stats struct {
+	Messages      int64
+	Bytes         int64
+	IntraMessages int64
+	IntraBytes    int64
+}
+
+// Network computes message delivery times across the cluster.
+type Network struct {
+	cfg     Config
+	outBusy []sim.Time // per-node link transmit availability
+	stats   Stats
+}
+
+// NewNetwork creates a network connecting the given number of nodes.
+func NewNetwork(nodes int, cfg Config) *Network {
+	if nodes <= 0 {
+		panic("memchannel: need at least one node")
+	}
+	return &Network{cfg: cfg, outBusy: make([]sim.Time, nodes)}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns a copy of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Deliver computes the arrival time of a message of the given size sent at
+// sendTime from one node to another, charging link occupancy. Intra-node
+// messages use the shared-memory segment fast path and do not occupy the
+// Memory Channel link.
+func (n *Network) Deliver(fromNode, toNode int, size int, sendTime sim.Time) sim.Time {
+	if fromNode < 0 || fromNode >= len(n.outBusy) || toNode < 0 || toNode >= len(n.outBusy) {
+		panic(fmt.Sprintf("memchannel: bad nodes %d->%d", fromNode, toNode))
+	}
+	if fromNode == toNode {
+		n.stats.IntraMessages++
+		n.stats.IntraBytes += int64(size)
+		return sendTime + n.cfg.IntraNodeLatency + sim.Time(float64(size)*n.cfg.IntraNodeCyclesPerByte)
+	}
+	n.stats.Messages++
+	n.stats.Bytes += int64(size)
+	start := sendTime
+	if n.outBusy[fromNode] > start {
+		start = n.outBusy[fromNode]
+	}
+	occupy := sim.Time(float64(size) * n.cfg.CyclesPerByte)
+	n.outBusy[fromNode] = start + occupy
+	return start + occupy + n.cfg.WireLatency
+}
+
+// Queue is an arrival-time-gated receive queue (a Memory Channel receive
+// ring). Messages become visible to Poll/Pop only once simulated time has
+// reached their arrival time, which models the pollable flag word.
+type Queue[T any] struct {
+	entries []entry[T]
+	// onPut, if set, is invoked with each message's arrival time; the
+	// owner uses it to wake a waiting process.
+	onPut func(arrive sim.Time)
+}
+
+type entry[T any] struct {
+	arrive sim.Time
+	seq    int64
+	msg    T
+}
+
+var queueSeq int64
+
+// NewQueue creates an empty receive queue.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+// SetWaker installs fn to be called whenever a message is enqueued.
+func (q *Queue[T]) SetWaker(fn func(arrive sim.Time)) { q.onPut = fn }
+
+// Put enqueues a message that becomes visible at the given arrival time.
+func (q *Queue[T]) Put(msg T, arrive sim.Time) {
+	queueSeq++
+	e := entry[T]{arrive: arrive, seq: queueSeq, msg: msg}
+	// Insert keeping (arrive, seq) order; queues are short in practice.
+	i := len(q.entries)
+	for i > 0 && (q.entries[i-1].arrive > e.arrive) {
+		i--
+	}
+	q.entries = append(q.entries, entry[T]{})
+	copy(q.entries[i+1:], q.entries[i:])
+	q.entries[i] = e
+	if q.onPut != nil {
+		q.onPut(arrive)
+	}
+}
+
+// Ready reports whether a message is visible at time now (the poll flag).
+func (q *Queue[T]) Ready(now sim.Time) bool {
+	return len(q.entries) > 0 && q.entries[0].arrive <= now
+}
+
+// NextArrival returns the earliest arrival time of any queued message and
+// whether the queue is non-empty.
+func (q *Queue[T]) NextArrival() (sim.Time, bool) {
+	if len(q.entries) == 0 {
+		return 0, false
+	}
+	return q.entries[0].arrive, true
+}
+
+// Pop removes and returns the oldest visible message at time now.
+func (q *Queue[T]) Pop(now sim.Time) (T, bool) {
+	var zero T
+	if !q.Ready(now) {
+		return zero, false
+	}
+	msg := q.entries[0].msg
+	q.entries = q.entries[1:]
+	return msg, true
+}
+
+// Len returns the number of queued messages regardless of visibility.
+func (q *Queue[T]) Len() int { return len(q.entries) }

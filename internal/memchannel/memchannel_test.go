@@ -1,0 +1,136 @@
+package memchannel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestDeliverInterNodeLatency(t *testing.T) {
+	n := NewNetwork(4, DefaultConfig())
+	arrive := n.Deliver(0, 1, 0, 0)
+	if arrive != sim.Cycles(4) {
+		t.Fatalf("zero-byte arrival = %d, want %d", arrive, sim.Cycles(4))
+	}
+	// A 64-byte block adds 64*5 = 320 cycles of occupancy.
+	arrive = n.Deliver(2, 3, 64, 1000)
+	want := sim.Time(1000) + 320 + sim.Cycles(4)
+	if arrive != want {
+		t.Fatalf("64B arrival = %d, want %d", arrive, want)
+	}
+}
+
+func TestDeliverLinkOccupancySerializes(t *testing.T) {
+	n := NewNetwork(2, DefaultConfig())
+	a1 := n.Deliver(0, 1, 1000, 0)
+	a2 := n.Deliver(0, 1, 1000, 0) // same link, same instant
+	if a2 <= a1 {
+		t.Fatalf("second message arrived at %d, not after first at %d", a2, a1)
+	}
+	if a2-a1 != 5000 {
+		t.Fatalf("occupancy gap = %d, want 5000", a2-a1)
+	}
+}
+
+func TestDeliverIntraNodeIsFast(t *testing.T) {
+	n := NewNetwork(2, DefaultConfig())
+	intra := n.Deliver(0, 0, 64, 0)
+	inter := n.Deliver(0, 1, 64, 0)
+	if intra >= inter {
+		t.Fatalf("intra-node (%d) should beat inter-node (%d)", intra, inter)
+	}
+	st := n.Stats()
+	if st.Messages != 1 || st.IntraMessages != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueVisibilityGating(t *testing.T) {
+	q := NewQueue[string]()
+	q.Put("late", 100)
+	q.Put("early", 50)
+	if q.Ready(49) {
+		t.Fatal("message visible before arrival")
+	}
+	if !q.Ready(50) {
+		t.Fatal("message not visible at arrival time")
+	}
+	m, ok := q.Pop(60)
+	if !ok || m != "early" {
+		t.Fatalf("popped %q ok=%v, want early", m, ok)
+	}
+	if _, ok := q.Pop(60); ok {
+		t.Fatal("late message visible too soon")
+	}
+	m, ok = q.Pop(100)
+	if !ok || m != "late" {
+		t.Fatalf("popped %q ok=%v, want late", m, ok)
+	}
+}
+
+func TestQueueFIFOAmongSimultaneous(t *testing.T) {
+	q := NewQueue[int]()
+	for i := 0; i < 10; i++ {
+		q.Put(i, 5)
+	}
+	for i := 0; i < 10; i++ {
+		m, ok := q.Pop(5)
+		if !ok || m != i {
+			t.Fatalf("pop %d = %d ok=%v", i, m, ok)
+		}
+	}
+}
+
+func TestQueueWaker(t *testing.T) {
+	q := NewQueue[int]()
+	var woke []sim.Time
+	q.SetWaker(func(a sim.Time) { woke = append(woke, a) })
+	q.Put(1, 42)
+	q.Put(2, 7)
+	if len(woke) != 2 || woke[0] != 42 || woke[1] != 7 {
+		t.Fatalf("waker calls = %v", woke)
+	}
+	if a, ok := q.NextArrival(); !ok || a != 7 {
+		t.Fatalf("next arrival = %d ok=%v", a, ok)
+	}
+}
+
+func TestQueueOrderProperty(t *testing.T) {
+	// Property: Pop always returns messages in nondecreasing arrival order
+	// when drained at a late enough time.
+	f := func(arrivals []uint16) bool {
+		q := NewQueue[sim.Time]()
+		for _, a := range arrivals {
+			q.Put(sim.Time(a), sim.Time(a))
+		}
+		prev := sim.Time(-1)
+		for {
+			m, ok := q.Pop(1 << 30)
+			if !ok {
+				break
+			}
+			if m < prev {
+				return false
+			}
+			prev = m
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeliverMonotoneInSizeProperty(t *testing.T) {
+	f := func(sz uint16, at uint32) bool {
+		n := NewNetwork(2, DefaultConfig())
+		small := n.Deliver(0, 1, int(sz), sim.Time(at))
+		n2 := NewNetwork(2, DefaultConfig())
+		big := n2.Deliver(0, 1, int(sz)+64, sim.Time(at))
+		return big > small
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package oracledb
+
+import (
+	"testing"
+
+	"repro/internal/clusterfs"
+	"repro/internal/clusteros"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func newDBSystem(t *testing.T, checks bool) (*core.System, *clusteros.OS) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.SharedBytes = 2 << 20
+	cfg.MaxTime = sim.Cycles(600e6)
+	cfg.ProtocolProcs = true
+	cfg.Checks = checks
+	sys := core.NewSystem(cfg)
+	return sys, clusteros.New(sys, clusterfs.New(cfg.Nodes))
+}
+
+func TestDSS1SingleServer(t *testing.T) {
+	sys, osl := newDBSystem(t, true)
+	res, err := Run(sys, osl, DSS1(1, []int{1}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if res.Stats.Forks < 6 {
+		t.Fatalf("forks=%d, want init+transients+daemons+servers", res.Stats.Forks)
+	}
+	if res.ServerStats.Loads == 0 {
+		t.Fatal("server did no reads")
+	}
+}
+
+func TestDSS1ServersAcrossNodes(t *testing.T) {
+	sys, osl := newDBSystem(t, true)
+	// Daemons + server 1 on node 0; servers 2,3 on node 1 (the paper's
+	// placement for 3-server runs, §6.5).
+	res, err := Run(sys, osl, DSS1(3, []int{1, 4, 5}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ReadMisses == 0 {
+		t.Fatal("cross-node servers must take remote misses")
+	}
+	if res.ServerStats.Time[core.CatBlocked] == 0 {
+		t.Fatal("servers never blocked for daemon hand-offs")
+	}
+}
+
+func TestDSS1MoreServersFaster(t *testing.T) {
+	one := mustRun(t, DSS1(1, []int{1}, 0))
+	three := mustRun(t, DSS1(3, []int{1, 4, 5}, 0))
+	if three.Elapsed >= one.Elapsed {
+		t.Fatalf("3 servers (%d) not faster than 1 (%d)", three.Elapsed, one.Elapsed)
+	}
+}
+
+func mustRun(t *testing.T, p Params) *Result {
+	t.Helper()
+	sys, osl := newDBSystem(t, true)
+	res, err := Run(sys, osl, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestOLTPSingleNode(t *testing.T) {
+	sys, osl := newDBSystem(t, true)
+	res, err := Run(sys, osl, OLTP(2, []int{1, 2}, 0, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerStats.Stores == 0 {
+		t.Fatal("OLTP did no writes")
+	}
+	if res.ServerStats.LockAcquires == 0 {
+		t.Fatal("OLTP took no latches")
+	}
+}
+
+func TestDSS2BiggerThanDSS1(t *testing.T) {
+	d1 := mustRun(t, DSS1(2, []int{1, 2}, 0))
+	d2 := mustRun(t, DSS2(2, []int{1, 2}, 0))
+	if d2.Elapsed <= d1.Elapsed {
+		t.Fatalf("DSS-2 (%d) should exceed DSS-1 (%d)", d2.Elapsed, d1.Elapsed)
+	}
+}
+
+func TestDeterministicDB(t *testing.T) {
+	a := mustRun(t, DSS1(2, []int{1, 4}, 0))
+	b := mustRun(t, DSS1(2, []int{1, 4}, 0))
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("nondeterministic: %d vs %d", a.Elapsed, b.Elapsed)
+	}
+}

@@ -1,0 +1,311 @@
+// Package rewriter instruments ISA programs the way Shasta's modified ATOM
+// instruments Alpha executables (§2.2, §3, §5):
+//
+//   - a conservative dataflow analysis finds loads and stores that may
+//     reference shared memory (static and stack references are never
+//     checked);
+//   - each such load gets the flag-technique in-line check, each store the
+//     state-table check;
+//   - runs of accesses off the same base register within a basic block are
+//     batched under a single check (§2.2);
+//   - a poll is inserted at every loop back-edge (§2.1);
+//   - LL/SC sequences get the §3.1.2 treatment (state-register checks, an
+//     optional prefetch-exclusive before the retry loop);
+//   - a protocol call is inserted after every MB (§3.2.3).
+//
+// The package also models rewrite time and code growth for executables
+// described only by a static profile (Table 3's code sizes, §6.3's
+// conversion times).
+package rewriter
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// Options mirror the Shasta instrumentation switches.
+type Options struct {
+	// Batching merges checks for nearby accesses off one base register.
+	Batching bool
+	// Polls inserts message polls at loop back-edges.
+	Polls bool
+	// PrefetchExclusive inserts a prefetch before LL/SC sequences.
+	PrefetchExclusive bool
+}
+
+// DefaultOptions enables everything the paper's system uses.
+func DefaultOptions() Options {
+	return Options{Batching: true, Polls: true, PrefetchExclusive: false}
+}
+
+// Stats reports what the rewriter did.
+type Stats struct {
+	Instrs         int // original instruction count
+	LoadChecks     int
+	StoreChecks    int
+	LLSCPairs      int
+	BatchedRuns    int
+	BatchedMembers int // accesses covered by a batch instead of a check
+	Polls          int
+	MBCalls        int
+	Prefetches     int
+	OrigWords      int
+	NewWords       int
+}
+
+// GrowthPercent is the static code-size increase (Table 3's last column).
+func (s Stats) GrowthPercent() float64 {
+	if s.OrigWords == 0 {
+		return 0
+	}
+	return float64(s.NewWords-s.OrigWords) / float64(s.OrigWords) * 100
+}
+
+// Rewrite instruments the program and returns the new program with stats.
+func Rewrite(prog *isa.Program, opt Options) (*isa.Program, Stats, error) {
+	if prog.Rewritten {
+		return nil, Stats{}, fmt.Errorf("rewriter: program already rewritten")
+	}
+	st := Stats{Instrs: len(prog.Instrs), OrigWords: prog.SizeWords()}
+	shared := analyzeShared(prog)
+
+	// Pass 1: decide per original instruction what to emit.
+	type plan struct {
+		pollBefore bool // loop back-edge poll before this branch
+		pfxBefore  bool
+		batchStart int // >0: start a batch of this many accesses here
+		batchWrite bool
+		batchEnd   bool
+		newOp      isa.Op // replacement op (0 = keep)
+	}
+	plans := make([]plan, len(prog.Instrs))
+
+	for i, in := range prog.Instrs {
+		switch {
+		case in.Op == isa.LDQ && shared[i]:
+			plans[i].newOp = isa.CHKLD
+			st.LoadChecks++
+		case in.Op == isa.STQ && shared[i]:
+			plans[i].newOp = isa.CHKST
+			st.StoreChecks++
+		case in.Op == isa.LDQL:
+			plans[i].newOp = isa.CHKLDL
+			if opt.PrefetchExclusive {
+				plans[i].pfxBefore = true
+				st.Prefetches++
+			}
+		case in.Op == isa.STQC:
+			plans[i].newOp = isa.CHKSTC
+			st.LLSCPairs++
+		case in.Op == isa.MB:
+			st.MBCalls++
+		case in.Op.IsBranch() && opt.Polls && in.Target <= i:
+			plans[i].pollBefore = true
+			st.Polls++
+		}
+	}
+
+	// Pass 2: batching — consecutive checked accesses in one basic block
+	// with the same base register collapse under one combined check.
+	if opt.Batching {
+		i := 0
+		for i < len(prog.Instrs) {
+			if plans[i].newOp != isa.CHKLD && plans[i].newOp != isa.CHKST {
+				i++
+				continue
+			}
+			base := prog.Instrs[i].Ra
+			j := i + 1
+			for j < len(prog.Instrs) {
+				pj := plans[j]
+				ij := prog.Instrs[j]
+				if (pj.newOp == isa.CHKLD || pj.newOp == isa.CHKST) && ij.Ra == base && !ij.Op.IsBranch() {
+					j++
+					continue
+				}
+				break
+			}
+			if j-i >= 2 {
+				st.BatchedRuns++
+				st.BatchedMembers += j - i
+				plans[i].batchStart = j - i
+				for k := i; k < j; k++ {
+					if plans[k].newOp == isa.CHKST {
+						plans[i].batchWrite = true
+					}
+					// Members execute as raw accesses inside the batch.
+					if plans[k].newOp == isa.CHKLD {
+						plans[k].newOp = isa.LDQ
+						st.LoadChecks--
+					} else {
+						plans[k].newOp = isa.STQ
+						st.StoreChecks--
+					}
+				}
+				plans[j-1].batchEnd = true
+			}
+			i = j
+		}
+	}
+
+	// Pass 3: emit, tracking the index mapping for branch retargeting.
+	out := &isa.Program{Labels: map[string]int{}, Rewritten: true}
+	newIndex := make([]int, len(prog.Instrs)+1)
+	for i, in := range prog.Instrs {
+		newIndex[i] = len(out.Instrs)
+		pl := plans[i]
+		if pl.pollBefore {
+			out.Instrs = append(out.Instrs, isa.Instr{Op: isa.POLL})
+		}
+		if pl.pfxBefore {
+			out.Instrs = append(out.Instrs, isa.Instr{Op: isa.PFXEXCL, Ra: in.Ra, Imm: in.Imm})
+		}
+		if pl.batchStart > 0 {
+			// The batch range covers the member accesses' offsets off
+			// the shared base register.
+			lo, hi := in.Imm, in.Imm
+			for k := i; k < i+pl.batchStart && k < len(prog.Instrs); k++ {
+				if prog.Instrs[k].Op.IsMem() {
+					if prog.Instrs[k].Imm < lo {
+						lo = prog.Instrs[k].Imm
+					}
+					if prog.Instrs[k].Imm > hi {
+						hi = prog.Instrs[k].Imm
+					}
+				}
+			}
+			wr := uint8(0)
+			if pl.batchWrite {
+				wr = 1
+			}
+			out.Instrs = append(out.Instrs, isa.Instr{
+				Op: isa.BATCHCHK, Rd: wr, Ra: in.Ra, Imm: lo, BatchBytes: int(hi-lo) + 8,
+			})
+		}
+		ni := in
+		if pl.newOp != 0 {
+			ni.Op = pl.newOp
+		}
+		out.Instrs = append(out.Instrs, ni)
+		if pl.batchEnd {
+			out.Instrs = append(out.Instrs, isa.Instr{Op: isa.BATCHEND})
+		}
+		if in.Op == isa.MB {
+			out.Instrs = append(out.Instrs, isa.Instr{Op: isa.MBPROT})
+		}
+	}
+	newIndex[len(prog.Instrs)] = len(out.Instrs)
+
+	// Retarget branches and rebuild symbols.
+	for i := range out.Instrs {
+		if out.Instrs[i].Op.IsBranch() {
+			out.Instrs[i].Target = newIndex[out.Instrs[i].Target]
+		}
+	}
+	for name, idx := range prog.Labels {
+		out.Labels[name] = newIndex[idx]
+	}
+	for _, ps := range prog.Procs {
+		out.Procs = append(out.Procs, isa.ProcSym{Name: ps.Name, Start: newIndex[ps.Start], End: newIndex[ps.End]})
+	}
+	st.NewWords = out.SizeWords()
+	return out, st, nil
+}
+
+// analyzeShared runs a conservative forward dataflow over the program to
+// find memory operations whose base register may hold a shared address.
+// Registers seeded from SP or GP stay private; LDA of a constant at or
+// above core.SharedBase is shared; values propagated through ALU ops
+// inherit; loads produce may-shared values (pointers can live in shared
+// memory). The analysis iterates to a fixpoint over the whole program
+// (branches make any instruction a possible successor of its target).
+func analyzeShared(prog *isa.Program) []bool {
+	n := len(prog.Instrs)
+	// mayShared[r] per program point would be precise; Shasta's analysis
+	// is per-procedure. We keep one lattice per instruction entry.
+	type state = uint32 // bitmask of registers 0..31: may hold shared addr
+	in := make([]state, n+1)
+	shared := make([]bool, n)
+
+	transfer := func(s state, i int) state {
+		ins := prog.Instrs[i]
+		setBit := func(r uint8, v bool) {
+			if r == isa.RegZero {
+				return
+			}
+			if v {
+				s |= 1 << r
+			} else {
+				s &^= 1 << r
+			}
+		}
+		bit := func(r uint8) bool {
+			if r == isa.RegZero || r == isa.RegSP || r == isa.RegGP {
+				return false
+			}
+			return s&(1<<r) != 0
+		}
+		switch ins.Op {
+		case isa.LDA:
+			v := uint64(ins.Imm)
+			if ins.Ra != isa.RegZero {
+				setBit(ins.Rd, bit(ins.Ra) || v >= core.SharedBase)
+			} else {
+				setBit(ins.Rd, v >= core.SharedBase)
+			}
+		case isa.LDQ, isa.LDQL:
+			// A loaded value may itself be a shared pointer if it came
+			// from shared memory; conservatively inherit the base.
+			setBit(ins.Rd, bit(ins.Ra))
+		case isa.ADDQ, isa.SUBQ, isa.MULQ, isa.AND, isa.OR, isa.XOR, isa.SLL, isa.SRL:
+			v := bit(ins.Ra)
+			if !ins.UseImm {
+				v = v || bit(ins.Rb)
+			}
+			setBit(ins.Rd, v)
+		case isa.CMPEQ, isa.CMPLT, isa.STQC:
+			setBit(ins.Rd, false)
+		case isa.JSR:
+			setBit(isa.RegRA, false)
+		}
+		return s
+	}
+
+	// Fixpoint.
+	changed := true
+	for iter := 0; changed && iter < 64; iter++ {
+		changed = false
+		for i := 0; i < n; i++ {
+			s := in[i]
+			ins := prog.Instrs[i]
+			if ins.Op.IsMem() && ins.Ra != isa.RegSP && ins.Ra != isa.RegGP && ins.Ra != isa.RegZero {
+				if s&(1<<ins.Ra) != 0 && !shared[i] {
+					shared[i] = true
+					changed = true
+				}
+			}
+			outState := transfer(s, i)
+			// Propagate to successors.
+			propagate := func(to int) {
+				if to < 0 || to > n {
+					return
+				}
+				if in[to]|outState != in[to] {
+					in[to] |= outState
+					changed = true
+				}
+			}
+			if ins.Op.IsBranch() {
+				propagate(ins.Target)
+				if ins.Op != isa.BR {
+					propagate(i + 1)
+				}
+			} else if ins.Op != isa.HALT && ins.Op != isa.RET {
+				propagate(i + 1)
+			}
+		}
+	}
+	return shared
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// CPU models one processor of an SMP node. Processes are bound to a CPU;
+// at most one process runs on a CPU at a time, selected FIFO by priority
+// with quantum-based preemption.
+type CPU struct {
+	id       int
+	node     int
+	current  *Proc
+	queue    []*Proc // descheduled processes bound to this CPU
+	lastRan  *Proc
+	freeAt   Time // time the CPU last became free
+	sliceEnd Time // when the current process's quantum expires
+}
+
+// ID returns the global CPU index.
+func (c *CPU) ID() int { return c.id }
+
+// Node returns the node this CPU belongs to.
+func (c *CPU) Node() int { return c.node }
+
+// Proc is a simulated process. All methods must be called only from within
+// the process's own body function, except NotifyAt, which is called by other
+// running processes to deliver an event.
+type Proc struct {
+	ID       int
+	Name     string
+	Priority int
+
+	// Data is an arbitrary per-process payload for higher layers.
+	Data any
+
+	eng    *Engine
+	cpu    *CPU
+	now    Time
+	window Time // may run until local clock reaches this
+	state  procState
+	wakeAt Time
+	// sleeping marks a process that released its CPU via Block/Sleep; a
+	// dispatched sleeper is displaced instantly when another process
+	// becomes runnable earlier (it holds the CPU only nominally).
+	sleeping bool
+	abort    bool
+
+	resume chan Time
+	yield  chan struct{}
+}
+
+// Now returns the process's local clock.
+func (p *Proc) Now() Time { return p.now }
+
+// CPUIndex returns the global index of the CPU this process is bound to.
+func (p *Proc) CPUIndex() int { return p.cpu.id }
+
+// Node returns the node index this process runs on.
+func (p *Proc) Node() int { return p.cpu.node }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// run is the goroutine body wrapper.
+func (p *Proc) run(fn func(*Proc)) {
+	// Park until first scheduled.
+	p.window = <-p.resume
+	defer func() {
+		r := recover()
+		if p.abort {
+			return // engine tear-down; nobody is listening
+		}
+		if r != nil {
+			buf := make([]byte, 16384)
+			n := runtime.Stack(buf, false)
+			p.eng.fail(fmt.Errorf("sim: process %s[%d] panicked at t=%d: %v\n%s", p.Name, p.ID, p.now, r, buf[:n]))
+		}
+		p.state = stateDone
+		p.yield <- struct{}{}
+	}()
+	if p.abort {
+		return
+	}
+	fn(p)
+}
+
+type abortSignalType struct{}
+
+var abortSignal = abortSignalType{}
+
+// yieldBack returns control to the engine and parks until resumed.
+func (p *Proc) yieldBack() {
+	p.yield <- struct{}{}
+	p.window = <-p.resume
+	if p.abort {
+		panic(abortSignal)
+	}
+}
+
+// Advance charges c cycles of execution to the process's clock, yielding to
+// the engine if that crosses the causality window.
+func (p *Proc) Advance(c Time) {
+	if c < 0 {
+		panic("sim: negative advance")
+	}
+	p.now += c
+	if p.now >= p.window {
+		p.yieldBack()
+	}
+}
+
+// Wait parks the process until another process calls NotifyAt. The process
+// keeps its CPU while waiting (it models Shasta's spin-polling for protocol
+// replies), though it can still be preempted at quantum expiry if another
+// process wants the CPU.
+func (p *Proc) Wait() {
+	p.state = stateWaiting
+	p.yieldBack()
+}
+
+// Block parks the process and releases its CPU (models blocking in the OS,
+// e.g. pid_block or file I/O). It returns after another process calls
+// NotifyAt and the scheduler gives the CPU back.
+func (p *Proc) Block() {
+	p.state = stateBlocked
+	p.sleeping = true
+	p.yieldBack()
+}
+
+// Sleep blocks the process for d cycles, releasing the CPU.
+func (p *Proc) Sleep(d Time) {
+	p.wakeAt = p.now + d
+	p.state = stateBlocked
+	p.sleeping = true
+	p.yieldBack()
+}
+
+// NotifyAt delivers an event to p at absolute time t: if p is waiting or
+// blocked, it becomes schedulable at max(t, its own clock). Multiple
+// notifications keep the earliest. Safe to call only from a running process
+// or before Run starts.
+func (p *Proc) NotifyAt(t Time) {
+	w := maxTime(t, p.now)
+	if w < p.wakeAt {
+		p.wakeAt = w
+	}
+	// The notifier must yield control by the wake time, or the waiter
+	// would be resumed only after the notifier's (possibly unbounded)
+	// window expires.
+	if r := p.eng.running; r != nil && r != p && w < r.window {
+		r.window = w
+	}
+}
+
+// YieldCPU voluntarily gives up the CPU if any other process is waiting for
+// it (models a low-priority protocol process offering the processor).
+func (p *Proc) YieldCPU() {
+	c := p.cpu
+	if c.current == p && p.eng.anyoneElseWants(c) {
+		c.sliceEnd = p.now // force reschedule at this yield
+	}
+	p.yieldBack()
+}
+
+// effectiveTime is the earliest simulated time at which this process could
+// next execute an action, from the scheduler's point of view.
+func (p *Proc) effectiveTime() Time {
+	var t Time
+	switch p.state {
+	case stateDone:
+		return Forever
+	case stateNew, stateReady, stateRunning:
+		t = p.now
+	case stateWaiting, stateBlocked:
+		t = p.wakeAt
+	}
+	if t >= Forever {
+		return Forever
+	}
+	if p.cpu.current != p {
+		// Descheduled: cannot run before the incumbent's quantum expires.
+		if p.cpu.current != nil && t < p.cpu.sliceEnd {
+			t = p.cpu.sliceEnd
+		}
+		if t < p.cpu.freeAt {
+			t = p.cpu.freeAt
+		}
+	}
+	return t
+}

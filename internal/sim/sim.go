@@ -1,0 +1,452 @@
+// Package sim provides a deterministic, conservative discrete-event
+// simulation engine for a cluster of SMP nodes.
+//
+// Each simulated process runs as a goroutine, but the engine resumes exactly
+// one process at a time: always a process whose next possible action is
+// earliest in simulated time. A resumed process runs until it blocks, or
+// until its local clock passes the engine-supplied window (the minimum
+// effective time of any other process), at which point it yields back to
+// the engine. Because processes interact only at yield points, this
+// schedule is causally correct and fully deterministic.
+//
+// Time is measured in CPU cycles of the modeled machine (300 MHz Alpha
+// 21164 in the Shasta configuration, so 300 cycles per microsecond).
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is a point in simulated time, in CPU cycles.
+type Time = int64
+
+// CyclesPerMicrosecond converts the modeled 300 MHz clock to microseconds.
+const CyclesPerMicrosecond = 300
+
+// Microseconds converts a duration in cycles to microseconds.
+func Microseconds(t Time) float64 { return float64(t) / CyclesPerMicrosecond }
+
+// Cycles converts microseconds to cycles.
+func Cycles(us float64) Time { return Time(us * CyclesPerMicrosecond) }
+
+// Forever is a wake time used for indefinite blocking.
+const Forever = Time(1) << 62
+
+type procState int
+
+const (
+	stateNew     procState = iota // spawned, not yet started
+	stateReady                    // schedulable at p.now
+	stateRunning                  // currently executing guest code
+	stateWaiting                  // waiting for an event; holds its CPU
+	stateBlocked                  // blocked in the OS; releases its CPU
+	stateDone                     // finished
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateWaiting:
+		return "waiting"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// Config holds engine-level scheduling parameters.
+type Config struct {
+	Nodes       int  // number of SMP nodes
+	CPUsPerNode int  // processors per node
+	Quantum     Time // scheduling time slice; 0 disables preemption
+	CtxSwitch   Time // cost of a context switch
+	MaxTime     Time // safety stop; 0 means no limit
+}
+
+// Engine is the simulation scheduler.
+type Engine struct {
+	cfg     Config
+	cpus    []*CPU
+	procs   []*Proc
+	now     Time // time of the most recently resumed process
+	running *Proc
+	err     error
+	// ctxSwitches counts context switches performed by the scheduler.
+	ctxSwitches int64
+}
+
+// NewEngine creates an engine with the given topology.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Nodes <= 0 || cfg.CPUsPerNode <= 0 {
+		panic("sim: topology must have at least one node and one CPU")
+	}
+	e := &Engine{cfg: cfg}
+	for n := 0; n < cfg.Nodes; n++ {
+		for c := 0; c < cfg.CPUsPerNode; c++ {
+			e.cpus = append(e.cpus, &CPU{id: len(e.cpus), node: n, sliceEnd: Forever})
+		}
+	}
+	return e
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// NumCPUs returns the total processor count.
+func (e *Engine) NumCPUs() int { return len(e.cpus) }
+
+// NodeOf returns the node index of a global CPU index.
+func (e *Engine) NodeOf(cpu int) int { return e.cpus[cpu].node }
+
+// Now returns the clock of the most recently scheduled process. It is a
+// global low-water mark useful for reporting.
+func (e *Engine) Now() Time { return e.now }
+
+// ContextSwitches reports how many context switches the scheduler performed.
+func (e *Engine) ContextSwitches() int64 { return e.ctxSwitches }
+
+// Procs returns all spawned processes.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// Spawn creates a process bound to the given global CPU index. The function
+// fn runs as the process body; the process finishes when fn returns.
+// Priority 0 is normal; higher values run only when no lower value is ready
+// on the same CPU (used for Shasta protocol processes).
+func (e *Engine) Spawn(name string, cpu int, priority int, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(name, cpu, priority, 0, fn)
+}
+
+// SpawnAt is Spawn with an explicit start time.
+func (e *Engine) SpawnAt(name string, cpu int, priority int, start Time, fn func(p *Proc)) *Proc {
+	if cpu < 0 || cpu >= len(e.cpus) {
+		panic(fmt.Sprintf("sim: spawn %q on invalid cpu %d", name, cpu))
+	}
+	p := &Proc{
+		ID:       len(e.procs),
+		Name:     name,
+		Priority: priority,
+		eng:      e,
+		cpu:      e.cpus[cpu],
+		now:      start,
+		state:    stateNew,
+		resume:   make(chan Time),
+		yield:    make(chan struct{}),
+		wakeAt:   Forever,
+		window:   Forever,
+	}
+	e.procs = append(e.procs, p)
+	p.cpu.queue = append(p.cpu.queue, p)
+	go p.run(fn)
+	return p
+}
+
+// Run drives the simulation until every process has finished, a process
+// panics, deadlock is detected, or MaxTime is exceeded.
+func (e *Engine) Run() error {
+	defer e.drain()
+	for {
+		if e.err != nil {
+			return e.err
+		}
+		minEff := e.globalMinEffective()
+		for _, c := range e.cpus {
+			e.preemptIfStale(c, minEff)
+			e.preemptSleeper(c)
+			e.dispatch(c)
+		}
+		p := e.pick()
+		if p == nil {
+			if e.allDone() {
+				return nil
+			}
+			return e.deadlockError()
+		}
+		if e.cfg.MaxTime > 0 && p.now > e.cfg.MaxTime {
+			return fmt.Errorf("sim: exceeded MaxTime %d at proc %s (t=%d)", e.cfg.MaxTime, p.Name, p.now)
+		}
+		e.now = p.now
+		window := e.windowFor(p)
+		if e.cfg.MaxTime > 0 && window > e.cfg.MaxTime+1 {
+			window = e.cfg.MaxTime + 1
+		}
+		p.state = stateRunning
+		e.running = p
+		p.resume <- window
+		<-p.yield
+		e.running = nil
+		if p.state == stateRunning {
+			p.state = stateReady
+		}
+		e.reschedule(p)
+	}
+}
+
+// preemptIfStale deschedules a current process that is waiting past its
+// quantum while others want the CPU (a spinning process being switched
+// out). The preemption may only be committed once global progress (minEff)
+// has actually reached the slice end: an earlier wake-up would mean the
+// spinner consumed its event mid-quantum and was never switched out.
+func (e *Engine) preemptIfStale(c *CPU, minEff Time) {
+	p := c.current
+	if p == nil || e.cfg.Quantum == 0 {
+		return
+	}
+	if p.state == stateWaiting && !p.sleeping && p.wakeAt > c.sliceEnd &&
+		minEff >= c.sliceEnd && e.anyoneElseWants(c) {
+		p.now = maxTime(p.now, c.sliceEnd)
+		c.lastRan = p
+		c.freeAt = maxTime(c.freeAt, p.now)
+		c.current = nil
+		c.queue = append(c.queue, p)
+	}
+}
+
+// globalMinEffective returns the earliest effective time of any live
+// process: the next moment anything can happen.
+func (e *Engine) globalMinEffective() Time {
+	m := Forever
+	for _, p := range e.procs {
+		if p.state == stateDone {
+			continue
+		}
+		if t := p.effectiveTime(); t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// preemptSleeper displaces a dispatched sleeping process (it merely parks
+// on the CPU until its wake time) as soon as any other process could run
+// earlier: the CPU is semantically idle while its occupant sleeps.
+func (e *Engine) preemptSleeper(c *CPU) {
+	p := c.current
+	if p == nil || p.state != stateWaiting || !p.sleeping {
+		return
+	}
+	for _, q := range c.queue {
+		if q.state == stateDone {
+			continue
+		}
+		t := q.now
+		if q.state == stateBlocked || q.state == stateWaiting {
+			t = q.wakeAt
+		}
+		if t < p.wakeAt {
+			c.lastRan = p
+			c.current = nil
+			c.queue = append(c.queue, p)
+			p.state = stateBlocked
+			return
+		}
+	}
+}
+
+// dispatch installs a current process on an idle CPU, choosing the process
+// that can run earliest; ties go to the lowest priority value, then FIFO
+// order. Ordering by readiness (not priority alone) keeps a sleeping
+// process's future wake tick from starving an immediately-ready one.
+func (e *Engine) dispatch(c *CPU) {
+	if c.current != nil {
+		return
+	}
+	// Prune finished processes from the queue.
+	live := c.queue[:0]
+	for _, q := range c.queue {
+		if q.state != stateDone {
+			live = append(live, q)
+		}
+	}
+	c.queue = live
+	best := -1
+	var bestReady Time
+	for i, q := range c.queue {
+		if (q.state == stateBlocked || q.state == stateWaiting) && q.wakeAt >= Forever {
+			continue // nothing to run until notified
+		}
+		ready := maxTime(q.now, c.freeAt)
+		if q.state == stateBlocked || q.state == stateWaiting {
+			ready = maxTime(q.wakeAt, c.freeAt)
+		}
+		if best == -1 || ready < bestReady ||
+			(ready == bestReady && q.Priority < c.queue[best].Priority) {
+			best = i
+			bestReady = ready
+		}
+	}
+	if best == -1 {
+		return
+	}
+	p := c.queue[best]
+	c.queue = append(c.queue[:best], c.queue[best+1:]...)
+	start := maxTime(p.now, c.freeAt)
+	if c.lastRan != nil && c.lastRan != p {
+		start += e.cfg.CtxSwitch
+		e.ctxSwitches++
+	}
+	switch p.state {
+	case stateBlocked:
+		// Woken process: schedulable no earlier than its wake time.
+		p.now = maxTime(start, p.wakeAt)
+		p.wakeAt = Forever
+		p.state = stateReady
+	case stateWaiting:
+		// Keeps waiting; pick will resume it at its wake time.
+		p.now = start
+	default:
+		p.now = start
+	}
+	c.current = p
+	c.sliceEnd = Forever
+	if e.cfg.Quantum > 0 {
+		c.sliceEnd = maxTime(p.now, start) + e.cfg.Quantum
+	}
+}
+
+// pick returns the schedulable process with the smallest effective time.
+func (e *Engine) pick() *Proc {
+	var best *Proc
+	bestT := Forever
+	for _, c := range e.cpus {
+		p := c.current
+		if p == nil {
+			continue
+		}
+		t := p.effectiveTime()
+		if t >= Forever {
+			continue
+		}
+		if t < bestT || (t == bestT && (best == nil || p.ID < best.ID)) {
+			best = p
+			bestT = t
+		}
+	}
+	if best != nil && best.state == stateWaiting {
+		// Its event has arrived; advance its clock to the wake time.
+		best.now = maxTime(best.now, best.wakeAt)
+		best.wakeAt = Forever
+		best.state = stateReady
+		best.sleeping = false
+	}
+	return best
+}
+
+// windowFor computes how far p may run before yielding: the minimum
+// effective time of any other process that could become runnable.
+func (e *Engine) windowFor(p *Proc) Time {
+	w := Forever
+	for _, q := range e.procs {
+		if q == p || q.state == stateDone {
+			continue
+		}
+		if t := q.effectiveTime(); t < w {
+			w = t
+		}
+	}
+	return w
+}
+
+// reschedule handles quantum expiry and blocking after p yields.
+func (e *Engine) reschedule(p *Proc) {
+	c := p.cpu
+	if c.current != p {
+		return
+	}
+	switch p.state {
+	case stateDone, stateBlocked:
+		c.lastRan = p
+		c.freeAt = maxTime(c.freeAt, p.now)
+		c.current = nil
+		if p.state == stateBlocked {
+			c.queue = append(c.queue, p)
+		}
+	case stateReady, stateWaiting:
+		if p.now >= c.sliceEnd && e.anyoneElseWants(c) {
+			// Quantum expired and another process wants the CPU.
+			c.lastRan = p
+			c.freeAt = maxTime(c.freeAt, p.now)
+			c.current = nil
+			c.queue = append(c.queue, p)
+		}
+	}
+}
+
+func (e *Engine) anyoneElseWants(c *CPU) bool {
+	for _, q := range c.queue {
+		if q.state == stateDone {
+			continue
+		}
+		if (q.state == stateBlocked || q.state == stateWaiting) && q.wakeAt >= Forever {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func (e *Engine) allDone() bool {
+	for _, p := range e.procs {
+		if p.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) deadlockError() error {
+	var stuck []string
+	for _, p := range e.procs {
+		if p.state != stateDone {
+			stuck = append(stuck, fmt.Sprintf("%s[%d] %s t=%d wake=%d", p.Name, p.ID, p.state, p.now, p.wakeAt))
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("sim: deadlock, %d processes stuck: %v", len(stuck), stuck)
+}
+
+// DescribeCPU reports the scheduling state of one CPU (debugging aid).
+func (e *Engine) DescribeCPU(idx int) string {
+	c := e.cpus[idx]
+	cur := "idle"
+	if c.current != nil {
+		p := c.current
+		cur = fmt.Sprintf("%s[%d] %v now=%d wake=%d", p.Name, p.ID, p.state, p.now, p.wakeAt)
+	}
+	q := ""
+	for _, p := range c.queue {
+		q += fmt.Sprintf(" %s[%d]:%v@%d/w%d", p.Name, p.ID, p.state, p.now, p.wakeAt)
+	}
+	return fmt.Sprintf("cpu%d sliceEnd=%d freeAt=%d cur={%s} queue=[%s]", idx, c.sliceEnd, c.freeAt, cur, q)
+}
+
+// fail records a guest panic; Run will return it.
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// drain unblocks any goroutines still parked so they can exit.
+func (e *Engine) drain() {
+	for _, p := range e.procs {
+		if p.state != stateDone {
+			p.abort = true
+			p.resume <- Forever
+		}
+	}
+}
+
+func maxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleProcAdvances(t *testing.T) {
+	e := NewEngine(Config{Nodes: 1, CPUsPerNode: 1})
+	var end Time
+	e.Spawn("a", 0, 0, func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Advance(100)
+		}
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 1000 {
+		t.Fatalf("end time = %d, want 1000", end)
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine(Config{Nodes: 1, CPUsPerNode: 2})
+		var trace []string
+		mark := func(s string) { trace = append(trace, s) }
+		e.Spawn("a", 0, 0, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Advance(10)
+				mark("a")
+			}
+		})
+		e.Spawn("b", 1, 0, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Advance(15)
+				mark("b")
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	t1 := strings.Join(run(), "")
+	t2 := strings.Join(run(), "")
+	if t1 != t2 {
+		t.Fatalf("nondeterministic traces: %q vs %q", t1, t2)
+	}
+	// a events at t=10,20,30; b at t=15,30,45. The t=30 tie goes to the
+	// lower process ID, so 'a' must appear before the second 'b' pair.
+	if t1 != "abaabb" && t1 != "abaab"+"b" {
+		t.Fatalf("unexpected trace %q", t1)
+	}
+}
+
+func TestNotifyWakesWaiter(t *testing.T) {
+	e := NewEngine(Config{Nodes: 2, CPUsPerNode: 1})
+	var got Time
+	var waiter *Proc
+	delivered := false
+	waiter = e.Spawn("waiter", 0, 0, func(p *Proc) {
+		for !delivered {
+			p.Wait()
+		}
+		got = p.Now()
+	})
+	e.Spawn("sender", 1, 0, func(p *Proc) {
+		p.Advance(500)
+		delivered = true
+		waiter.NotifyAt(p.Now() + 1200) // message with 4us latency
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1700 {
+		t.Fatalf("waiter woke at %d, want 1700", got)
+	}
+}
+
+func TestBlockReleasesCPU(t *testing.T) {
+	e := NewEngine(Config{Nodes: 1, CPUsPerNode: 1, CtxSwitch: 100})
+	var blocker, other *Proc
+	var otherRan Time
+	done := false
+	blocker = e.Spawn("blocker", 0, 0, func(p *Proc) {
+		p.Advance(50)
+		for !done {
+			p.Block()
+		}
+	})
+	other = e.Spawn("other", 0, 0, func(p *Proc) {
+		p.Advance(1000)
+		otherRan = p.Now()
+		done = true
+		blocker.NotifyAt(p.Now())
+	})
+	_ = other
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if otherRan == 0 {
+		t.Fatal("other never ran; Block did not release the CPU")
+	}
+	if blocker.Now() < otherRan {
+		t.Fatalf("blocker finished at %d before other at %d", blocker.Now(), otherRan)
+	}
+}
+
+func TestQuantumPreemption(t *testing.T) {
+	// Two processes share one CPU with a quantum; both must make progress.
+	e := NewEngine(Config{Nodes: 1, CPUsPerNode: 1, Quantum: 1000, CtxSwitch: 10})
+	var aEnd, bEnd Time
+	e.Spawn("a", 0, 0, func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Advance(100)
+		}
+		aEnd = p.Now()
+	})
+	e.Spawn("b", 0, 0, func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Advance(100)
+		}
+		bEnd = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if aEnd == 0 || bEnd == 0 {
+		t.Fatalf("a=%d b=%d: starvation", aEnd, bEnd)
+	}
+	// Total CPU demand is 10000 cycles plus switches; both should finish
+	// near that, not at 5000 (which would mean they ran in parallel).
+	if aEnd < 5000+1000 && bEnd < 5000+1000 {
+		t.Fatalf("a=%d b=%d: processes overlapped on one CPU", aEnd, bEnd)
+	}
+	if e.ContextSwitches() == 0 {
+		t.Fatal("expected context switches")
+	}
+}
+
+func TestWaitingProcessPreemptedAtQuantum(t *testing.T) {
+	// A process waits for a notification that only arrives after another
+	// process on the same CPU runs: the waiter must be switched out.
+	e := NewEngine(Config{Nodes: 1, CPUsPerNode: 1, Quantum: 1000, CtxSwitch: 10})
+	ready := false
+	var waiter *Proc
+	waiter = e.Spawn("waiter", 0, 0, func(p *Proc) {
+		for !ready {
+			p.Wait()
+		}
+	})
+	e.Spawn("producer", 0, 0, func(p *Proc) {
+		p.Advance(200)
+		ready = true
+		waiter.NotifyAt(p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine(Config{Nodes: 1, CPUsPerNode: 2})
+	e.Spawn("w", 0, 0, func(p *Proc) {
+		p.Wait() // nobody will notify
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestGuestPanicPropagates(t *testing.T) {
+	e := NewEngine(Config{Nodes: 1, CPUsPerNode: 1})
+	e.Spawn("bad", 0, 0, func(p *Proc) {
+		p.Advance(10)
+		panic("boom")
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("expected panic error, got %v", err)
+	}
+}
+
+func TestSleepAdvancesTime(t *testing.T) {
+	e := NewEngine(Config{Nodes: 1, CPUsPerNode: 1})
+	var end Time
+	e.Spawn("s", 0, 0, func(p *Proc) {
+		p.Advance(100)
+		p.Sleep(5000)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end < 5100 {
+		t.Fatalf("end=%d, want >= 5100", end)
+	}
+}
+
+func TestPriorityProcessRunsOnlyWhenIdle(t *testing.T) {
+	// A low-priority (higher value) protocol process shares the CPU with an
+	// application process; the app should dominate.
+	e := NewEngine(Config{Nodes: 1, CPUsPerNode: 1, Quantum: 1000, CtxSwitch: 10})
+	appDone := false
+	var protoTurns int
+	e.Spawn("app", 0, 0, func(p *Proc) {
+		for i := 0; i < 30; i++ {
+			p.Advance(100)
+		}
+		appDone = true
+	})
+	e.Spawn("proto", 0, 1, func(p *Proc) {
+		for !appDone {
+			protoTurns++
+			p.Advance(50)
+			p.YieldCPU()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !appDone {
+		t.Fatal("app never finished")
+	}
+}
+
+func TestMaxTimeStopsRunaway(t *testing.T) {
+	e := NewEngine(Config{Nodes: 1, CPUsPerNode: 1, MaxTime: 100000})
+	e.Spawn("spin", 0, 0, func(p *Proc) {
+		for {
+			p.Advance(1000)
+		}
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "MaxTime") {
+		t.Fatalf("expected MaxTime error, got %v", err)
+	}
+}
+
+func TestManyProcsManyCPUs(t *testing.T) {
+	e := NewEngine(Config{Nodes: 4, CPUsPerNode: 4, Quantum: 3000, CtxSwitch: 50})
+	total := 0
+	for i := 0; i < 32; i++ {
+		cpu := i % 16
+		e.Spawn("w", cpu, 0, func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				p.Advance(37)
+			}
+			total++
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 32 {
+		t.Fatalf("total=%d, want 32", total)
+	}
+}
+
+func TestMicrosecondsConversion(t *testing.T) {
+	if Microseconds(300) != 1 {
+		t.Fatalf("Microseconds(300)=%v", Microseconds(300))
+	}
+	if Cycles(20) != 6000 {
+		t.Fatalf("Cycles(20)=%v", Cycles(20))
+	}
+}
