@@ -46,7 +46,7 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.SharedBytes = 1 << 20
 	cfg.MaxTime = sim.Cycles(300e6)
-	s := core.NewSystem(cfg)
+	s := core.Build(core.WithConfig(cfg))
 	m := isa.NewInterp(prog)
 	s.Spawn("cpu0", 0, func(p *core.Proc) {
 		if err := m.Run(p, *entry); err != nil {

@@ -14,7 +14,10 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 var registry = []struct {
@@ -44,7 +47,24 @@ var registry = []struct {
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "comma-separated experiment names, or 'all'")
+	traceOut := flag.String("trace", "", "write a structured event trace (JSONL) of every run to this file")
+	watchdog := flag.Int64("watchdog-cycles", 0, "stall watchdog budget in cycles (0 = default, negative = off)")
 	flag.Parse()
+
+	var opts []core.Option
+	if *watchdog != 0 {
+		opts = append(opts, core.WithWatchdog(sim.Time(*watchdog)))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts = append(opts, core.WithTrace(trace.New(trace.DefaultRingSize, f)))
+	}
+	experiments.SetBuildOptions(opts...)
 
 	if *list || *run == "" {
 		fmt.Println("experiments:")

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -23,6 +24,8 @@ func main() {
 	syncStyle := flag.String("sync", "mp", "synchronization: mp (message passing) or sm (Alpha LL/SC)")
 	smp := flag.Bool("smp", true, "SMP-Shasta (false = Base-Shasta)")
 	sc := flag.Bool("sc", false, "sequential consistency (default: release consistency)")
+	traceOut := flag.String("trace", "", "write a structured event trace (JSONL) to this file")
+	watchdog := flag.Int64("watchdog-cycles", 0, "stall watchdog budget in cycles (0 = default, negative = off)")
 	listApps := flag.Bool("listapps", false, "list workloads")
 	flag.Parse()
 
@@ -37,34 +40,51 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
 		os.Exit(1)
 	}
-	cfg := core.DefaultConfig()
-	cfg.SMP = *smp
-	if *sc {
-		cfg.Consistency = core.SequentiallyConsistent
+	opts := []core.Option{
+		core.WithMaxTime(sim.Cycles(900e6)),
+		core.WithWatchdog(sim.Time(*watchdog)),
+		core.WithConfigure(func(cfg *core.Config) {
+			cfg.SMP = *smp
+			if *sc {
+				cfg.Consistency = core.SequentiallyConsistent
+			}
+		}),
 	}
-	cfg.MaxTime = sim.Cycles(900e6)
+	if *traceOut != "" {
+		// The tracer buffers internally; System.Run flushes it on both the
+		// success and error paths, so the file is complete even on a stall.
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts = append(opts, core.WithTrace(trace.New(trace.DefaultRingSize, f)))
+	}
 	sync := workloads.MPSync
 	if *syncStyle == "sm" {
 		sync = workloads.SMSync
 	}
-	res, err := workloads.Run(core.NewSystem(cfg), app, workloads.RunConfig{
+	sys := core.Build(opts...)
+	res, err := workloads.Run(sys, app, workloads.RunConfig{
 		Procs: *procs, Scale: *scale, Sync: sync,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	cfg := sys.Cfg
 	st := res.Stats
 	fmt.Printf("%s: procs=%d sync=%v smp=%v model=%v\n", app.Name, *procs, sync, *smp, cfg.Consistency)
 	fmt.Printf("  elapsed             %10.2f ms (simulated)\n", sim.Microseconds(res.Elapsed)/1000)
-	fmt.Printf("  loads/stores        %10d / %d\n", st.Loads, st.Stores)
-	fmt.Printf("  remote misses       %10d read, %d write\n", st.ReadMisses, st.WriteMisses)
-	fmt.Printf("  SMP local fills     %10d\n", st.LocalFills)
-	fmt.Printf("  messages            %10d sent\n", st.MessagesSent)
-	fmt.Printf("  invalidations       %10d\n", st.Invalidations)
-	fmt.Printf("  downgrades          %10d explicit, %d direct\n", st.DowngradesSent, st.DowngradesDirect)
-	fmt.Printf("  LL/SC               %10d/%d (%d hw, %d failed)\n", st.LLs, st.SCs, st.SCHardware, st.SCFailures)
-	fmt.Printf("  locks/barriers      %10d / %d\n", st.LockAcquires, st.BarrierWaits)
+	fmt.Printf("  loads/stores        %10d / %d\n", st.Loads(), st.Stores())
+	fmt.Printf("  remote misses       %10d read, %d write\n", st.ReadMisses(), st.WriteMisses())
+	fmt.Printf("  SMP local fills     %10d\n", st.LocalFills())
+	fmt.Printf("  messages            %10d sent\n", st.MessagesSent())
+	fmt.Printf("  invalidations       %10d\n", st.Invalidations())
+	fmt.Printf("  downgrades          %10d explicit, %d direct\n", st.DowngradesSent(), st.DowngradesDirect())
+	fmt.Printf("  LL/SC               %10d/%d (%d hw, %d failed)\n", st.LLs(), st.SCs(), st.SCHardware(), st.SCFailures())
+	fmt.Printf("  locks/barriers      %10d / %d\n", st.LockAcquires(), st.BarrierWaits())
 	fmt.Println("  time breakdown (all processes):")
 	total := st.Total()
 	for _, c := range core.Categories() {

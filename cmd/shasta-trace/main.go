@@ -1,0 +1,36 @@
+// shasta-trace summarizes a structured event trace (JSONL) written by
+// shasta-run/shasta-bench's -trace flag: the Figure 4/5-style execution-time
+// breakdown, a message histogram with service delays, network traffic, and
+// scheduler activity.
+//
+// Usage:
+//
+//	shasta-run -app Barnes -trace run.jsonl
+//	shasta-trace run.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace/analyze"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: shasta-trace <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	sum, err := analyze.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(sum.Render())
+}

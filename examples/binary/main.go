@@ -52,7 +52,7 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.SharedBytes = 64 << 10
 	cfg.MaxTime = sim.Cycles(300e6)
-	sys := core.NewSystem(cfg)
+	sys := core.Build(core.WithConfig(cfg))
 	const copies = 4
 	for i := 0; i < copies; i++ {
 		cpu := i * cfg.CPUsPerNode % sys.Eng.NumCPUs() // one per node
@@ -71,5 +71,5 @@ func main() {
 	fmt.Printf("four copies on four nodes: counter = %d (want %d)\n",
 		sys.Peek(core.SharedBase), copies*25)
 	fmt.Printf("LL/SC: %d/%d (%d in hardware, %d failed); remote misses: %d read, %d write\n",
-		agg.LLs, agg.SCs, agg.SCHardware, agg.SCFailures, agg.ReadMisses, agg.WriteMisses)
+		agg.LLs(), agg.SCs(), agg.SCHardware(), agg.SCFailures(), agg.ReadMisses(), agg.WriteMisses())
 }

@@ -6,7 +6,6 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/clusterfs"
 	"repro/internal/clusteros"
 	"repro/internal/core"
 	"repro/internal/oracledb"
@@ -21,15 +20,14 @@ func main() {
 		cfg.Checks = checks
 		cfg.ProtocolProcs = true
 		cfg.MaxTime = sim.Cycles(900e6)
-		sys := core.NewSystem(cfg)
-		osl := clusteros.New(sys, clusterfs.New(cfg.Nodes))
+		sys, osl := clusteros.Build(core.WithConfig(cfg))
 		res, err := oracledb.Run(sys, osl, oracledb.DSS1(servers, serverCPUs, daemonCPU))
 		if err != nil {
 			panic(err)
 		}
 		fmt.Printf("%-30s %12.2f %10d %10.2f\n", name,
 			sim.Microseconds(res.Elapsed)/1000,
-			res.ServerStats.ReadMisses,
+			res.ServerStats.ReadMisses(),
 			sim.Microseconds(res.ServerStats.Time[core.CatBlocked])/1000)
 	}
 	// Standard Oracle on one SMP (no in-line checks).

@@ -11,10 +11,14 @@ import (
 )
 
 func main() {
-	// A cluster of four 4-CPU SMP nodes (the paper's prototype).
-	cfg := core.DefaultConfig()
-	cfg.MaxTime = sim.Cycles(60e6)
-	sys := core.NewSystem(cfg)
+	// A cluster of four 4-CPU SMP nodes (the paper's prototype), built
+	// with the functional-options API.
+	sys := core.Build(
+		core.WithProcs(4, 4),
+		core.WithProtocol(core.SMPShasta()),
+		core.WithMaxTime(sim.Cycles(60e6)),
+	)
+	cfg := sys.Cfg
 
 	var data uint64 // shared array address
 	ready := false
@@ -52,9 +56,9 @@ func main() {
 	}
 
 	fmt.Printf("producer: %d stores, %d write misses\n",
-		producer.Stats().Stores, producer.Stats().WriteMisses)
+		producer.Stats().Stores(), producer.Stats().WriteMisses())
 	fmt.Printf("consumer: %d loads, %d remote read misses (%d lines fetched over the wire)\n",
-		consumer.Stats().Loads, consumer.Stats().ReadMisses, consumer.Stats().ReadMisses)
+		consumer.Stats().Loads(), consumer.Stats().ReadMisses(), consumer.Stats().ReadMisses())
 	fmt.Printf("network: %d messages, %d bytes\n",
 		sys.Net.Stats().Messages, sys.Net.Stats().Bytes)
 }

@@ -19,7 +19,7 @@ func main() {
 	base := core.DefaultConfig()
 	base.Checks = false
 	base.MaxTime = sim.Cycles(900e6)
-	seq, err := workloads.Run(core.NewSystem(base), app, workloads.RunConfig{Procs: 1})
+	seq, err := workloads.Run(core.Build(core.WithConfig(base)), app, workloads.RunConfig{Procs: 1})
 	if err != nil {
 		panic(err)
 	}
@@ -30,7 +30,7 @@ func main() {
 		for _, sync := range []workloads.SyncStyle{workloads.MPSync, workloads.SMSync} {
 			cfg := core.DefaultConfig()
 			cfg.MaxTime = sim.Cycles(900e6)
-			res, err := workloads.Run(core.NewSystem(cfg), app, workloads.RunConfig{Procs: n, Sync: sync})
+			res, err := workloads.Run(core.Build(core.WithConfig(cfg)), app, workloads.RunConfig{Procs: n, Sync: sync})
 			if err != nil {
 				panic(err)
 			}

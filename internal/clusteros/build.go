@@ -1,0 +1,31 @@
+package clusteros
+
+import (
+	"repro/internal/clusterfs"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// The OS layer registers itself as core's OS factory so core.Build's WithOS
+// option can construct it without core importing this package (the same
+// inversion database/sql uses for drivers).
+func init() {
+	core.RegisterOSFactory(func(sys *core.System) any {
+		return New(sys, clusterfs.New(sys.Cfg.Nodes))
+	})
+}
+
+// Build constructs a Shasta system with the cluster OS layer attached and
+// returns both. It is core.Build with WithOS applied and the result typed.
+func Build(opts ...core.Option) (*core.System, *OS) {
+	sys := core.Build(append(opts, core.WithOS())...)
+	return sys, sys.OS().(*OS)
+}
+
+// emitSyscall traces one OS-level event for process p; a is call-specific
+// (byte count, pid, ...).
+func (os *OS) emitSyscall(p *core.Proc, name string, a int64) {
+	if t := os.sys.Tracer(); t != nil {
+		t.Emit(trace.Event{T: p.Now(), Cat: "os", Ev: "syscall", P: p.ID, S: name, A: a})
+	}
+}

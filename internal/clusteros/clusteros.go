@@ -143,9 +143,10 @@ func (os *OS) Getpid(p *core.Proc) int {
 // process state (open file descriptors are not inherited).
 func (os *OS) Fork(p *core.Proc, cpu int, body func(child *core.Proc)) int {
 	parent := os.state(p)
+	os.emitSyscall(p, "fork", int64(cpu))
 	p.SyscallEnter()
 	defer p.SyscallExit()
-	p.Stats().Forks++
+	p.Stats().N[core.CntForks]++
 	cost := os.sys.Cfg.Cost.SyscallTrap +
 		sim.Time(float64(os.ForkCopyBytes)*os.sys.Net.Config().IntraNodeCyclesPerByte)
 	if os.sys.Eng.NodeOf(cpu) != p.Node() {
@@ -186,6 +187,7 @@ func (os *OS) exit(p *core.Proc, status int) {
 	if st.exited {
 		return
 	}
+	os.emitSyscall(p, "exit", int64(status))
 	st.exited = true
 	st.status = status
 	if parent := os.byPID[st.Parent]; parent != nil && !parent.exited {
@@ -197,6 +199,7 @@ func (os *OS) exit(p *core.Proc, status int) {
 // It returns -1 if the process has no children outstanding.
 func (os *OS) Wait(p *core.Proc) (pid, status int) {
 	st := os.state(p)
+	os.emitSyscall(p, "wait", 0)
 	p.SyscallEnter()
 	defer p.SyscallExit()
 	p.ChargeTime(core.CatTask, os.sys.Cfg.Cost.SyscallTrap)
@@ -220,6 +223,7 @@ func (os *OS) Kill(p *core.Proc, pid, sig int) error {
 	if target == nil {
 		return fmt.Errorf("clusteros: kill: no such pid %d", pid)
 	}
+	os.emitSyscall(p, "kill", int64(pid))
 	p.ChargeTime(core.CatTask, os.sys.Cfg.Cost.SyscallTrap)
 	p.SendUser(target.Proc.ID, tagSignal, sig)
 	return nil
@@ -237,6 +241,7 @@ func (os *OS) Sigpending(p *core.Proc) []int {
 // PidUnblock on it (§4.2); databases use this to wait for daemons.
 func (os *OS) PidBlock(p *core.Proc) {
 	st := os.state(p)
+	os.emitSyscall(p, "pid_block", int64(st.PID))
 	p.SyscallEnter()
 	defer p.SyscallExit()
 	p.ChargeTime(core.CatTask, os.sys.Cfg.Cost.SyscallTrap)
@@ -256,6 +261,7 @@ func (os *OS) PidUnblock(p *core.Proc, pid int) error {
 	if target == nil {
 		return fmt.Errorf("clusteros: pid_unblock: no such pid %d", pid)
 	}
+	os.emitSyscall(p, "pid_unblock", int64(pid))
 	p.ChargeTime(core.CatTask, os.sys.Cfg.Cost.SyscallTrap)
 	wire := os.sys.Net.Deliver(p.Node(), target.Proc.Node(), 16, p.Now())
 	if target.blocked {

@@ -186,8 +186,8 @@ func TestFileReadWriteWithValidation(t *testing.T) {
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if st := sys.AggregateStats(); st.SyscallValidations < 2 {
-		t.Fatalf("validations=%d", st.SyscallValidations)
+	if st := sys.AggregateStats(); st.SyscallValidations() < 2 {
+		t.Fatalf("validations=%d", st.SyscallValidations())
 	}
 }
 

@@ -32,10 +32,11 @@ func (os *OS) validationCost(bytes int) sim.Time {
 // areas are not shared).
 func (os *OS) Open(p *core.Proc, path string, nameAddr uint64) (int, error) {
 	st := os.state(p)
+	os.emitSyscall(p, "open", int64(len(path)))
 	p.SyscallEnter()
 	defer p.SyscallExit()
 	if nameAddr != 0 && os.sys.Cfg.Checks {
-		p.Stats().SyscallValidations++
+		p.Stats().N[core.CntSyscallValidations]++
 		p.PinRange(nameAddr, len(path))
 		defer p.UnpinAll()
 		b := p.BatchStart(core.Range{Addr: nameAddr, Bytes: len(path), Write: false})
@@ -75,6 +76,7 @@ func (os *OS) Read(p *core.Proc, fdnum int, bufAddr uint64, n int) (int, error) 
 	if f == nil {
 		return 0, fmt.Errorf("clusteros: read: bad fd %d", fdnum)
 	}
+	os.emitSyscall(p, "read", int64(n))
 	p.SyscallEnter()
 	defer p.SyscallExit()
 
@@ -93,7 +95,7 @@ func (os *OS) Read(p *core.Proc, fdnum int, bufAddr uint64, n int) (int, error) 
 		// Validate the buffer: exclusive copies of all lines written by
 		// the system call (§4.1).
 		if os.sys.Cfg.Checks {
-			p.Stats().SyscallValidations++
+			p.Stats().N[core.CntSyscallValidations]++
 			p.ChargeTime(core.CatTask, os.validationCost(len(data)))
 		}
 		p.PinRange(bufAddr, len(data))
@@ -120,13 +122,14 @@ func (os *OS) Write(p *core.Proc, fdnum int, bufAddr uint64, n int) (int, error)
 	if f == nil {
 		return 0, fmt.Errorf("clusteros: write: bad fd %d", fdnum)
 	}
+	os.emitSyscall(p, "write", int64(n))
 	p.SyscallEnter()
 	defer p.SyscallExit()
 
 	data := make([]byte, n)
 	if bufAddr >= core.SharedBase {
 		if os.sys.Cfg.Checks {
-			p.Stats().SyscallValidations++
+			p.Stats().N[core.CntSyscallValidations]++
 			p.ChargeTime(core.CatTask, os.validationCost(n))
 		}
 		p.PinRange(bufAddr, n)

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // This file implements batched miss checks (§2.2) and their §4.1 semantics:
 // a batch validates the state of several ranges of lines at once, after
@@ -53,7 +57,10 @@ func (p *Proc) BatchStart(ranges ...Range) *Batch {
 		p.curBatch = b
 		return b
 	}
-	p.stats.BatchesIssued++
+	p.stats.N[CntBatchesIssued]++
+	if t := s.tracer; t != nil {
+		t.Emit(trace.Event{T: p.Sim.Now(), Cat: "batch", Ev: "start", P: p.ID, A: int64(len(ranges))})
+	}
 	p.enterProtocol()
 	defer p.exitProtocol()
 
@@ -71,7 +78,7 @@ func (p *Proc) BatchStart(ranges ...Range) *Batch {
 		last := s.lineOf(r.Addr + uint64(r.Bytes) - 1)
 		for l := first; l <= last; l++ {
 			b.lines[l] = true
-			p.stats.BatchChecks++
+			p.stats.N[CntBatchChecks]++
 			blk := s.blockOf(l)
 			if i, ok := seen[blk.id]; ok {
 				needs[i].write = needs[i].write || r.Write
@@ -114,9 +121,9 @@ func (p *Proc) BatchStart(ranges ...Range) *Batch {
 				continue
 			}
 			if n.write {
-				p.stats.WriteMisses++
+				p.stats.N[CntWriteMisses]++
 			} else {
-				p.stats.ReadMisses++
+				p.stats.N[CntReadMisses]++
 			}
 			p.issueMiss(n.blk, n.write, nil)
 			break
@@ -144,7 +151,7 @@ func (p *Proc) BatchStart(ranges ...Range) *Batch {
 // Load performs an unchecked load inside the batch window.
 func (b *Batch) Load(addr uint64) uint64 {
 	p := b.p
-	p.stats.Loads++
+	p.stats.N[CntLoads]++
 	p.charge(CatTask, 1)
 	return p.mem.data[p.sys.wordOf(addr)]
 }
@@ -153,7 +160,7 @@ func (b *Batch) Load(addr uint64) uint64 {
 // for possible reissue (§4.1).
 func (b *Batch) Store(addr uint64, v uint64) {
 	p := b.p
-	p.stats.Stores++
+	p.stats.N[CntStores]++
 	p.charge(CatTask, 1)
 	p.mem.data[p.sys.wordOf(addr)] = v
 	p.resetLocalLLs(p.sys.lineOf(addr))
@@ -183,10 +190,13 @@ func (p *Proc) BatchEnd(b *Batch) {
 	}
 	p.exitProtocol() // applies deferred flag fills
 	for _, st := range reissue {
-		p.stats.BatchStoreReissues++
+		p.stats.N[CntBatchStoreReissues]++
 		line := p.sys.lineOf(st.addr)
 		p.enterProtocol()
 		p.storeMissLocked(st.addr, st.val, line)
 		p.exitProtocol()
+	}
+	if t := p.sys.tracer; t != nil {
+		t.Emit(trace.Event{T: p.Sim.Now(), Cat: "batch", Ev: "end", P: p.ID, A: int64(len(reissue))})
 	}
 }

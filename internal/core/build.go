@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Option configures Build.
+type Option func(*builder)
+
+type builder struct {
+	cfg    Config
+	tracer *trace.Tracer
+	wantOS bool
+}
+
+// WithConfig starts from an explicit configuration instead of
+// DefaultConfig. Options applied after it still override individual fields.
+func WithConfig(cfg Config) Option {
+	return func(b *builder) { b.cfg = cfg }
+}
+
+// WithProcs sets the cluster topology: nodes × cpusPerNode processors.
+func WithProcs(nodes, cpusPerNode int) Option {
+	return func(b *builder) {
+		b.cfg.Nodes = nodes
+		b.cfg.CPUsPerNode = cpusPerNode
+	}
+}
+
+// WithLineSize sets the state-table granularity in bytes (§2.1).
+func WithLineSize(bytes int) Option {
+	return func(b *builder) { b.cfg.LineSize = bytes }
+}
+
+// ProtocolVariant bundles the protocol configuration choices the paper
+// evaluates against each other (§2.3, §3.2, §4.3). Use one of the
+// constructors to get a coherent baseline and adjust fields from there.
+type ProtocolVariant struct {
+	SMP               bool
+	Consistency       ConsistencyModel
+	FlagCheck         bool
+	PrefetchExclusive bool
+	DirectDowngrade   bool
+	SharedQueues      bool
+	ProtocolProcs     bool
+}
+
+// SMPShasta is the paper's standard SMP-Shasta protocol configuration.
+func SMPShasta() ProtocolVariant {
+	return ProtocolVariant{
+		SMP:             true,
+		Consistency:     ReleaseConsistent,
+		FlagCheck:       true,
+		DirectDowngrade: true,
+		SharedQueues:    true,
+	}
+}
+
+// BaseShasta is the per-process-agent protocol (no intra-node sharing).
+func BaseShasta() ProtocolVariant {
+	return ProtocolVariant{
+		Consistency: ReleaseConsistent,
+		FlagCheck:   true,
+	}
+}
+
+// WithProtocol selects the protocol variant.
+func WithProtocol(v ProtocolVariant) Option {
+	return func(b *builder) {
+		b.cfg.SMP = v.SMP
+		b.cfg.Consistency = v.Consistency
+		b.cfg.FlagCheck = v.FlagCheck
+		b.cfg.PrefetchExclusive = v.PrefetchExclusive
+		b.cfg.DirectDowngrade = v.DirectDowngrade
+		b.cfg.SharedQueues = v.SharedQueues
+		b.cfg.ProtocolProcs = v.ProtocolProcs
+	}
+}
+
+// WithTrace attaches a structured event tracer to every layer of the built
+// system (engine scheduling, protocol messages, network transfers).
+func WithTrace(t *trace.Tracer) Option {
+	return func(b *builder) { b.tracer = t }
+}
+
+// WithWatchdog sets the stall watchdog budget in simulated cycles; pass a
+// negative value to disable the watchdog entirely.
+func WithWatchdog(cycles sim.Time) Option {
+	return func(b *builder) { b.cfg.WatchdogCycles = cycles }
+}
+
+// WithMaxTime caps the simulated run time.
+func WithMaxTime(t sim.Time) Option {
+	return func(b *builder) { b.cfg.MaxTime = t }
+}
+
+// WithConfigure applies an arbitrary configuration edit; an escape hatch for
+// the long tail of Config fields that have no dedicated option.
+func WithConfigure(f func(*Config)) Option {
+	return func(b *builder) { f(&b.cfg) }
+}
+
+// WithOS requests the cluster OS layer. The OS implementation lives above
+// this package (internal/clusteros registers its factory on import), so the
+// built OS is retrieved with System.OS; most callers should use
+// clusteros.Build, which wraps this and returns the typed *clusteros.OS.
+func WithOS() Option {
+	return func(b *builder) { b.wantOS = true }
+}
+
+// osFactory is registered by the cluster OS package (RegisterOSFactory); it
+// keeps WithOS available here without an import cycle.
+var osFactory func(*System) any
+
+// RegisterOSFactory installs the constructor WithOS uses. Called from an
+// init function of the OS package.
+func RegisterOSFactory(f func(*System) any) { osFactory = f }
+
+// Build constructs a fully wired Shasta system from DefaultConfig plus the
+// given options. It is the single supported construction path; NewSystem
+// remains only as a thin compatibility wrapper.
+func Build(opts ...Option) *System {
+	b := builder{cfg: DefaultConfig()}
+	for _, o := range opts {
+		o(&b)
+	}
+	s := newSystem(b.cfg)
+	if b.tracer != nil {
+		s.SetTracer(b.tracer)
+	}
+	if b.wantOS {
+		if osFactory == nil {
+			panic("core: WithOS requires the cluster OS package to be linked in; use clusteros.Build")
+		}
+		s.osObj = osFactory(s)
+	}
+	return s
+}
+
+// OS returns the cluster OS layer built via WithOS, or nil. The concrete
+// type is *clusteros.OS; clusteros.Build returns it already typed.
+func (s *System) OS() any { return s.osObj }
+
+// SetTracer attaches a tracer to the system and all layers below it.
+func (s *System) SetTracer(t *trace.Tracer) {
+	s.tracer = t
+	s.Eng.SetTracer(t)
+	s.Net.SetTracer(t)
+}
+
+// Tracer returns the attached tracer, or nil.
+func (s *System) Tracer() *trace.Tracer { return s.tracer }
+
+// emitStats writes every process's end-of-run accounting into the trace so
+// the analyzer can reconstruct the Figure 4/5 breakdowns; the sums agree
+// exactly with AggregateStats.
+func (s *System) emitStats() {
+	t := s.tracer
+	for _, p := range s.procs {
+		now := p.Sim.Now()
+		for _, cat := range Categories() {
+			if v := p.stats.Time[cat]; v != 0 {
+				t.Emit(trace.Event{T: now, Cat: "stats", Ev: "time", P: p.ID, S: cat.String(), A: v})
+			}
+		}
+		for _, c := range Counters() {
+			if v := p.stats.N[c]; v != 0 {
+				t.Emit(trace.Event{T: now, Cat: "stats", Ev: "count", P: p.ID, S: c.String(), A: v})
+			}
+		}
+	}
+}
+
+// dumpProtocolState describes per-process protocol state for watchdog stall
+// dumps: outstanding misses, pending queue contents, downgrade waits.
+func (s *System) dumpProtocolState() string {
+	out := "protocol state:"
+	for _, p := range s.procs {
+		line := fmt.Sprintf("\n  %s", p)
+		if p.exited {
+			line += " exited"
+		}
+		if p.inProtocol {
+			line += " in-protocol"
+		}
+		if p.outstanding > 0 {
+			line += fmt.Sprintf(" outstanding=%d mshr=[", p.outstanding)
+			for blk, m := range p.mshr {
+				line += fmt.Sprintf("%d(excl=%v,reply=%v,acks=%d/%d)", blk, m.wantExcl, m.haveReply, m.acksGot, m.acksWanted)
+			}
+			line += "]"
+		}
+		for blk, n := range p.dgAcks {
+			line += fmt.Sprintf(" dgAcks[%d]=%d", blk, n)
+		}
+		if n := p.replyQ.q.Len(); n > 0 {
+			line += fmt.Sprintf(" replyQ=%d", n)
+		}
+		if !s.Cfg.SharedQueues && p.reqQ != nil {
+			if n := p.reqQ.q.Len(); n > 0 {
+				line += fmt.Sprintf(" reqQ=%d", n)
+			}
+		}
+		out += line
+	}
+	if s.Cfg.SharedQueues {
+		for i, c := range s.cpus {
+			if n := c.reqQ.q.Len(); n > 0 {
+				out += fmt.Sprintf("\n  cpu%d sharedQ=%d", i, n)
+			}
+		}
+	}
+	return out
+}

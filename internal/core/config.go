@@ -148,6 +148,12 @@ type Config struct {
 	// MaxTime aborts runs that exceed this simulated time (safety net).
 	MaxTime sim.Time
 
+	// WatchdogCycles is the stall-watchdog budget: if no process performs
+	// charged work for this many simulated cycles the run fails with a
+	// diagnostic dump (sim.StallError) instead of crawling toward MaxTime.
+	// 0 selects the default budget; negative disables the watchdog.
+	WatchdogCycles sim.Time
+
 	// Seed makes workload randomness reproducible.
 	Seed int64
 }
@@ -198,5 +204,11 @@ func (c *Config) validate() {
 		// agent state and so require the SMP protocol.
 		c.SharedQueues = false
 		c.ProtocolProcs = false
+	}
+	if c.WatchdogCycles == 0 {
+		// Default budget: far above any legitimate no-progress gap (protocol
+		// polling rounds are ~100 cycles, quanta are ~1e6), far below the
+		// MaxTime safety net.
+		c.WatchdogCycles = 15_000_000
 	}
 }

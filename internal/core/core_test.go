@@ -88,7 +88,7 @@ func TestRemoteReadMiss(t *testing.T) {
 		if got != 7 {
 			t.Fatalf("smp=%v: consumer read %d, want 7", smp, got)
 		}
-		if s.procs[1].stats.ReadMisses == 0 {
+		if s.procs[1].stats.ReadMisses() == 0 {
 			t.Fatalf("smp=%v: consumer should have taken a remote read miss", smp)
 		}
 	}
@@ -318,8 +318,8 @@ func TestFalseMissOnFlagValue(t *testing.T) {
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if s.procs[0].stats.FalseMisses != 1 {
-		t.Fatalf("false misses = %d, want 1", s.procs[0].stats.FalseMisses)
+	if s.procs[0].stats.FalseMisses() != 1 {
+		t.Fatalf("false misses = %d, want 1", s.procs[0].stats.FalseMisses())
 	}
 }
 
@@ -359,11 +359,11 @@ func TestSMPLocalFillAvoidsRemoteMiss(t *testing.T) {
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if c0.stats.ReadMisses != 1 {
-		t.Fatalf("c0 remote misses = %d, want 1", c0.stats.ReadMisses)
+	if c0.stats.ReadMisses() != 1 {
+		t.Fatalf("c0 remote misses = %d, want 1", c0.stats.ReadMisses())
 	}
-	if c1.stats.ReadMisses != 0 {
-		t.Fatalf("c1 remote misses = %d, want 0 (hardware sharing)", c1.stats.ReadMisses)
+	if c1.stats.ReadMisses() != 0 {
+		t.Fatalf("c1 remote misses = %d, want 0 (hardware sharing)", c1.stats.ReadMisses())
 	}
 }
 
@@ -467,8 +467,8 @@ func TestVariableBlockSizeFetchesWholeBlock(t *testing.T) {
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if b.stats.ReadMisses != 1 {
-		t.Fatalf("remote misses = %d, want 1 (whole 4-line block as a unit)", b.stats.ReadMisses)
+	if b.stats.ReadMisses() != 1 {
+		t.Fatalf("remote misses = %d, want 1 (whole 4-line block as a unit)", b.stats.ReadMisses())
 	}
 }
 
@@ -548,11 +548,11 @@ func TestBatchValidationAndAccess(t *testing.T) {
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if b.stats.BatchesIssued != 1 {
-		t.Fatalf("batches = %d", b.stats.BatchesIssued)
+	if b.stats.BatchesIssued() != 1 {
+		t.Fatalf("batches = %d", b.stats.BatchesIssued())
 	}
-	if b.stats.ReadMisses == 0 || b.stats.WriteMisses == 0 {
-		t.Fatalf("batch should have missed: %d read, %d write", b.stats.ReadMisses, b.stats.WriteMisses)
+	if b.stats.ReadMisses() == 0 || b.stats.WriteMisses() == 0 {
+		t.Fatalf("batch should have missed: %d read, %d write", b.stats.ReadMisses(), b.stats.WriteMisses())
 	}
 }
 

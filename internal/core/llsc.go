@@ -11,7 +11,7 @@ package core
 // between the LL and the SC, so incoming requests cannot change the state
 // within the sequence.
 func (p *Proc) LoadLocked(addr uint64) uint64 {
-	p.stats.LLs++
+	p.stats.N[CntLLs]++
 	s := p.sys
 	w := s.wordOf(addr)
 	if !s.Cfg.Checks {
@@ -50,7 +50,7 @@ func (p *Proc) LoadLocked(addr uint64) uint64 {
 // other cases the protocol is invoked, and the store completes within the
 // protocol on success (§3.1.2).
 func (p *Proc) StoreCond(addr uint64, v uint64) bool {
-	p.stats.SCs++
+	p.stats.N[CntSCs]++
 	s := p.sys
 	w := s.wordOf(addr)
 	line := s.lineOf(addr)
@@ -75,12 +75,12 @@ func (p *Proc) StoreCond(addr uint64, v uint64) bool {
 		ok := p.llValid && p.priv[line] == Exclusive && p.llLine == line
 		p.llValid = false
 		if ok {
-			p.stats.SCHardware++
+			p.stats.N[CntSCHardware]++
 			p.mem.data[w] = v
 			p.resetLocalLLs(line)
 			return true
 		}
-		p.stats.SCFailures++
+		p.stats.N[CntSCFailures]++
 		return false
 	}
 	// Slow path: the protocol handles the SC miss. The lock flag must
@@ -88,7 +88,7 @@ func (p *Proc) StoreCond(addr uint64, v uint64) bool {
 	// SC would catch) or an applied invalidation resets it.
 	if !p.llValid || p.llLine != line {
 		p.llValid = false
-		p.stats.SCFailures++
+		p.stats.N[CntSCFailures]++
 		return false
 	}
 	p.llValid = false
@@ -96,12 +96,12 @@ func (p *Proc) StoreCond(addr uint64, v uint64) bool {
 	defer p.exitProtocol()
 	switch p.priv[line] {
 	case Invalid, Pending:
-		p.stats.SCFailures++
+		p.stats.N[CntSCFailures]++
 		return false
 	case Exclusive:
 		// The line became exclusive under us (e.g. a local fill since
 		// the LL); the conservative choice is failure.
-		p.stats.SCFailures++
+		p.stats.N[CntSCFailures]++
 		return false
 	}
 	// The private entry is shared, but the node may hold a newer state
@@ -121,12 +121,12 @@ func (p *Proc) StoreCond(addr uint64, v uint64) bool {
 				p.resetLocalLLs(line)
 				return true
 			}
-			p.stats.SCFailures++
+			p.stats.N[CntSCFailures]++
 			return false
 		case Pending, Invalid:
 			// A transition is in flight or the node lost the line: some
 			// write serialized ahead of this SC.
-			p.stats.SCFailures++
+			p.stats.N[CntSCFailures]++
 			return false
 		}
 	}
@@ -139,7 +139,7 @@ func (p *Proc) StoreCond(addr uint64, v uint64) bool {
 	if !p.tryBeginTransition(blk, CatWriteStall) {
 		// Another local transition is in flight for this block; a write
 		// is serializing ahead of this SC, which therefore fails.
-		p.stats.SCFailures++
+		p.stats.N[CntSCFailures]++
 		return false
 	}
 	p.scWatchValid = true
@@ -149,7 +149,7 @@ func (p *Proc) StoreCond(addr uint64, v uint64) bool {
 	ok := !m.scFailed && p.scWatchValid && p.priv[line] == Exclusive
 	p.scWatchValid = false
 	if !ok {
-		p.stats.SCFailures++
+		p.stats.N[CntSCFailures]++
 		return false
 	}
 	p.mem.data[p.sys.wordOf(addr)] = v
@@ -170,7 +170,7 @@ func (p *Proc) storeCondEmulated(addr, v uint64, line int) bool {
 	p.charge(CatCheck, s.Cfg.Cost.FullCheck+s.Cfg.Cost.LLSCExtra*2)
 	if !p.emuLockFlag || p.emuLockLine != line {
 		p.emuLockFlag = false
-		p.stats.SCFailures++
+		p.stats.N[CntSCFailures]++
 		return false
 	}
 	p.emuLockFlag = false
@@ -184,7 +184,7 @@ func (p *Proc) storeCondEmulated(addr, v uint64, line int) bool {
 		} else {
 			blk := s.blockOf(line)
 			if !p.tryBeginTransition(blk, CatWriteStall) {
-				p.stats.SCFailures++
+				p.stats.N[CntSCFailures]++
 				return false
 			}
 			p.scWatchValid = true
@@ -194,7 +194,7 @@ func (p *Proc) storeCondEmulated(addr, v uint64, line int) bool {
 			ok := !m.scFailed && p.scWatchValid && p.priv[line] == Exclusive
 			p.scWatchValid = false
 			if !ok {
-				p.stats.SCFailures++
+				p.stats.N[CntSCFailures]++
 				return false
 			}
 		}
@@ -213,7 +213,7 @@ func (p *Proc) PrefetchExclusive(addr uint64) {
 	if !s.Cfg.Checks || !s.Cfg.PrefetchExclusive {
 		return
 	}
-	p.stats.Prefetches++
+	p.stats.N[CntPrefetches]++
 	line := s.lineOf(addr)
 	p.charge(CatCheck, s.Cfg.Cost.FullCheck)
 	if p.priv[line] == Exclusive || p.priv[line] == Pending {
@@ -237,7 +237,7 @@ func (p *Proc) PrefetchExclusive(addr uint64) {
 	if !p.tryBeginTransition(blk, CatCheck) {
 		return // somebody else is transitioning this block; skip
 	}
-	p.stats.WriteMisses++
+	p.stats.N[CntWriteMisses]++
 	p.issueMiss(blk, true, nil)
 	// Non-binding and non-blocking: the following LL finds the line
 	// pending and waits for the exclusive fill.

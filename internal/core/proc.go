@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Proc is one Shasta application process. Guest code runs inside the
@@ -138,7 +139,7 @@ func (p *Proc) Compute(c sim.Time) {
 // Poll executes one in-line message poll ("three instructions"): it tests
 // the receive flag and services any ready messages.
 func (p *Proc) Poll() {
-	p.stats.Polls++
+	p.stats.N[CntPolls]++
 	p.charge(CatPoll, p.sys.Cfg.Cost.Poll)
 	for p.serviceReady(CatMessage) {
 	}
@@ -167,7 +168,7 @@ func (p *Proc) forwardedStore(addr uint64) (uint64, bool) {
 
 // Load performs a checked 64-bit load from shared memory.
 func (p *Proc) Load(addr uint64) uint64 {
-	p.stats.Loads++
+	p.stats.N[CntLoads]++
 	s := p.sys
 	w := s.wordOf(addr)
 	if !s.Cfg.Checks {
@@ -178,7 +179,7 @@ func (p *Proc) Load(addr uint64) uint64 {
 		return p.mem.data[w]
 	}
 	if v, ok := p.forwardedStore(addr); ok {
-		p.stats.LoadChecks++
+		p.stats.N[CntLoadChecks]++
 		p.charge(CatCheck, s.Cfg.Cost.LoadCheck)
 		return v
 	}
@@ -186,7 +187,7 @@ func (p *Proc) Load(addr uint64) uint64 {
 	if s.Cfg.FlagCheck {
 		// Flag technique (§2.2): load the data, compare against the flag
 		// value; only enter the protocol when it matches.
-		p.stats.LoadChecks++
+		p.stats.N[CntLoadChecks]++
 		p.charge(CatCheck, s.Cfg.Cost.LoadCheck)
 		v := p.mem.data[w]
 		if v != FlagWord {
@@ -194,14 +195,14 @@ func (p *Proc) Load(addr uint64) uint64 {
 		}
 		p.charge(CatCheck, s.Cfg.Cost.ProtocolEntry)
 		if st := p.priv[line]; st == Shared || st == Exclusive {
-			p.stats.FalseMisses++
+			p.stats.N[CntFalseMisses]++
 			return v
 		}
 		p.loadMiss(line)
 		return p.mem.data[w]
 	}
 	// Full state-table check ("about seven instructions").
-	p.stats.LoadChecks++
+	p.stats.N[CntLoadChecks]++
 	p.charge(CatCheck, s.Cfg.Cost.FullCheck)
 	if st := p.priv[line]; st == Shared || st == Exclusive {
 		return p.mem.data[w]
@@ -243,7 +244,7 @@ func (p *Proc) loadMiss(line int) {
 		if !p.tryBeginTransition(blk, CatReadStall) {
 			continue
 		}
-		p.stats.ReadMisses++
+		p.stats.N[CntReadMisses]++
 		p.issueMiss(blk, false, nil)
 		p.stallWhile(CatReadStall, func() bool { return p.mshr[blk.id] != nil })
 		// Loop: in rare races the line may have been invalidated again
@@ -262,7 +263,7 @@ func (p *Proc) localFill(line int) bool {
 	if st != Shared && st != Exclusive {
 		return false
 	}
-	p.stats.LocalFills++
+	p.stats.N[CntLocalFills]++
 	blk := s.blockOf(line)
 	for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
 		p.priv[l] = st
@@ -349,11 +350,14 @@ func traceEvent(p *Proc, blk *blockInfo, site string) {
 	if debugTrace != nil {
 		debugTrace(p, blk, site)
 	}
+	if t := p.sys.tracer; t != nil {
+		t.Emit(trace.Event{T: p.Sim.Now(), Cat: "line", Ev: site, P: p.ID, Blk: blk.id})
+	}
 }
 
 // Store performs a checked 64-bit store to shared memory.
 func (p *Proc) Store(addr uint64, v uint64) {
-	p.stats.Stores++
+	p.stats.N[CntStores]++
 	s := p.sys
 	w := s.wordOf(addr)
 	if !s.Cfg.Checks {
@@ -362,7 +366,7 @@ func (p *Proc) Store(addr uint64, v uint64) {
 		return
 	}
 	line := s.lineOf(addr)
-	p.stats.StoreChecks++
+	p.stats.N[CntStoreChecks]++
 	p.charge(CatCheck, s.Cfg.Cost.FullCheck)
 	if p.priv[line] == Exclusive {
 		p.mem.data[w] = v
@@ -421,7 +425,7 @@ func (p *Proc) storeMissLocked(addr, v uint64, line int) {
 		if !p.tryBeginTransition(blk, CatWriteStall) {
 			continue
 		}
-		p.stats.WriteMisses++
+		p.stats.N[CntWriteMisses]++
 		p.issueMiss(blk, true, []pendingStore{{addr, v}})
 		if s.Cfg.Consistency == SequentiallyConsistent {
 			p.stallWhile(CatWriteStall, func() bool { return p.mshr[blk.id] != nil })
@@ -438,7 +442,7 @@ func (p *Proc) storeMissLocked(addr, v uint64, line int) {
 // received invalidations.
 func (p *Proc) MemBar() {
 	s := p.sys
-	p.stats.MemoryBarriers++
+	p.stats.N[CntMemoryBarriers]++
 	if !s.Cfg.Checks {
 		p.charge(CatTask, 1)
 		return
@@ -459,14 +463,14 @@ func (p *Proc) MemBar() {
 // un-instrumented binary does. Correct only when the data is known
 // coherent (single node, or inside a validated batch).
 func (p *Proc) RawLoad(addr uint64) uint64 {
-	p.stats.Loads++
+	p.stats.N[CntLoads]++
 	p.charge(CatTask, 1)
 	return p.mem.data[p.sys.wordOf(addr)]
 }
 
 // RawStore writes shared memory without any in-line check.
 func (p *Proc) RawStore(addr uint64, v uint64) {
-	p.stats.Stores++
+	p.stats.N[CntStores]++
 	p.charge(CatTask, 1)
 	p.mem.data[p.sys.wordOf(addr)] = v
 	p.resetLocalLLs(p.sys.lineOf(addr))

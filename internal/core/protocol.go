@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"math/bits"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // issueMiss allocates an MSHR for the block and sends the appropriate
@@ -58,7 +61,17 @@ func (p *Proc) handleMessage(m msg, cat TimeCategory) {
 	if debugSvcDelay != nil && m.arrive > 0 {
 		debugSvcDelay(p, m.kind.String(), p.Sim.Now()-m.arrive)
 	}
-	p.stats.MessagesHandled++
+	if s.tracer != nil {
+		var delay sim.Time
+		if m.arrive > 0 {
+			delay = p.Sim.Now() - m.arrive
+		}
+		s.tracer.Emit(trace.Event{
+			T: p.Sim.Now(), Cat: "msg", Ev: "handle",
+			P: p.ID, O: m.from, Blk: m.block, S: m.kind.String(), A: delay,
+		})
+	}
+	p.stats.N[CntMessagesHandled]++
 	p.charge(cat, s.Cfg.Cost.MsgHandle)
 	wasIn := p.inProtocol
 	p.inProtocol = true
@@ -350,7 +363,7 @@ func (p *Proc) fillAgentInvalid(blk *blockInfo) {
 	for _, q := range s.localProcs(p.agent) {
 		if q.curBatch != nil && q.curBatch.covers(blk) {
 			q.deferredFills = append(q.deferredFills, blk.firstLine)
-			q.stats.DeferredFlagFills++
+			q.stats.N[CntDeferredFlagFills]++
 			deferFill = true
 		}
 	}
@@ -369,7 +382,7 @@ func (p *Proc) fillAgentInvalid(blk *blockInfo) {
 func (p *Proc) handleInval(m msg) {
 	s := p.sys
 	blk := s.blocks[m.block]
-	p.stats.Invalidations++
+	p.stats.N[CntInvalidations]++
 	missInFlight := false
 	if p.sys.Cfg.SMP {
 		if h := p.mem.busy[blk.id]; h != nil && h.mshr[blk.id] != nil {
@@ -427,7 +440,7 @@ func (p *Proc) waitDowngrades(blk *blockInfo, to LineState) {
 		}
 		// Explicit downgrade message; the target handles it at its next
 		// poll or protocol entry.
-		p.stats.DowngradesSent++
+		p.stats.N[CntDowngradesSent]++
 		s.deliver(p, q, msg{kind: msgDowngradeReq, block: blk.id, from: p.ID, downTo: to}, CatMessage)
 		expected++
 	}
@@ -462,7 +475,7 @@ func (p *Proc) downgradeSelf(blk *blockInfo, to LineState) {
 
 // directDowngrade edits another process's private state table (§4.3.4).
 func (p *Proc) directDowngrade(q *Proc, blk *blockInfo, to LineState) {
-	p.stats.DowngradesDirect++
+	p.stats.N[CntDowngradesDirect]++
 	p.charge(CatMessage, p.sys.Cfg.Cost.DirectDowngrade)
 	q.downgradeSelf(blk, to)
 }
@@ -485,7 +498,7 @@ func (p *Proc) pinned(blk *blockInfo) bool {
 func (p *Proc) handleDowngradeReq(m msg) {
 	s := p.sys
 	blk := s.blocks[m.block]
-	p.stats.DowngradesReceived++
+	p.stats.N[CntDowngradesReceived]++
 	p.charge(CatMessage, s.Cfg.Cost.DowngradeHandle)
 	p.downgradeSelf(blk, m.downTo)
 	s.deliver(p, s.procs[m.from], msg{kind: msgDowngradeAck, block: blk.id, from: p.ID}, CatMessage)
@@ -609,7 +622,9 @@ func (p *Proc) finishMiss(m *mshrEntry) {
 			p.mem.data[s.wordOf(st.addr)] = st.val
 			p.resetLocalLLs(s.lineOf(st.addr))
 		}
-		traceEvent(p, blk, fmt.Sprintf("finish:grant-%v-data%v-acks%d", st, m.grant != 0 && len(m.stores) >= 0, m.acksWanted))
+		if debugTrace != nil || p.sys.tracer != nil {
+			traceEvent(p, blk, fmt.Sprintf("finish:grant-%v-data%v-acks%d", st, m.grant != 0 && len(m.stores) >= 0, m.acksWanted))
+		}
 	}
 	delete(p.mshr, m.block)
 	p.outstanding--

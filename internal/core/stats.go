@@ -51,38 +51,99 @@ func Categories() []TimeCategory {
 	return out
 }
 
+// Counter names one event counter. Counters are stored in a flat array
+// indexed by this enum (like TimeCategory), so aggregation, tracing and
+// reporting iterate the enum and a newly added counter cannot be silently
+// dropped from any of them.
+type Counter int
+
+const (
+	CntLoads Counter = iota
+	CntStores
+	CntLoadChecks  // in-line load checks executed
+	CntStoreChecks // in-line store checks executed
+	CntBatchChecks // per-line checks saved into batches
+	CntPolls
+	CntReadMisses  // remote (inter-agent) read misses
+	CntWriteMisses // remote (inter-agent) write misses
+	CntLocalFills  // SMP: private table filled from shared table
+	CntFalseMisses // flag value matched but state was valid (§2.2)
+	CntMessagesSent
+	CntMessagesHandled
+	CntInvalidations // invalidations applied at this agent
+	CntDowngradesSent
+	CntDowngradesDirect // applied via direct downgrade (§4.3.4)
+	CntDowngradesReceived
+	CntLLs
+	CntSCs
+	CntSCFailures
+	CntSCHardware // store-conditionals completed in "hardware"
+	CntPrefetches
+	CntMemoryBarriers
+	CntLockAcquires
+	CntBarrierWaits
+	CntBatchesIssued
+	CntBatchStoreReissues // §4.1: stores reissued after losing the line
+	CntDeferredFlagFills  // §4.1: invalidations deferred past a batch
+	CntSyscallValidations
+	CntForks
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	CntLoads:              "loads",
+	CntStores:             "stores",
+	CntLoadChecks:         "load-checks",
+	CntStoreChecks:        "store-checks",
+	CntBatchChecks:        "batch-checks",
+	CntPolls:              "polls",
+	CntReadMisses:         "read-misses",
+	CntWriteMisses:        "write-misses",
+	CntLocalFills:         "local-fills",
+	CntFalseMisses:        "false-misses",
+	CntMessagesSent:       "messages-sent",
+	CntMessagesHandled:    "messages-handled",
+	CntInvalidations:      "invalidations",
+	CntDowngradesSent:     "downgrades-sent",
+	CntDowngradesDirect:   "downgrades-direct",
+	CntDowngradesReceived: "downgrades-received",
+	CntLLs:                "lls",
+	CntSCs:                "scs",
+	CntSCFailures:         "sc-failures",
+	CntSCHardware:         "sc-hardware",
+	CntPrefetches:         "prefetches",
+	CntMemoryBarriers:     "memory-barriers",
+	CntLockAcquires:       "lock-acquires",
+	CntBarrierWaits:       "barrier-waits",
+	CntBatchesIssued:      "batches-issued",
+	CntBatchStoreReissues: "batch-store-reissues",
+	CntDeferredFlagFills:  "deferred-flag-fills",
+	CntSyscallValidations: "syscall-validations",
+	CntForks:              "forks",
+}
+
+func (c Counter) String() string { return counterNames[c] }
+
+// Counters lists all counters in declaration order.
+func Counters() []Counter {
+	out := make([]Counter, numCounters)
+	for i := range out {
+		out[i] = Counter(i)
+	}
+	return out
+}
+
 // Stats aggregates per-process counters and the time breakdown.
 type Stats struct {
 	Time [numCategories]sim.Time
-
-	Loads, Stores      int64 // checked application accesses
-	LoadChecks         int64 // in-line load checks executed
-	StoreChecks        int64
-	BatchChecks        int64 // per-line checks saved into batches
-	Polls              int64
-	ReadMisses         int64 // remote (inter-agent) read misses
-	WriteMisses        int64
-	LocalFills         int64 // SMP: private table filled from shared table
-	FalseMisses        int64 // flag value matched but state was valid (§2.2)
-	MessagesSent       int64
-	MessagesHandled    int64
-	Invalidations      int64 // invalidations applied at this agent
-	DowngradesSent     int64
-	DowngradesDirect   int64 // applied via direct downgrade (§4.3.4)
-	DowngradesReceived int64
-	LLs, SCs           int64
-	SCFailures         int64
-	SCHardware         int64 // store-conditionals completed in "hardware"
-	Prefetches         int64
-	MemoryBarriers     int64
-	LockAcquires       int64
-	BarrierWaits       int64
-	BatchesIssued      int64
-	BatchStoreReissues int64 // §4.1: stores reissued after losing the line
-	DeferredFlagFills  int64 // §4.1: invalidations deferred past a batch
-	SyscallValidations int64
-	Forks              int64
+	// N holds every event counter, indexed by Counter. Protocol code
+	// increments entries directly (p.stats.N[CntLoads]++); readers usually
+	// go through the named accessors below.
+	N [numCounters]int64
 }
+
+// Get returns one counter's value.
+func (s *Stats) Get(c Counter) int64 { return s.N[c] }
 
 // Total returns the sum of all time categories (the process's active life).
 func (s *Stats) Total() sim.Time {
@@ -101,33 +162,40 @@ func (s *Stats) Add(o *Stats) {
 	for i := range s.Time {
 		s.Time[i] += o.Time[i]
 	}
-	s.Loads += o.Loads
-	s.Stores += o.Stores
-	s.LoadChecks += o.LoadChecks
-	s.StoreChecks += o.StoreChecks
-	s.BatchChecks += o.BatchChecks
-	s.Polls += o.Polls
-	s.ReadMisses += o.ReadMisses
-	s.WriteMisses += o.WriteMisses
-	s.LocalFills += o.LocalFills
-	s.FalseMisses += o.FalseMisses
-	s.MessagesSent += o.MessagesSent
-	s.MessagesHandled += o.MessagesHandled
-	s.Invalidations += o.Invalidations
-	s.DowngradesSent += o.DowngradesSent
-	s.DowngradesDirect += o.DowngradesDirect
-	s.DowngradesReceived += o.DowngradesReceived
-	s.LLs += o.LLs
-	s.SCs += o.SCs
-	s.SCFailures += o.SCFailures
-	s.SCHardware += o.SCHardware
-	s.Prefetches += o.Prefetches
-	s.MemoryBarriers += o.MemoryBarriers
-	s.LockAcquires += o.LockAcquires
-	s.BarrierWaits += o.BarrierWaits
-	s.BatchesIssued += o.BatchesIssued
-	s.BatchStoreReissues += o.BatchStoreReissues
-	s.DeferredFlagFills += o.DeferredFlagFills
-	s.SyscallValidations += o.SyscallValidations
-	s.Forks += o.Forks
+	for i := range s.N {
+		s.N[i] += o.N[i]
+	}
 }
+
+// Named accessors, kept source-compatible (modulo the call parentheses) with
+// the former field-per-counter representation.
+
+func (s *Stats) Loads() int64              { return s.N[CntLoads] }
+func (s *Stats) Stores() int64             { return s.N[CntStores] }
+func (s *Stats) LoadChecks() int64         { return s.N[CntLoadChecks] }
+func (s *Stats) StoreChecks() int64        { return s.N[CntStoreChecks] }
+func (s *Stats) BatchChecks() int64        { return s.N[CntBatchChecks] }
+func (s *Stats) Polls() int64              { return s.N[CntPolls] }
+func (s *Stats) ReadMisses() int64         { return s.N[CntReadMisses] }
+func (s *Stats) WriteMisses() int64        { return s.N[CntWriteMisses] }
+func (s *Stats) LocalFills() int64         { return s.N[CntLocalFills] }
+func (s *Stats) FalseMisses() int64        { return s.N[CntFalseMisses] }
+func (s *Stats) MessagesSent() int64       { return s.N[CntMessagesSent] }
+func (s *Stats) MessagesHandled() int64    { return s.N[CntMessagesHandled] }
+func (s *Stats) Invalidations() int64      { return s.N[CntInvalidations] }
+func (s *Stats) DowngradesSent() int64     { return s.N[CntDowngradesSent] }
+func (s *Stats) DowngradesDirect() int64   { return s.N[CntDowngradesDirect] }
+func (s *Stats) DowngradesReceived() int64 { return s.N[CntDowngradesReceived] }
+func (s *Stats) LLs() int64                { return s.N[CntLLs] }
+func (s *Stats) SCs() int64                { return s.N[CntSCs] }
+func (s *Stats) SCFailures() int64         { return s.N[CntSCFailures] }
+func (s *Stats) SCHardware() int64         { return s.N[CntSCHardware] }
+func (s *Stats) Prefetches() int64         { return s.N[CntPrefetches] }
+func (s *Stats) MemoryBarriers() int64     { return s.N[CntMemoryBarriers] }
+func (s *Stats) LockAcquires() int64       { return s.N[CntLockAcquires] }
+func (s *Stats) BarrierWaits() int64       { return s.N[CntBarrierWaits] }
+func (s *Stats) BatchesIssued() int64      { return s.N[CntBatchesIssued] }
+func (s *Stats) BatchStoreReissues() int64 { return s.N[CntBatchStoreReissues] }
+func (s *Stats) DeferredFlagFills() int64  { return s.N[CntDeferredFlagFills] }
+func (s *Stats) SyscallValidations() int64 { return s.N[CntSyscallValidations] }
+func (s *Stats) Forks() int64              { return s.N[CntForks] }

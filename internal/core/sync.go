@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/trace"
+
 // This file implements Shasta's message-passing synchronization: the
 // queue-based locks and centralized barriers that applications can use
 // instead of (or alongside) transparent Alpha LL/SC sequences (§6.2's "MP"
@@ -13,7 +15,8 @@ package core
 func (p *Proc) LockAcquire(id int) {
 	s := p.sys
 	lk := s.locks[id]
-	p.stats.LockAcquires++
+	p.stats.N[CntLockAcquires]++
+	p.emitSync("lock-acquire", id)
 	p.enterProtocol()
 	defer p.exitProtocol()
 	p.charge(CatSyncStall, s.Cfg.Cost.ProtocolEntry)
@@ -43,6 +46,7 @@ func (p *Proc) LockAcquire(id int) {
 func (p *Proc) LockRelease(id int) {
 	s := p.sys
 	lk := s.locks[id]
+	p.emitSync("lock-release", id)
 	p.enterProtocol()
 	defer p.exitProtocol()
 	p.drainOutstanding()
@@ -115,7 +119,8 @@ func (p *Proc) handleLockRelease(m msg) {
 func (p *Proc) BarrierWait(id int) {
 	s := p.sys
 	b := s.barriers[id]
-	p.stats.BarrierWaits++
+	p.stats.N[CntBarrierWaits]++
+	p.emitSync("barrier-enter", id)
 	p.enterProtocol()
 	defer p.exitProtocol()
 	p.drainOutstanding()
@@ -134,6 +139,14 @@ func (p *Proc) BarrierWait(id int) {
 		s.deliver(p, home, msg{kind: msgBarrierEnter, id: id, from: p.ID, reqProc: p.ID}, CatSyncStall)
 	}
 	p.stallWhile(CatSyncStall, func() bool { return p.barrierSeen[id] < target })
+	p.emitSync("barrier-leave", id)
+}
+
+// emitSync traces one synchronization event; the id is the lock/barrier ID.
+func (p *Proc) emitSync(ev string, id int) {
+	if t := p.sys.tracer; t != nil {
+		t.Emit(trace.Event{T: p.Sim.Now(), Cat: "sync", Ev: ev, P: p.ID, A: int64(id)})
+	}
 }
 
 func (p *Proc) handleBarrierEnter(m msg) {

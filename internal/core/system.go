@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/memchannel"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // queueBox couples a receive queue with the set of processes waiting on it.
@@ -82,6 +83,9 @@ type System struct {
 	appLive int // live application (non-protocol) processes
 	started bool
 
+	tracer *trace.Tracer
+	osObj  any // cluster OS layer when built WithOS
+
 	rng *rand.Rand
 }
 
@@ -100,16 +104,29 @@ type barrierState struct {
 }
 
 // NewSystem builds a cluster from cfg.
+//
+// Deprecated: use Build (or clusteros.Build for a system with the cluster
+// OS layer attached); NewSystem remains as a compatibility wrapper and does
+// not wire tracing.
 func NewSystem(cfg Config) *System {
+	return newSystem(cfg)
+}
+
+func newSystem(cfg Config) *System {
 	cfg.validate()
+	wd := cfg.WatchdogCycles
+	if wd < 0 {
+		wd = 0 // explicit disable
+	}
 	s := &System{
 		Cfg: cfg,
 		Eng: sim.NewEngine(sim.Config{
-			Nodes:       cfg.Nodes,
-			CPUsPerNode: cfg.CPUsPerNode,
-			Quantum:     cfg.Cost.Quantum,
-			CtxSwitch:   cfg.Cost.CtxSwitch,
-			MaxTime:     cfg.MaxTime,
+			Nodes:          cfg.Nodes,
+			CPUsPerNode:    cfg.CPUsPerNode,
+			Quantum:        cfg.Cost.Quantum,
+			CtxSwitch:      cfg.Cost.CtxSwitch,
+			MaxTime:        cfg.MaxTime,
+			WatchdogCycles: wd,
 		}),
 		Net:          memchannel.NewNetwork(cfg.Nodes, cfg.Net),
 		numLines:     cfg.SharedBytes / cfg.LineSize,
@@ -130,6 +147,7 @@ func NewSystem(cfg Config) *System {
 	for i := 0; i < s.Eng.NumCPUs(); i++ {
 		s.cpus = append(s.cpus, &cpuState{reqQ: newQueueBox()})
 	}
+	s.Eng.SetDumpHook(s.dumpProtocolState)
 	return s
 }
 
@@ -289,7 +307,15 @@ func (s *System) Run() error {
 	if s.Cfg.ProtocolProcs {
 		s.spawnProtocolProcs()
 	}
-	return s.Eng.Run()
+	err := s.Eng.Run()
+	if s.tracer != nil {
+		// Emit final accounting even on error so stall dumps can be analyzed.
+		s.emitStats()
+		if ferr := s.tracer.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return err
 }
 
 // lineOf converts a shared address to a line index.
@@ -439,7 +465,7 @@ func (s *System) deliver(sender *Proc, dst *Proc, m msg, cat TimeCategory) {
 	if s.Cfg.SMP && s.Cfg.SharedQueues {
 		sender.charge(cat, s.Cfg.Cost.QueueLock)
 	}
-	sender.stats.MessagesSent++
+	sender.stats.N[CntMessagesSent]++
 	arrive := s.Net.Deliver(sender.node, dst.node, m.wireSize(s.Cfg.LineSize), sender.Sim.Now())
 	m.arrive = arrive
 	var box *queueBox
@@ -451,6 +477,13 @@ func (s *System) deliver(sender *Proc, dst *Proc, m msg, cat TimeCategory) {
 		box = s.requestBox(dst)
 	}
 	box.put(m, arrive)
+	if s.tracer != nil {
+		s.tracer.Emit(trace.Event{
+			T: sender.Sim.Now(), Cat: "msg", Ev: "send",
+			P: sender.ID, O: dst.ID, Blk: m.block, S: m.kind.String(),
+			A: arrive, B: int64(m.wireSize(s.Cfg.LineSize)),
+		})
+	}
 	if debugDeliver != nil {
 		debugDeliver(sender, dst, m.kind.String(), arrive)
 	}

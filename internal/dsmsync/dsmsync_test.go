@@ -81,7 +81,7 @@ func TestSMLockWithPrefetch(t *testing.T) {
 	exerciseLock(t, s,
 		func() Lock { return NewSMLock(s, core.AllocOptions{Home: 0}) },
 		func(n int) Barrier { return NewMPBarrier(s, 0, n) })
-	if st := s.AggregateStats(); st.Prefetches == 0 {
+	if st := s.AggregateStats(); st.Prefetches() == 0 {
 		t.Fatal("prefetch-exclusive never issued")
 	}
 }

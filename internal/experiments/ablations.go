@@ -15,7 +15,7 @@ func runApp(cfg core.Config, appName string, rc workloads.RunConfig) *workloads.
 	if !ok {
 		panic("experiments: unknown app " + appName)
 	}
-	res, err := workloads.Run(core.NewSystem(cfg), app, rc)
+	res, err := workloads.Run(build(cfg), app, rc)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s: %v", appName, err))
 	}
@@ -34,7 +34,7 @@ func AblationFlagCheck() *Table {
 		cfg := baseConfig()
 		cfg.FlagCheck = on
 		res := runApp(cfg, "Water-Nsq", workloads.RunConfig{Procs: 1})
-		t.Rows = append(t.Rows, []string{fmt.Sprint(on), ms(res.Elapsed), fmt.Sprint(res.Stats.FalseMisses)})
+		t.Rows = append(t.Rows, []string{fmt.Sprint(on), ms(res.Elapsed), fmt.Sprint(res.Stats.FalseMisses())})
 	}
 	return t
 }
@@ -53,8 +53,8 @@ func AblationBatching() *Table {
 		res := runApp(baseConfig(), name, workloads.RunConfig{Procs: 8})
 		t.Rows = append(t.Rows, []string{
 			name, ms(res.Elapsed),
-			fmt.Sprint(res.Stats.LoadChecks + res.Stats.StoreChecks),
-			fmt.Sprint(res.Stats.BatchChecks),
+			fmt.Sprint(res.Stats.LoadChecks() + res.Stats.StoreChecks()),
+			fmt.Sprint(res.Stats.BatchChecks()),
 		})
 	}
 	return t
@@ -97,7 +97,7 @@ func AblationLineSize() *Table {
 		cfg := baseConfig()
 		cfg.LineSize = ls
 		res := runApp(cfg, "Ocean", workloads.RunConfig{Procs: 8})
-		t.Rows = append(t.Rows, []string{fmt.Sprint(ls), ms(res.Elapsed), fmt.Sprint(res.Stats.ReadMisses)})
+		t.Rows = append(t.Rows, []string{fmt.Sprint(ls), ms(res.Elapsed), fmt.Sprint(res.Stats.ReadMisses())})
 	}
 	return t
 }
@@ -118,8 +118,8 @@ func AblationSMP() *Table {
 		t.Rows = append(t.Rows, []string{
 			name, ms(b.Elapsed), ms(s.Elapsed),
 			fmt.Sprintf("%.2fx", float64(b.Elapsed)/float64(s.Elapsed)),
-			fmt.Sprint(b.Stats.ReadMisses + b.Stats.WriteMisses),
-			fmt.Sprint(s.Stats.ReadMisses + s.Stats.WriteMisses),
+			fmt.Sprint(b.Stats.ReadMisses() + b.Stats.WriteMisses()),
+			fmt.Sprint(s.Stats.ReadMisses() + s.Stats.WriteMisses()),
 		})
 	}
 	return t
@@ -146,7 +146,7 @@ func AblationSharedQueues() *Table {
 // oversubscribedRun puts two worker processes on each of two CPUs (on
 // different nodes) sharing one counter under an SM lock.
 func oversubscribedRun(cfg core.Config) sim.Time {
-	s := core.NewSystem(cfg)
+	s := build(cfg)
 	const nproc = 4
 	cpus := []int{0, 0, cfg.CPUsPerNode, cfg.CPUsPerNode}
 	var lk dsmsync.Lock

@@ -15,7 +15,6 @@ import (
 	"io"
 	"strings"
 
-	"repro/internal/clusterfs"
 	"repro/internal/clusteros"
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -72,10 +71,23 @@ func baseConfig() core.Config {
 	return cfg
 }
 
+// buildOpts are appended to every system this package constructs;
+// shasta-bench uses SetBuildOptions to attach tracing or adjust the
+// watchdog from the command line.
+var buildOpts []core.Option
+
+// SetBuildOptions installs core.Build options applied to every system the
+// experiments construct.
+func SetBuildOptions(opts ...core.Option) { buildOpts = opts }
+
+// build constructs a system from cfg plus the package-wide options.
+func build(cfg core.Config) *core.System {
+	return core.Build(append([]core.Option{core.WithConfig(cfg)}, buildOpts...)...)
+}
+
 // newDBSystem builds a system plus OS layer for database experiments.
 func newDBSystem(cfg core.Config) (*core.System, *clusteros.OS) {
-	sys := core.NewSystem(cfg)
-	return sys, clusteros.New(sys, clusterfs.New(cfg.Nodes))
+	return clusteros.Build(append([]core.Option{core.WithConfig(cfg)}, buildOpts...)...)
 }
 
 func us(t sim.Time) string        { return fmt.Sprintf("%.2f", sim.Microseconds(t)) }

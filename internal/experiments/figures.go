@@ -15,7 +15,7 @@ import (
 // printed speedup a lower bound.
 func runCapped(cfg core.Config, app *workloads.App, rc workloads.RunConfig) (sim.Time, bool, error) {
 	cfg.MaxTime = sim.Cycles(150e6)
-	res, err := workloads.Run(core.NewSystem(cfg), app, rc)
+	res, err := workloads.Run(build(cfg), app, rc)
 	if err != nil {
 		if strings.Contains(err.Error(), "MaxTime") {
 			return sim.Cycles(150e6), true, nil
@@ -43,7 +43,7 @@ func Figure3() *Table {
 		// Sequential baseline: un-instrumented binary.
 		cfg := baseConfig()
 		cfg.Checks = false
-		seq, err := workloads.Run(core.NewSystem(cfg), app, workloads.RunConfig{Procs: 1})
+		seq, err := workloads.Run(build(cfg), app, workloads.RunConfig{Procs: 1})
 		if err != nil {
 			panic(err)
 		}
@@ -84,7 +84,7 @@ func Figure4() *Table {
 			cfg := baseConfig()
 			cfg.SMP = false // Base-Shasta, as in the paper's Figure 4
 			cfg.Consistency = model
-			res, err := workloads.Run(core.NewSystem(cfg), app, workloads.RunConfig{Procs: 16, Sync: workloads.MPSync})
+			res, err := workloads.Run(build(cfg), app, workloads.RunConfig{Procs: 16, Sync: workloads.MPSync})
 			if err != nil {
 				panic(fmt.Sprintf("figure4 %s %v: %v", app.Name, model, err))
 			}
@@ -117,7 +117,7 @@ func SpeedupSeries(appName string, sync workloads.SyncStyle, counts []int) ([]fl
 	}
 	cfg := baseConfig()
 	cfg.Checks = false
-	seq, err := workloads.Run(core.NewSystem(cfg), app, workloads.RunConfig{Procs: 1})
+	seq, err := workloads.Run(build(cfg), app, workloads.RunConfig{Procs: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +140,7 @@ func scTotalVsRC(appName string) float64 {
 		cfg := baseConfig()
 		cfg.SMP = false
 		cfg.Consistency = m
-		res, err := workloads.Run(core.NewSystem(cfg), app, workloads.RunConfig{Procs: 16, Sync: workloads.MPSync})
+		res, err := workloads.Run(build(cfg), app, workloads.RunConfig{Procs: 16, Sync: workloads.MPSync})
 		if err != nil {
 			panic(err)
 		}

@@ -3,8 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/clusterfs"
-	"repro/internal/clusteros"
 	"repro/internal/core"
 	"repro/internal/dsmsync"
 	"repro/internal/sim"
@@ -56,7 +54,7 @@ func lockLatencyCfg(cfg core.Config, scenario string) float64 {
 }
 
 func lockLatencyWith(cfg core.Config, sm bool, scenario string) float64 {
-	s := core.NewSystem(cfg)
+	s := build(cfg)
 	mk := func(home int) dsmsync.Lock {
 		if sm {
 			return dsmsync.NewSMLock(s, core.AllocOptions{Home: home})
@@ -177,7 +175,7 @@ func MemoryBarrierCosts() *Table {
 		cfg.SMP = smp
 		cfg.Checks = checks
 		cfg.SharedBytes = 64 << 10
-		s := core.NewSystem(cfg)
+		s := build(cfg)
 		var avg float64
 		s.Spawn("m", 0, func(p *core.Proc) {
 			const reps = 50
@@ -216,8 +214,7 @@ func Table2() *Table {
 		cfg := baseConfig()
 		cfg.SMP = smp
 		cfg.SharedBytes = 1 << 20
-		sys := core.NewSystem(cfg)
-		osl := clusteros.New(sys, clusterfs.New(cfg.Nodes))
+		sys, osl := newDBSystem(cfg)
 		osl.FS().Create("/t")
 		var m meas
 		sys.Spawn("m", 0, func(p *core.Proc) {

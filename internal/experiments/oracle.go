@@ -152,7 +152,7 @@ func AblationDirectDowngrade() *Table {
 		var expl, direct int64
 		if err == nil {
 			elapsed = ms(res.Elapsed)
-			expl, direct = res.Stats.DowngradesSent, res.Stats.DowngradesDirect
+			expl, direct = res.Stats.DowngradesSent(), res.Stats.DowngradesDirect()
 		}
 		t.Rows = append(t.Rows, []string{fmt.Sprint(on), elapsed, fmt.Sprint(expl), fmt.Sprint(direct)})
 	}

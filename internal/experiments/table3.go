@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/workloads"
 )
 
@@ -67,12 +66,12 @@ func Table3() *Table {
 	for _, app := range workloads.All() {
 		cfg := baseConfig()
 		cfg.Checks = false
-		off, err := workloads.Run(core.NewSystem(cfg), app, workloads.RunConfig{Procs: 1})
+		off, err := workloads.Run(build(cfg), app, workloads.RunConfig{Procs: 1})
 		if err != nil {
 			panic(err)
 		}
 		cfg2 := baseConfig()
-		on, err := workloads.Run(core.NewSystem(cfg2), app, workloads.RunConfig{Procs: 1})
+		on, err := workloads.Run(build(cfg2), app, workloads.RunConfig{Procs: 1})
 		if err != nil {
 			panic(err)
 		}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestWatchdogCatchesDowngradeStall is the regression test for the
+// direct-downgrade-off livelock (§4.3.4/§6.5): daemon processes blocked in
+// pid_block never service the downgrade requests sent to their private
+// reply queues, so the requester waits forever while only the protocol
+// processes' 100-cycle polling rounds advance simulated time. Before the
+// watchdog this run crawled toward MaxTime for minutes of wall clock; now
+// it must fail within a bounded number of simulated cycles and carry a
+// protocol-state dump naming the stuck processes.
+func TestWatchdogCatchesDowngradeStall(t *testing.T) {
+	const budget = sim.Time(2_000_000)
+	cfg := baseConfig()
+	cfg.ProtocolProcs = true
+	cfg.DirectDowngrade = false
+	cfg.MaxTime = sim.Cycles(3000e6)
+	cfg.WatchdogCycles = budget
+	sys, osl := newDBSystem(cfg)
+	_, err := oracleRun(sys, osl, oracleParams("dss1", 2, []int{0, 4}, 0))
+	if err == nil {
+		t.Fatal("DirectDowngrade=off DSS-1 run completed; expected a watchdog stall")
+	}
+	var se *sim.StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("want StallError, got %T: %v", err, err)
+	}
+	if se.At > 100*budget {
+		t.Errorf("watchdog fired at t=%d, not within a small multiple of the %d budget", se.At, budget)
+	}
+	msg := err.Error()
+	for _, want := range []string{"protocol state", "live processes", "outstanding"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("stall dump missing %q:\n%s", want, msg)
+		}
+	}
+}

@@ -130,7 +130,7 @@ endproc
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if s.Procs()[0].Stats().LLs != 1 || s.Procs()[0].Stats().SCs != 1 {
+	if s.Procs()[0].Stats().LLs() != 1 || s.Procs()[0].Stats().SCs() != 1 {
 		t.Fatalf("LL/SC not executed: %+v", s.Procs()[0].Stats())
 	}
 }

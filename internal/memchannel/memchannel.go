@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config holds the network timing parameters.
@@ -54,6 +55,7 @@ type Network struct {
 	cfg     Config
 	outBusy []sim.Time // per-node link transmit availability
 	stats   Stats
+	tracer  *trace.Tracer
 }
 
 // NewNetwork creates a network connecting the given number of nodes.
@@ -70,6 +72,10 @@ func (n *Network) Config() Config { return n.cfg }
 // Stats returns a copy of the traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
 
+// SetTracer attaches a tracer; every delivery then emits a net/xfer event
+// recording latency and the sending link's occupancy.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
+
 // Deliver computes the arrival time of a message of the given size sent at
 // sendTime from one node to another, charging link occupancy. Intra-node
 // messages use the shared-memory segment fast path and do not occupy the
@@ -81,7 +87,14 @@ func (n *Network) Deliver(fromNode, toNode int, size int, sendTime sim.Time) sim
 	if fromNode == toNode {
 		n.stats.IntraMessages++
 		n.stats.IntraBytes += int64(size)
-		return sendTime + n.cfg.IntraNodeLatency + sim.Time(float64(size)*n.cfg.IntraNodeCyclesPerByte)
+		arrive := sendTime + n.cfg.IntraNodeLatency + sim.Time(float64(size)*n.cfg.IntraNodeCyclesPerByte)
+		if n.tracer != nil {
+			n.tracer.Emit(trace.Event{
+				T: sendTime, Cat: "net", Ev: "intra",
+				P: fromNode, O: toNode, A: arrive - sendTime, B: int64(size),
+			})
+		}
+		return arrive
 	}
 	n.stats.Messages++
 	n.stats.Bytes += int64(size)
@@ -91,7 +104,14 @@ func (n *Network) Deliver(fromNode, toNode int, size int, sendTime sim.Time) sim
 	}
 	occupy := sim.Time(float64(size) * n.cfg.CyclesPerByte)
 	n.outBusy[fromNode] = start + occupy
-	return start + occupy + n.cfg.WireLatency
+	arrive := start + occupy + n.cfg.WireLatency
+	if n.tracer != nil {
+		n.tracer.Emit(trace.Event{
+			T: sendTime, Cat: "net", Ev: "xfer",
+			P: fromNode, O: toNode, A: arrive - sendTime, B: int64(size),
+		})
+	}
+	return arrive
 }
 
 // Queue is an arrival-time-gated receive queue (a Memory Channel receive

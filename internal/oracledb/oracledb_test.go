@@ -29,10 +29,10 @@ func TestDSS1SingleServer(t *testing.T) {
 	if res.Elapsed <= 0 {
 		t.Fatal("no elapsed time")
 	}
-	if res.Stats.Forks < 6 {
-		t.Fatalf("forks=%d, want init+transients+daemons+servers", res.Stats.Forks)
+	if res.Stats.Forks() < 6 {
+		t.Fatalf("forks=%d, want init+transients+daemons+servers", res.Stats.Forks())
 	}
-	if res.ServerStats.Loads == 0 {
+	if res.ServerStats.Loads() == 0 {
 		t.Fatal("server did no reads")
 	}
 }
@@ -45,7 +45,7 @@ func TestDSS1ServersAcrossNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Stats.ReadMisses == 0 {
+	if res.Stats.ReadMisses() == 0 {
 		t.Fatal("cross-node servers must take remote misses")
 	}
 	if res.ServerStats.Time[core.CatBlocked] == 0 {
@@ -77,10 +77,10 @@ func TestOLTPSingleNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.ServerStats.Stores == 0 {
+	if res.ServerStats.Stores() == 0 {
 		t.Fatal("OLTP did no writes")
 	}
-	if res.ServerStats.LockAcquires == 0 {
+	if res.ServerStats.LockAcquires() == 0 {
 		t.Fatal("OLTP took no latches")
 	}
 }

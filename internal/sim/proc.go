@@ -69,15 +69,15 @@ func (p *Proc) run(fn func(*Proc)) {
 	p.window = <-p.resume
 	defer func() {
 		r := recover()
-		if p.abort {
-			return // engine tear-down; nobody is listening
-		}
-		if r != nil {
+		if r != nil && !p.abort {
 			buf := make([]byte, 16384)
 			n := runtime.Stack(buf, false)
 			p.eng.fail(fmt.Errorf("sim: process %s[%d] panicked at t=%d: %v\n%s", p.Name, p.ID, p.now, r, buf[:n]))
 		}
 		p.state = stateDone
+		// Always hand control back — during tear-down the engine's drain is
+		// listening, and the send serializes this goroutine's deferred guest
+		// cleanups (which touch shared state) against the other processes'.
 		p.yield <- struct{}{}
 	}()
 	if p.abort {
@@ -106,6 +106,13 @@ func (p *Proc) Advance(c Time) {
 		panic("sim: negative advance")
 	}
 	p.now += c
+	if c > 0 {
+		// Charged work is the stall watchdog's definition of progress.
+		if p.now > p.eng.progressMark {
+			p.eng.progressMark = p.now
+		}
+		p.eng.itersNoProgress = 0
+	}
 	if p.now >= p.window {
 		p.yieldBack()
 	}

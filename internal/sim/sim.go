@@ -16,6 +16,9 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"strings"
+
+	"repro/internal/trace"
 )
 
 // Time is a point in simulated time, in CPU cycles.
@@ -69,7 +72,25 @@ type Config struct {
 	Quantum     Time // scheduling time slice; 0 disables preemption
 	CtxSwitch   Time // cost of a context switch
 	MaxTime     Time // safety stop; 0 means no limit
+
+	// WatchdogCycles enables the stall watchdog: if no process performs any
+	// charged work (Proc.Advance with a positive cost) for this many
+	// simulated cycles while the engine keeps scheduling, the run fails
+	// with a StallError describing every process. This catches livelocks
+	// where time still creeps forward (e.g. protocol processes polling an
+	// empty queue forever) that the all-blocked deadlock check cannot see.
+	// 0 disables the watchdog.
+	WatchdogCycles Time
+	// WatchdogIters bounds scheduler iterations without charged work, for
+	// livelocks that do not advance simulated time at all. 0 picks a
+	// default when WatchdogCycles is set.
+	WatchdogIters int64
 }
+
+// defaultWatchdogIters backs WatchdogIters when only WatchdogCycles is
+// configured: enough scheduler round-trips that any legitimate zero-cost
+// phase (barrier release cascades, queue drains) finishes long before it.
+const defaultWatchdogIters = 4 << 20
 
 // Engine is the simulation scheduler.
 type Engine struct {
@@ -81,6 +102,17 @@ type Engine struct {
 	err     error
 	// ctxSwitches counts context switches performed by the scheduler.
 	ctxSwitches int64
+
+	// progressMark is the clock of the last process that performed charged
+	// work; itersNoProgress counts scheduler iterations since then. Both
+	// feed the stall watchdog.
+	progressMark    Time
+	itersNoProgress int64
+
+	tracer *trace.Tracer
+	// dumpHook, when set, contributes higher-layer state (protocol queues,
+	// outstanding misses) to StallError dumps.
+	dumpHook func() string
 }
 
 // NewEngine creates an engine with the given topology.
@@ -99,6 +131,16 @@ func NewEngine(cfg Config) *Engine {
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetTracer installs a structured event tracer (nil disables tracing).
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
+
+// Tracer returns the installed tracer, or nil.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// SetDumpHook installs a callback that contributes extra state to watchdog
+// stall dumps (the DSM layer uses it to describe protocol queues).
+func (e *Engine) SetDumpHook(fn func() string) { e.dumpHook = fn }
 
 // NumCPUs returns the total processor count.
 func (e *Engine) NumCPUs() int { return len(e.cpus) }
@@ -144,6 +186,9 @@ func (e *Engine) SpawnAt(name string, cpu int, priority int, start Time, fn func
 	}
 	e.procs = append(e.procs, p)
 	p.cpu.queue = append(p.cpu.queue, p)
+	if e.tracer != nil {
+		e.tracer.Emit(trace.Event{T: start, Cat: "sched", Ev: "spawn", P: p.ID, O: cpu, S: name})
+	}
 	go p.run(fn)
 	return p
 }
@@ -172,6 +217,16 @@ func (e *Engine) Run() error {
 		if e.cfg.MaxTime > 0 && p.now > e.cfg.MaxTime {
 			return fmt.Errorf("sim: exceeded MaxTime %d at proc %s (t=%d)", e.cfg.MaxTime, p.Name, p.now)
 		}
+		if e.cfg.WatchdogCycles > 0 {
+			e.itersNoProgress++
+			iters := e.cfg.WatchdogIters
+			if iters <= 0 {
+				iters = defaultWatchdogIters
+			}
+			if p.now > e.progressMark+e.cfg.WatchdogCycles || e.itersNoProgress > iters {
+				return e.stallError(p)
+			}
+		}
 		e.now = p.now
 		window := e.windowFor(p)
 		if e.cfg.MaxTime > 0 && window > e.cfg.MaxTime+1 {
@@ -184,6 +239,9 @@ func (e *Engine) Run() error {
 		e.running = nil
 		if p.state == stateRunning {
 			p.state = stateReady
+		}
+		if p.state == stateDone && e.tracer != nil {
+			e.tracer.Emit(trace.Event{T: p.now, Cat: "sched", Ev: "exit", P: p.ID, O: p.cpu.id, S: p.Name})
 		}
 		e.reschedule(p)
 	}
@@ -206,6 +264,9 @@ func (e *Engine) preemptIfStale(c *CPU, minEff Time) {
 		c.freeAt = maxTime(c.freeAt, p.now)
 		c.current = nil
 		c.queue = append(c.queue, p)
+		if e.tracer != nil {
+			e.tracer.Emit(trace.Event{T: p.now, Cat: "sched", Ev: "preempt", P: p.ID, O: c.id})
+		}
 	}
 }
 
@@ -291,6 +352,9 @@ func (e *Engine) dispatch(c *CPU) {
 	if c.lastRan != nil && c.lastRan != p {
 		start += e.cfg.CtxSwitch
 		e.ctxSwitches++
+		if e.tracer != nil {
+			e.tracer.Emit(trace.Event{T: start, Cat: "sched", Ev: "switch", P: p.ID, O: c.id})
+		}
 	}
 	switch p.state {
 	case stateBlocked:
@@ -375,6 +439,9 @@ func (e *Engine) reschedule(p *Proc) {
 			c.freeAt = maxTime(c.freeAt, p.now)
 			c.current = nil
 			c.queue = append(c.queue, p)
+			if e.tracer != nil {
+				e.tracer.Emit(trace.Event{T: p.now, Cat: "sched", Ev: "preempt", P: p.ID, O: c.id})
+			}
 		}
 	}
 }
@@ -412,6 +479,71 @@ func (e *Engine) deadlockError() error {
 	return fmt.Errorf("sim: deadlock, %d processes stuck: %v", len(stuck), stuck)
 }
 
+// StallError reports a watchdog-detected livelock: the engine kept
+// scheduling but no process performed charged work for the configured
+// budget. It carries a full diagnostic dump.
+type StallError struct {
+	At           Time // simulated time at detection
+	LastProgress Time // time of the last charged work
+	Budget       Time // configured WatchdogCycles
+	Iters        int64
+	Procs        []string // one line per live process
+	CPUs         []string // one line per CPU scheduling state
+	Extra        string   // higher-layer dump-hook output
+	Recent       []trace.Event
+}
+
+func (e *StallError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: stall watchdog: no process progress for %d cycles (t=%d, last progress t=%d, %d scheduler iterations)",
+		e.At-e.LastProgress, e.At, e.LastProgress, e.Iters)
+	fmt.Fprintf(&b, "\nlive processes:")
+	for _, p := range e.Procs {
+		fmt.Fprintf(&b, "\n  %s", p)
+	}
+	fmt.Fprintf(&b, "\ncpus:")
+	for _, c := range e.CPUs {
+		fmt.Fprintf(&b, "\n  %s", c)
+	}
+	if e.Extra != "" {
+		fmt.Fprintf(&b, "\n%s", e.Extra)
+	}
+	if len(e.Recent) > 0 {
+		fmt.Fprintf(&b, "\nlast %d trace events:", len(e.Recent))
+		for _, ev := range e.Recent {
+			fmt.Fprintf(&b, "\n  t=%d %s/%s p=%d o=%d blk=%d a=%d s=%s", ev.T, ev.Cat, ev.Ev, ev.P, ev.O, ev.Blk, ev.A, ev.S)
+		}
+	}
+	return b.String()
+}
+
+// stallError builds a StallError for the watchdog trigger at process p.
+func (e *Engine) stallError(p *Proc) error {
+	se := &StallError{
+		At:           p.now,
+		LastProgress: e.progressMark,
+		Budget:       e.cfg.WatchdogCycles,
+		Iters:        e.itersNoProgress,
+	}
+	for _, q := range e.procs {
+		if q.state == stateDone {
+			continue
+		}
+		se.Procs = append(se.Procs, fmt.Sprintf("%s[%d] cpu%d %s t=%d wake=%d", q.Name, q.ID, q.cpu.id, q.state, q.now, q.wakeAt))
+	}
+	for i := range e.cpus {
+		se.CPUs = append(se.CPUs, e.DescribeCPU(i))
+	}
+	if e.dumpHook != nil {
+		se.Extra = e.dumpHook()
+	}
+	if e.tracer != nil {
+		e.tracer.Emit(trace.Event{T: p.now, Cat: "sched", Ev: "stall", P: p.ID})
+		se.Recent = e.tracer.Recent(32)
+	}
+	return se
+}
+
 // DescribeCPU reports the scheduling state of one CPU (debugging aid).
 func (e *Engine) DescribeCPU(idx int) string {
 	c := e.cpus[idx]
@@ -434,12 +566,15 @@ func (e *Engine) fail(err error) {
 	}
 }
 
-// drain unblocks any goroutines still parked so they can exit.
+// drain unblocks any goroutines still parked so they can exit, one at a
+// time: each process fully unwinds (running its deferred cleanups, which
+// may touch state shared with other processes) before the next is resumed.
 func (e *Engine) drain() {
 	for _, p := range e.procs {
 		if p.state != stateDone {
 			p.abort = true
 			p.resume <- Forever
+			<-p.yield
 		}
 	}
 }

@@ -1,0 +1,178 @@
+// Package analyze summarizes a JSONL trace emitted by internal/trace into
+// the execution-time breakdowns of the paper's Figures 4 and 5 plus message
+// and scheduling histograms. The time breakdown is reconstructed from the
+// end-of-run "stats" events each process emits, so a trace summary agrees
+// exactly with core.Stats aggregation for the same run.
+package analyze
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Summary aggregates one trace.
+type Summary struct {
+	Events int64 // total events parsed
+
+	// TimeByCategory sums the per-process "stats"/"time" events, keyed by
+	// category name (task, check, poll, read, ...).
+	TimeByCategory map[string]int64
+	// Counters sums the per-process "stats"/"count" events (loads, stores,
+	// messages-sent, ...).
+	Counters map[string]int64
+	// Procs is the number of distinct processes that reported stats.
+	Procs int
+
+	// MsgSends counts "msg"/"send" events by message kind.
+	MsgSends map[string]int64
+	// MsgHandleDelay accumulates service delay (arrival to handling) by
+	// message kind, from "msg"/"handle" events.
+	MsgHandleDelay map[string]int64
+	MsgHandles     map[string]int64
+
+	// Sched counts scheduler events (spawn, switch, preempt, exit, stall).
+	Sched map[string]int64
+
+	// NetBytes and NetXfers total the network traffic seen in "net" events.
+	NetBytes int64
+	NetXfers int64
+}
+
+// Read parses a JSONL trace stream.
+func Read(r io.Reader) (*Summary, error) {
+	s := &Summary{
+		TimeByCategory: map[string]int64{},
+		Counters:       map[string]int64{},
+		MsgSends:       map[string]int64{},
+		MsgHandleDelay: map[string]int64{},
+		MsgHandles:     map[string]int64{},
+		Sched:          map[string]int64{},
+	}
+	procs := map[int]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e trace.Event
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("analyze: line %d: %w", line, err)
+		}
+		s.Events++
+		switch e.Cat {
+		case "stats":
+			switch e.Ev {
+			case "time":
+				s.TimeByCategory[e.S] += e.A
+				procs[e.P] = true
+			case "count":
+				s.Counters[e.S] += e.A
+			}
+		case "msg":
+			switch e.Ev {
+			case "send":
+				s.MsgSends[e.S]++
+			case "handle":
+				s.MsgHandles[e.S]++
+				s.MsgHandleDelay[e.S] += e.A
+			}
+		case "sched":
+			s.Sched[e.Ev]++
+		case "net":
+			s.NetXfers++
+			s.NetBytes += e.B
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	s.Procs = len(procs)
+	return s, nil
+}
+
+// TotalTime returns the sum over all time categories.
+func (s *Summary) TotalTime() int64 {
+	var t int64
+	for _, v := range s.TimeByCategory {
+		t += v
+	}
+	return t
+}
+
+// categoryOrder matches core.Categories() display order so the rendered
+// breakdown lines up with the paper's figures.
+var categoryOrder = []string{
+	"task", "check", "poll", "read", "write", "sync", "mb", "blocked", "message",
+}
+
+// Render formats the summary as a Figure 4/5-style breakdown table.
+func (s *Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events, %d procs\n", s.Events, s.Procs)
+	total := s.TotalTime()
+	if total > 0 {
+		fmt.Fprintf(&b, "\nexecution time breakdown (Figure 4/5 style):\n")
+		seen := map[string]bool{}
+		emit := func(cat string) {
+			v := s.TimeByCategory[cat]
+			fmt.Fprintf(&b, "  %-8s %14d cycles  %5.1f%%\n", cat, v, 100*float64(v)/float64(total))
+			seen[cat] = true
+		}
+		for _, cat := range categoryOrder {
+			if _, ok := s.TimeByCategory[cat]; ok {
+				emit(cat)
+			}
+		}
+		var rest []string
+		for cat := range s.TimeByCategory {
+			if !seen[cat] {
+				rest = append(rest, cat)
+			}
+		}
+		sort.Strings(rest)
+		for _, cat := range rest {
+			emit(cat)
+		}
+		fmt.Fprintf(&b, "  %-8s %14d cycles\n", "total", total)
+	}
+	if len(s.MsgSends) > 0 {
+		fmt.Fprintf(&b, "\nprotocol messages sent:\n")
+		for _, k := range sortedKeys(s.MsgSends) {
+			fmt.Fprintf(&b, "  %-16s %10d", k, s.MsgSends[k])
+			if n := s.MsgHandles[k]; n > 0 {
+				fmt.Fprintf(&b, "   avg service delay %6.0f cycles", float64(s.MsgHandleDelay[k])/float64(n))
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+	}
+	if s.NetXfers > 0 {
+		fmt.Fprintf(&b, "\nnetwork: %d transfers, %d bytes\n", s.NetXfers, s.NetBytes)
+	}
+	if len(s.Sched) > 0 {
+		fmt.Fprintf(&b, "\nscheduler:")
+		for _, k := range sortedKeys(s.Sched) {
+			fmt.Fprintf(&b, " %s=%d", k, s.Sched[k])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

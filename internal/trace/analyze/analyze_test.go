@@ -1,0 +1,95 @@
+package analyze_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/trace/analyze"
+	"repro/internal/workloads"
+)
+
+// runTraced executes the LU kernel on 8 processors (two nodes, so the
+// protocol crosses the network) with tracing and returns the emitted JSONL
+// alongside the system's own aggregate statistics.
+func runTraced(t *testing.T) ([]byte, core.Stats) {
+	t.Helper()
+	var buf bytes.Buffer
+	sys := core.Build(
+		core.WithTrace(trace.New(trace.DefaultRingSize, &buf)),
+		core.WithMaxTime(sim.Cycles(900e6)),
+	)
+	app, ok := workloads.Get("LU")
+	if !ok {
+		t.Fatal("LU workload missing")
+	}
+	if _, err := workloads.Run(sys, app, workloads.RunConfig{Procs: 8}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), sys.AggregateStats()
+}
+
+// TestAnalyzerMatchesStats checks the acceptance criterion that the trace
+// analyzer reconstructs exactly the same time-category totals and counters
+// as core.Stats: the stats/* events are the system's own accounting, so any
+// divergence means events were lost or double-counted.
+func TestAnalyzerMatchesStats(t *testing.T) {
+	raw, agg := runTraced(t)
+	sum, err := analyze.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range core.Categories() {
+		if got, want := sum.TimeByCategory[cat.String()], int64(agg.Time[cat]); got != want {
+			t.Errorf("category %v: analyzer %d, stats %d", cat, got, want)
+		}
+	}
+	for _, c := range core.Counters() {
+		if got, want := sum.Counters[c.String()], agg.Get(c); got != want {
+			t.Errorf("counter %v: analyzer %d, stats %d", c, got, want)
+		}
+	}
+	if sum.TotalTime() != int64(agg.Total()) {
+		t.Errorf("total time: analyzer %d, stats %d", sum.TotalTime(), agg.Total())
+	}
+	// The protocol ran: messages were sent and their sends were traced.
+	if agg.MessagesSent() == 0 || sum.MsgSends["read-req"] == 0 {
+		t.Errorf("expected traced read-req sends (stats: %d sent; trace: %v)",
+			agg.MessagesSent(), sum.MsgSends)
+	}
+	var sends int64
+	for _, n := range sum.MsgSends {
+		sends += n
+	}
+	if sends != agg.MessagesSent() {
+		t.Errorf("msg/send events %d != messages-sent counter %d", sends, agg.MessagesSent())
+	}
+	// Rendering should not panic and should mention the breakdown.
+	if out := sum.Render(); len(out) == 0 {
+		t.Error("empty render")
+	}
+}
+
+// TestGoldenTraceDeterminism checks that two identical runs emit
+// byte-identical traces: the simulator is deterministic, so the trace must
+// be too — any divergence indicates nondeterminism (map iteration, real
+// time, ...) leaking into the simulation or the tracer.
+func TestGoldenTraceDeterminism(t *testing.T) {
+	a, _ := runTraced(t)
+	b, _ := runTraced(t)
+	if !bytes.Equal(a, b) {
+		la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+		n := len(la)
+		if len(lb) < n {
+			n = len(lb)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(la[i], lb[i]) {
+				t.Fatalf("traces diverge at line %d:\n  run1: %s\n  run2: %s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("trace lengths differ: %d vs %d lines", len(la), len(lb))
+	}
+}

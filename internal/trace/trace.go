@@ -1,0 +1,187 @@
+// Package trace provides structured event tracing for the Shasta
+// reproduction. A Tracer keeps a fixed-size ring of recent events (always
+// available for post-mortem dumps, e.g. the sim engine's stall watchdog) and
+// can additionally stream every event as one JSON object per line (JSONL).
+//
+// The package deliberately imports nothing from the rest of the repository
+// so every layer (sim, memchannel, core, clusteros) can emit events without
+// import cycles. Producers hold a *Tracer pointer that is nil when tracing
+// is disabled; the contract is that hot paths guard the Emit call with a nil
+// check so a disabled tracer costs a single predictable branch.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Time is a point in simulated time, in CPU cycles. It mirrors sim.Time
+// (both are int64 aliases) without importing the sim package.
+type Time = int64
+
+// Event is one structured trace record. The fields are deliberately flat and
+// fixed so emitting an event allocates nothing beyond the ring slot.
+//
+// Field use by category:
+//
+//	cat "sched": engine scheduling; Ev spawn|switch|preempt|exit|stall,
+//	             P = proc id, O = cpu index.
+//	cat "msg":   protocol messages; Ev send|handle, P = acting proc,
+//	             O = peer proc, Blk = block id, S = message kind,
+//	             A = arrival time (send) or service delay (handle), B = bytes.
+//	cat "line":  coherence state; Ev miss|state|fill, P = proc, Blk = block,
+//	             S = state or request kind.
+//	cat "sync":  Ev lock-acq|lock-rel|barrier, P = proc, O = lock/barrier id,
+//	             A = wait cycles where meaningful.
+//	cat "batch": Ev start|end, P = proc, A = block count.
+//	cat "net":   Ev xfer, P = from node, O = to node, A = delivery latency,
+//	             B = bytes.
+//	cat "os":    Ev syscall|fork|exit, P = proc, S = call name, O = peer.
+//	cat "stats": end-of-run accounting; Ev time (S = category, A = cycles)
+//	             or count (S = counter, A = value), P = proc.
+type Event struct {
+	T   Time   `json:"t"`
+	Cat string `json:"cat"`
+	Ev  string `json:"ev"`
+	P   int    `json:"p"`
+	O   int    `json:"o,omitempty"`
+	Blk int    `json:"blk,omitempty"`
+	A   int64  `json:"a,omitempty"`
+	B   int64  `json:"b,omitempty"`
+	S   string `json:"s,omitempty"`
+}
+
+// Tracer records events. It is not safe for concurrent use; the simulation
+// engine guarantees only one process executes at a time, so no locking is
+// needed on the hot path.
+type Tracer struct {
+	ring  []Event
+	next  int
+	total uint64
+
+	w   *bufio.Writer
+	err error
+}
+
+// DefaultRingSize is the number of recent events retained for dumps.
+const DefaultRingSize = 4096
+
+// New creates a tracer with the given ring capacity (0 uses
+// DefaultRingSize). If w is non-nil every event is also appended to it as
+// JSONL.
+func New(ringSize int, w io.Writer) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	t := &Tracer{ring: make([]Event, 0, ringSize)}
+	if w != nil {
+		t.w = bufio.NewWriterSize(w, 1<<16)
+	}
+	return t
+}
+
+// Emit records one event.
+func (t *Tracer) Emit(e Event) {
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[t.next] = e
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	if t.w != nil {
+		t.write(e)
+	}
+}
+
+// write appends one event as a JSON line without reflection; the fixed
+// schema keeps tracing overhead low enough to run under workloads.
+func (t *Tracer) write(e Event) {
+	b := make([]byte, 0, 128)
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, e.T, 10)
+	b = append(b, `,"cat":"`...)
+	b = append(b, e.Cat...)
+	b = append(b, `","ev":"`...)
+	b = append(b, e.Ev...)
+	b = append(b, `","p":`...)
+	b = strconv.AppendInt(b, int64(e.P), 10)
+	if e.O != 0 {
+		b = append(b, `,"o":`...)
+		b = strconv.AppendInt(b, int64(e.O), 10)
+	}
+	if e.Blk != 0 {
+		b = append(b, `,"blk":`...)
+		b = strconv.AppendInt(b, int64(e.Blk), 10)
+	}
+	if e.A != 0 {
+		b = append(b, `,"a":`...)
+		b = strconv.AppendInt(b, e.A, 10)
+	}
+	if e.B != 0 {
+		b = append(b, `,"b":`...)
+		b = strconv.AppendInt(b, e.B, 10)
+	}
+	if e.S != "" {
+		b = append(b, `,"s":"`...)
+		b = appendEscaped(b, e.S)
+		b = append(b, '"')
+	}
+	b = append(b, '}', '\n')
+	if _, err := t.w.Write(b); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// appendEscaped escapes the rare JSON-significant bytes in event strings
+// (message kinds and state names are plain ASCII identifiers).
+func appendEscaped(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, fmt.Sprintf(`\u%04x`, c)...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+// Total returns the number of events emitted so far.
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Recent returns up to n of the most recent events, oldest first.
+func (t *Tracer) Recent(n int) []Event {
+	if n <= 0 || len(t.ring) == 0 {
+		return nil
+	}
+	if n > len(t.ring) {
+		n = len(t.ring)
+	}
+	out := make([]Event, 0, n)
+	// The ring is chronological starting at t.next once full; before that it
+	// is a plain prefix.
+	start := 0
+	if len(t.ring) == cap(t.ring) {
+		start = t.next
+	}
+	for i := len(t.ring) - n; i < len(t.ring); i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Flush writes any buffered JSONL output and reports the first write error.
+func (t *Tracer) Flush() error {
+	if t.w != nil {
+		if err := t.w.Flush(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}

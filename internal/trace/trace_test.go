@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingRecent(t *testing.T) {
+	tr := New(4, nil)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{T: int64(i), Cat: "sched", Ev: "switch", P: i})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	got := tr.Recent(3)
+	if len(got) != 3 || got[0].T != 7 || got[2].T != 9 {
+		t.Fatalf("Recent(3) = %+v, want events t=7..9 oldest first", got)
+	}
+	if n := len(tr.Recent(100)); n != 4 {
+		t.Fatalf("Recent beyond capacity returned %d events, want 4", n)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(0, &buf)
+	want := []Event{
+		{T: 5, Cat: "msg", Ev: "send", P: 1, O: 2, Blk: 7, A: 42, B: 96, S: "read-req"},
+		{T: 6, Cat: "os", Ev: "syscall", P: 3, S: `weird"name\x`},
+		{T: 7, Cat: "stats", Ev: "time", P: 0, S: "task", A: 12345},
+	}
+	for _, e := range want {
+		tr.Emit(e)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(want))
+	}
+	for i, line := range lines {
+		var got Event
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, line)
+		}
+		if got != want[i] {
+			t.Errorf("line %d = %+v, want %+v", i, got, want[i])
+		}
+	}
+}

@@ -25,7 +25,7 @@ func TestAllAppsRunSingleProcess(t *testing.T) {
 			if res.Elapsed <= 0 {
 				t.Fatal("no elapsed time")
 			}
-			if res.Stats.Loads == 0 || res.Stats.Stores == 0 {
+			if res.Stats.Loads() == 0 || res.Stats.Stores() == 0 {
 				t.Fatalf("no memory traffic: %+v", res.Stats)
 			}
 		})
@@ -41,10 +41,10 @@ func TestAllAppsRunParallelBothSyncStyles(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if res.Stats.ReadMisses == 0 {
+				if res.Stats.ReadMisses() == 0 {
 					t.Fatal("parallel run had no remote misses")
 				}
-				if sync == SMSync && res.Stats.LLs == 0 {
+				if sync == SMSync && res.Stats.LLs() == 0 {
 					t.Fatal("SM sync run executed no LL/SC")
 				}
 			})
