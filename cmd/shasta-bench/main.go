@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/memchannel"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -42,6 +43,7 @@ var registry = []struct {
 	{"abl-smp", "ablation: SMP-Shasta vs Base-Shasta", experiments.AblationSMP},
 	{"abl-queues", "ablation: shared message queues", experiments.AblationSharedQueues},
 	{"abl-llsc", "ablation: optimized vs emulated LL/SC", experiments.AblationEmulatedLLSC},
+	{"chaos", "chaos harness: workloads under injected network faults", experiments.ChaosTable},
 }
 
 func main() {
@@ -49,6 +51,9 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment names, or 'all'")
 	traceOut := flag.String("trace", "", "write a structured event trace (JSONL) of every run to this file")
 	watchdog := flag.Int64("watchdog-cycles", 0, "stall watchdog budget in cycles (0 = default, negative = off)")
+	faultProfile := flag.String("fault-profile", "none",
+		fmt.Sprintf("network fault profile applied to every run: %v", memchannel.FaultProfiles()))
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	flag.Parse()
 
 	var opts []core.Option
@@ -63,6 +68,14 @@ func main() {
 		}
 		defer f.Close()
 		opts = append(opts, core.WithTrace(trace.New(trace.DefaultRingSize, f)))
+	}
+	fc, err := memchannel.FaultProfile(*faultProfile, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if fc.Enabled() {
+		opts = append(opts, core.WithFaults(fc))
 	}
 	experiments.SetBuildOptions(opts...)
 

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/memchannel"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -26,6 +27,9 @@ func main() {
 	sc := flag.Bool("sc", false, "sequential consistency (default: release consistency)")
 	traceOut := flag.String("trace", "", "write a structured event trace (JSONL) to this file")
 	watchdog := flag.Int64("watchdog-cycles", 0, "stall watchdog budget in cycles (0 = default, negative = off)")
+	faultProfile := flag.String("fault-profile", "none",
+		fmt.Sprintf("network fault profile: %v", memchannel.FaultProfiles()))
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	listApps := flag.Bool("listapps", false, "list workloads")
 	flag.Parse()
 
@@ -49,6 +53,14 @@ func main() {
 				cfg.Consistency = core.SequentiallyConsistent
 			}
 		}),
+	}
+	fc, err := memchannel.FaultProfile(*faultProfile, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if fc.Enabled() {
+		opts = append(opts, core.WithFaults(fc))
 	}
 	if *traceOut != "" {
 		// The tracer buffers internally; System.Run flushes it on both the
@@ -85,6 +97,13 @@ func main() {
 	fmt.Printf("  downgrades          %10d explicit, %d direct\n", st.DowngradesSent(), st.DowngradesDirect())
 	fmt.Printf("  LL/SC               %10d/%d (%d hw, %d failed)\n", st.LLs(), st.SCs(), st.SCHardware(), st.SCFailures())
 	fmt.Printf("  locks/barriers      %10d / %d\n", st.LockAcquires(), st.BarrierWaits())
+	if fc.Enabled() {
+		net := sys.Net.Stats()
+		fmt.Printf("  faults (%s, seed %d): %d dropped, %d duplicated on the wire\n",
+			*faultProfile, *faultSeed, net.Drops, net.Dups)
+		fmt.Printf("  reliability         %10d retransmits, %d acks, %d dups suppressed, %d held for reorder\n",
+			st.Retransmits(), st.NetAcksSent(), st.DupsSuppressed(), st.HeldArrivals())
+	}
 	fmt.Println("  time breakdown (all processes):")
 	total := st.Total()
 	for _, c := range core.Categories() {

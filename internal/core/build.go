@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/memchannel"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -97,6 +98,13 @@ func WithMaxTime(t sim.Time) Option {
 	return func(b *builder) { b.cfg.MaxTime = t }
 }
 
+// WithFaults enables deterministic network fault injection (see
+// memchannel.FaultProfile for presets) and, with it, the reliability
+// sublayer that lets the protocol survive the injected faults.
+func WithFaults(fc memchannel.FaultConfig) Option {
+	return func(b *builder) { b.cfg.Faults = fc }
+}
+
 // WithConfigure applies an arbitrary configuration edit; an escape hatch for
 // the long tail of Config fields that have no dedicated option.
 func WithConfigure(f func(*Config)) Option {
@@ -172,6 +180,18 @@ func (s *System) emitStats() {
 			}
 		}
 	}
+	// Per-link network totals (P is the sending node, not a process).
+	now := s.Eng.Now()
+	for node, ls := range s.Net.LinkStats() {
+		for _, m := range []struct {
+			name string
+			v    int64
+		}{{"sends", ls.Sends}, {"bytes", ls.Bytes}, {"drops", ls.Drops}, {"dups", ls.Dups}} {
+			if m.v != 0 {
+				t.Emit(trace.Event{T: now, Cat: "stats", Ev: "link", P: node, S: m.name, A: m.v})
+			}
+		}
+	}
 }
 
 // dumpProtocolState describes per-process protocol state for watchdog stall
@@ -198,6 +218,15 @@ func (s *System) dumpProtocolState() string {
 		}
 		if n := p.replyQ.q.Len(); n > 0 {
 			line += fmt.Sprintf(" replyQ=%d", n)
+		}
+		var unacked int
+		for _, e := range p.retx {
+			if !e.acked {
+				unacked++
+			}
+		}
+		if unacked > 0 {
+			line += fmt.Sprintf(" unacked-sends=%d", unacked)
 		}
 		if !s.Cfg.SharedQueues && p.reqQ != nil {
 			if n := p.reqQ.q.Len(); n > 0 {

@@ -145,6 +145,24 @@ type Config struct {
 	Cost CostModel
 	Net  memchannel.Config
 
+	// Faults injects deterministic network faults (drop, duplicate,
+	// reorder, partition, crash); see memchannel.FaultConfig and
+	// memchannel.FaultProfile. Enabling faults forces ReliableDelivery.
+	Faults memchannel.FaultConfig
+
+	// ReliableDelivery runs the reliability sublayer (per-link sequence
+	// numbers, duplicate suppression, ack/retransmit with exponential
+	// backoff) under the coherence protocol. Off by default so fault-free
+	// runs keep the paper's exact timing; forced on when Faults is set.
+	ReliableDelivery bool
+	// RetxTimeout is the initial retransmit timeout in cycles; it doubles
+	// with each retry. 0 selects the default (25k cycles ≈ 83 µs, several
+	// round trips plus handler time).
+	RetxTimeout sim.Time
+	// RetxMaxRetries bounds retransmissions per message; exhausting it
+	// fails the run with NodeUnreachableError. 0 selects the default (8).
+	RetxMaxRetries int
+
 	// MaxTime aborts runs that exceed this simulated time (safety net).
 	MaxTime sim.Time
 
@@ -204,6 +222,18 @@ func (c *Config) validate() {
 		// agent state and so require the SMP protocol.
 		c.SharedQueues = false
 		c.ProtocolProcs = false
+	}
+	if c.Faults.Enabled() {
+		c.ReliableDelivery = true
+	}
+	if c.RetxTimeout <= 0 {
+		c.RetxTimeout = 25_000
+	}
+	if c.RetxMaxRetries <= 0 {
+		// With the default 25k-cycle timeout, 8 retries exhaust after
+		// ~12.8M cycles — under the default 15M-cycle watchdog budget, so
+		// an unreachable node reports as such, not as a stall.
+		c.RetxMaxRetries = 8
 	}
 	if c.WatchdogCycles == 0 {
 		// Default budget: far above any legitimate no-progress gap (protocol

@@ -31,6 +31,11 @@ type Proc struct {
 	mshr        map[int]*mshrEntry
 	outstanding int
 
+	// Reliability sublayer state (ReliableDelivery only; see reliable.go).
+	// Sequencing and resequencing are per link and live on System.
+	retx      []*retxEntry // unacknowledged sends, in send order
+	retxBySeq map[retxKey]*retxEntry
+
 	deferredReqs []msg       // forwarded requests deferred behind a fill
 	dgAcks       map[int]int // downgrade acks received, by block
 	granted      map[int]bool
@@ -346,6 +351,14 @@ var debugDeliver func(from, to *Proc, kind string, arrive sim.Time)
 // SetDebugDeliver installs a delivery observer (tests only).
 func SetDebugDeliver(fn func(from, to *Proc, kind string, arrive sim.Time)) { debugDeliver = fn }
 
+// debugForceDup, when non-nil, is consulted with a global index for each
+// message offered to the wire; returning true injects a duplicate copy of
+// that message (sequenced messages only — tests of delivery idempotence).
+var debugForceDup func(n int64) bool
+
+// SetDebugForceDup installs the duplicate-injection hook (tests only).
+func SetDebugForceDup(fn func(n int64) bool) { debugForceDup = fn }
+
 func traceEvent(p *Proc, blk *blockInfo, site string) {
 	if debugTrace != nil {
 		debugTrace(p, blk, site)
@@ -575,6 +588,9 @@ func (p *Proc) nextArrival() (sim.Time, bool) {
 	if a, has := p.sys.requestBox(p).q.NextArrival(); has && a < best {
 		best, ok = a, true
 	}
+	if d, has := p.nextRetxDeadline(); has && d < best {
+		best, ok = d, true
+	}
 	return best, ok
 }
 
@@ -582,6 +598,9 @@ func (p *Proc) nextArrival() (sim.Time, bool) {
 // the request queue; it reports whether anything was handled.
 func (p *Proc) serviceReady(cat TimeCategory) bool {
 	now := p.Sim.Now()
+	if p.pumpReliability(cat) {
+		return true
+	}
 	if m, ok := p.replyQ.q.Pop(now); ok {
 		p.handleMessage(m, cat)
 		return true

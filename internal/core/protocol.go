@@ -76,6 +76,28 @@ func (p *Proc) handleMessage(m msg, cat TimeCategory) {
 	wasIn := p.inProtocol
 	p.inProtocol = true
 	defer func() { p.inProtocol = wasIn }()
+	// Reliability sublayer: acknowledge sequenced messages at receipt and
+	// suppress duplicate deliveries before they reach a handler. Ordering
+	// was already restored by the link resequencer at enqueue time, so
+	// every handler observes exactly-once, in-order semantics over a
+	// lossy, reordering wire.
+	if m.seq != 0 {
+		p.sendNetAck(m, cat)
+		if m.dup {
+			p.stats.N[CntDupsSuppressed]++
+			return
+		}
+		// Strip the wire sequence number: handlers may re-dispatch the
+		// message internally (directory-busy queues, deferred requests),
+		// and those replays must not look like duplicate deliveries.
+		m.seq = 0
+	}
+	p.dispatch(m, cat)
+}
+
+// dispatch routes an in-order, deduplicated message to its handler.
+func (p *Proc) dispatch(m msg, cat TimeCategory) {
+	s := p.sys
 	switch m.kind {
 	case msgReadReq, msgReadExclReq, msgUpgradeReq, msgSCUpgradeReq:
 		p.handleHome(m)
@@ -107,6 +129,8 @@ func (p *Proc) handleMessage(m msg, cat TimeCategory) {
 		p.handleBarrierEnter(m)
 	case msgBarrierRelease:
 		p.barrierSeen[m.id]++
+	case msgNetAck:
+		p.handleNetAck(m)
 	case msgUser:
 		// User messages are applied on behalf of their target process —
 		// which may be blocked in a system call — by whichever process

@@ -122,6 +122,10 @@ const (
 
 	// User-defined messages (cluster OS layer: fork, kill, signals...).
 	msgUser
+
+	// Reliability sublayer: delivery acknowledgment for a sequenced
+	// message (only sent when ReliableDelivery is on).
+	msgNetAck
 )
 
 var msgKindNames = [...]string{
@@ -148,6 +152,7 @@ var msgKindNames = [...]string{
 	msgBarrierEnter:   "barrier-enter",
 	msgBarrierRelease: "barrier-release",
 	msgUser:           "user",
+	msgNetAck:         "net-ack",
 }
 
 func (k msgKind) String() string {
@@ -170,6 +175,10 @@ type msg struct {
 	id      int // user message tag / sync object index
 	payload any // user message body
 	arrive  int64
+	// Reliability sublayer (ReliableDelivery only; zero otherwise).
+	seq int64 // per-link (node pair) sequence number, 1-based
+	ack int64 // msgNetAck: the sequence number being acknowledged
+	dup bool  // set by the link resequencer on duplicate deliveries
 }
 
 // headerBytes is the wire size of a message without data payload.

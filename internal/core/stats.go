@@ -87,6 +87,10 @@ const (
 	CntDeferredFlagFills  // §4.1: invalidations deferred past a batch
 	CntSyscallValidations
 	CntForks
+	CntRetransmits    // reliability: messages retransmitted after timeout
+	CntNetAcksSent    // reliability: delivery acknowledgments sent
+	CntDupsSuppressed // reliability: duplicate deliveries filtered out
+	CntHeldArrivals   // reliability: out-of-order arrivals buffered for resequencing
 	numCounters
 )
 
@@ -120,6 +124,10 @@ var counterNames = [numCounters]string{
 	CntDeferredFlagFills:  "deferred-flag-fills",
 	CntSyscallValidations: "syscall-validations",
 	CntForks:              "forks",
+	CntRetransmits:        "retransmits",
+	CntNetAcksSent:        "net-acks-sent",
+	CntDupsSuppressed:     "dups-suppressed",
+	CntHeldArrivals:       "held-arrivals",
 }
 
 func (c Counter) String() string { return counterNames[c] }
@@ -199,3 +207,7 @@ func (s *Stats) BatchStoreReissues() int64 { return s.N[CntBatchStoreReissues] }
 func (s *Stats) DeferredFlagFills() int64  { return s.N[CntDeferredFlagFills] }
 func (s *Stats) SyscallValidations() int64 { return s.N[CntSyscallValidations] }
 func (s *Stats) Forks() int64              { return s.N[CntForks] }
+func (s *Stats) Retransmits() int64        { return s.N[CntRetransmits] }
+func (s *Stats) NetAcksSent() int64        { return s.N[CntNetAcksSent] }
+func (s *Stats) DupsSuppressed() int64     { return s.N[CntDupsSuppressed] }
+func (s *Stats) HeldArrivals() int64       { return s.N[CntHeldArrivals] }

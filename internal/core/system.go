@@ -87,6 +87,13 @@ type System struct {
 	osObj  any // cluster OS layer when built WithOS
 
 	rng *rand.Rand
+
+	deliveryCount int64 // messages offered to the wire (debug dup hook)
+
+	// Reliability sublayer link state, indexed [srcNode*Nodes+dstNode]:
+	// per-link sequence counters and receiver-side resequencers.
+	linkSeq []int64
+	reseq   []*linkReseq
 }
 
 type lockState struct {
@@ -146,6 +153,12 @@ func newSystem(cfg Config) *System {
 	_ = words
 	for i := 0; i < s.Eng.NumCPUs(); i++ {
 		s.cpus = append(s.cpus, &cpuState{reqQ: newQueueBox()})
+	}
+	s.Net.SetFaults(cfg.Faults)
+	s.linkSeq = make([]int64, cfg.Nodes*cfg.Nodes)
+	s.reseq = make([]*linkReseq, cfg.Nodes*cfg.Nodes)
+	for i := range s.reseq {
+		s.reseq[i] = &linkReseq{}
 	}
 	s.Eng.SetDumpHook(s.dumpProtocolState)
 	return s
@@ -441,6 +454,30 @@ func (s *System) Peek(addr uint64) uint64 {
 	return s.agents[s.agentOf(s.procs[blk.home])].data[w]
 }
 
+// SnapshotShared returns the final contents of every allocated shared
+// word, each resolved through the agent tables like Peek: any valid copy,
+// falling back to the home. It is the chaos harness's equivalence check —
+// two runs of the same workload must produce identical snapshots.
+func (s *System) SnapshotShared() []uint64 {
+	out := make([]uint64, s.allocCursor*s.wordsPerLine)
+	for line := 0; line < s.allocCursor; line++ {
+		src := -1
+		for i, a := range s.agents {
+			if a.table[line] != Invalid {
+				src = i
+				break
+			}
+		}
+		if src < 0 {
+			blk := s.blockOf(line)
+			src = s.agentOf(s.procs[blk.home])
+		}
+		base := line * s.wordsPerLine
+		copy(out[base:base+s.wordsPerLine], s.agents[src].data[base:base+s.wordsPerLine])
+	}
+	return out
+}
+
 // AggregateStats sums the statistics of all processes.
 func (s *System) AggregateStats() Stats {
 	var total Stats
@@ -459,29 +496,72 @@ func (s *System) requestBox(p *Proc) *queueBox {
 }
 
 // deliver routes message m from sender to the destination process dst,
-// computing network latency and charging the sender's send cost.
+// computing network latency and charging the sender's send cost. With
+// ReliableDelivery on, inter-node messages are sequenced and registered
+// for retransmission until acknowledged (net acks themselves are not).
 func (s *System) deliver(sender *Proc, dst *Proc, m msg, cat TimeCategory) {
+	if m.kind != msgNetAck && sender.reliable(dst) {
+		m.seq = sender.assignSeq(dst)
+	}
+	s.sendWire(sender, dst, m, cat)
+	if m.seq != 0 {
+		sender.trackRetx(dst, m)
+	}
+}
+
+// sendWire transmits m (an original send or a retransmission): it charges
+// the send cost, runs the network — including any injected faults — and
+// enqueues whatever copies survive the wire.
+func (s *System) sendWire(sender *Proc, dst *Proc, m msg, cat TimeCategory) {
 	sender.charge(cat, s.Cfg.Cost.MsgSend)
 	if s.Cfg.SMP && s.Cfg.SharedQueues {
 		sender.charge(cat, s.Cfg.Cost.QueueLock)
 	}
 	sender.stats.N[CntMessagesSent]++
-	arrive := s.Net.Deliver(sender.node, dst.node, m.wireSize(s.Cfg.LineSize), sender.Sim.Now())
-	m.arrive = arrive
+	size := m.wireSize(s.Cfg.LineSize)
+	a1, a2, copies := s.Net.Send(sender.node, dst.node, size, sender.Sim.Now())
 	var box *queueBox
 	switch m.kind {
 	case msgReadReply, msgReadExclReply, msgUpgradeAck, msgSCFail, msgInvalAck,
-		msgDowngradeReq, msgDowngradeAck, msgLockGrant, msgBarrierRelease:
+		msgDowngradeReq, msgDowngradeAck, msgLockGrant, msgBarrierRelease, msgNetAck:
 		box = dst.replyQ
 	default:
 		box = s.requestBox(dst)
 	}
-	box.put(m, arrive)
+	arrive := a1
+	if copies == 0 {
+		arrive = 0 // dropped: never arrives
+	}
+	if m.seq != 0 {
+		// Sequenced traffic goes through the destination node's link
+		// resequencer, which restores FIFO order before the queues.
+		if copies >= 1 {
+			s.reseqEnqueue(sender.node, dst, m, box, a1)
+		}
+		if copies >= 2 {
+			s.reseqEnqueue(sender.node, dst, m, box, a2)
+		}
+		if debugForceDup != nil && copies >= 1 && debugForceDup(s.deliveryCount) {
+			s.reseqEnqueue(sender.node, dst, m, box, a1+500)
+		}
+	} else {
+		if copies >= 1 {
+			mm := m
+			mm.arrive = a1
+			box.put(mm, a1)
+		}
+		if copies >= 2 {
+			mm := m
+			mm.arrive = a2
+			box.put(mm, a2)
+		}
+	}
+	s.deliveryCount++
 	if s.tracer != nil {
 		s.tracer.Emit(trace.Event{
 			T: sender.Sim.Now(), Cat: "msg", Ev: "send",
 			P: sender.ID, O: dst.ID, Blk: m.block, S: m.kind.String(),
-			A: arrive, B: int64(m.wireSize(s.Cfg.LineSize)),
+			A: arrive, B: int64(size),
 		})
 	}
 	if debugDeliver != nil {

@@ -1,0 +1,190 @@
+// Chaos harness: runs every workload under seeded fault schedules and
+// checks that the reliability sublayer preserves the fault-free outcome —
+// the final shared-memory contents must be identical, and crash-profile
+// runs must either complete or fail with a structured NodeUnreachableError
+// rather than hanging.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/core"
+	"repro/internal/memchannel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// ChaosProfiles lists the fault profiles the harness exercises, in CI
+// matrix order (crash is checked separately: it may legitimately abort).
+func ChaosProfiles() []string { return []string{"lossy", "partition"} }
+
+// ChaosBaseline is the fault-free reference for one workload
+// configuration: the final shared-memory snapshot faulty runs must match.
+type ChaosBaseline struct {
+	App      string
+	Procs    int
+	Scale    int
+	Snapshot []uint64
+	Elapsed  sim.Time
+}
+
+// ChaosOutcome reports one faulty run against a baseline.
+type ChaosOutcome struct {
+	App     string
+	Profile string
+	Seed    int64
+
+	Completed   bool
+	MemEqual    bool // snapshot identical to the fault-free baseline
+	Unreachable *core.NodeUnreachableError
+
+	Elapsed     sim.Time
+	Drops       int64
+	Dups        int64
+	Retransmits int64
+	Suppressed  int64
+}
+
+func chaosConfig(profile string, seed int64) (core.Config, error) {
+	cfg := baseConfig()
+	fc, err := memchannel.FaultProfile(profile, seed)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Faults = fc
+	return cfg, nil
+}
+
+// chaosRun executes one workload once and returns the system and result.
+func chaosRun(app string, procs, scale int, cfg core.Config) (*core.System, *workloads.Result, error) {
+	a, ok := workloads.Get(app)
+	if !ok {
+		return nil, nil, fmt.Errorf("chaos: unknown workload %q", app)
+	}
+	sys := build(cfg)
+	res, err := workloads.Run(sys, a, workloads.RunConfig{Procs: procs, Scale: scale})
+	return sys, res, err
+}
+
+// NewChaosBaseline runs the workload fault-free and records its outcome.
+func NewChaosBaseline(app string, procs, scale int) (*ChaosBaseline, error) {
+	sys, res, err := chaosRun(app, procs, scale, baseConfig())
+	if err != nil {
+		return nil, fmt.Errorf("chaos: fault-free %s run failed: %w", app, err)
+	}
+	return &ChaosBaseline{
+		App: app, Procs: procs, Scale: scale,
+		Snapshot: sys.SnapshotShared(), Elapsed: res.Elapsed,
+	}, nil
+}
+
+// Run executes the baseline's workload under the given fault profile and
+// seed and compares the outcome. A NodeUnreachableError is reported in
+// the outcome, not as an error; any other failure is an error.
+func (b *ChaosBaseline) Run(profile string, seed int64) (*ChaosOutcome, error) {
+	cfg, err := chaosConfig(profile, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &ChaosOutcome{App: b.App, Profile: profile, Seed: seed}
+	sys, res, err := chaosRun(b.App, b.Procs, b.Scale, cfg)
+	net := sys.Net.Stats()
+	agg := sys.AggregateStats()
+	out.Drops, out.Dups = net.Drops, net.Dups
+	out.Retransmits, out.Suppressed = agg.Retransmits(), agg.DupsSuppressed()
+	if err != nil {
+		var ne *core.NodeUnreachableError
+		if errors.As(err, &ne) {
+			out.Unreachable = ne
+			return out, nil
+		}
+		return nil, fmt.Errorf("chaos: %s/%s/seed=%d: %w", b.App, profile, seed, err)
+	}
+	out.Completed = true
+	out.Elapsed = res.Elapsed
+	snap := sys.SnapshotShared()
+	out.MemEqual = len(snap) == len(b.Snapshot)
+	if out.MemEqual {
+		for i := range snap {
+			if snap[i] != b.Snapshot[i] {
+				out.MemEqual = false
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// ChaosTraceDigest runs the workload under the given profile/seed with
+// tracing and returns an FNV-1a digest of the emitted JSONL. Two calls
+// with identical arguments must return identical digests — the fault
+// schedule and the simulation are both deterministic.
+func ChaosTraceDigest(app string, procs, scale int, profile string, seed int64) (uint64, error) {
+	cfg, err := chaosConfig(profile, seed)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	tr := trace.New(trace.DefaultRingSize, h)
+	a, ok := workloads.Get(app)
+	if !ok {
+		return 0, fmt.Errorf("chaos: unknown workload %q", app)
+	}
+	sys := core.Build(core.WithConfig(cfg), core.WithTrace(tr))
+	_, err = workloads.Run(sys, a, workloads.RunConfig{Procs: procs, Scale: scale})
+	var ne *core.NodeUnreachableError
+	if err != nil && !errors.As(err, &ne) {
+		return 0, err
+	}
+	return h.Sum64(), nil
+}
+
+// ChaosTable runs the full harness — every workload under every profile
+// (plus crash) with a small seed set — and renders the outcomes; it backs
+// `shasta-bench -run chaos`.
+func ChaosTable() *Table {
+	t := &Table{
+		Title:   "Chaos harness: workloads under injected network faults (8 procs)",
+		Columns: []string{"app", "profile", "seed", "outcome", "mem", "drops", "dups", "retx", "dup-filtered"},
+		Notes: []string{
+			"outcome: ok = completed; unreachable = structured NodeUnreachableError (crash profile only)",
+			"mem: final shared-memory snapshot identical to the fault-free run",
+		},
+	}
+	const procs, scale = 8, 1
+	profiles := append(ChaosProfiles(), "crash")
+	for _, app := range workloads.All() {
+		base, err := NewChaosBaseline(app.Name, procs, scale)
+		if err != nil {
+			t.Rows = append(t.Rows, []string{app.Name, "-", "-", "ERROR: " + err.Error(), "", "", "", "", ""})
+			continue
+		}
+		for _, profile := range profiles {
+			for _, seed := range []int64{1, 2} {
+				out, err := base.Run(profile, seed)
+				if err != nil {
+					t.Rows = append(t.Rows, []string{app.Name, profile, fmt.Sprint(seed),
+						"ERROR: " + err.Error(), "", "", "", "", ""})
+					continue
+				}
+				outcome, mem := "ok", "equal"
+				if out.Unreachable != nil {
+					outcome = fmt.Sprintf("unreachable (peer %d, %d attempts)",
+						out.Unreachable.Peer, out.Unreachable.Attempts)
+					mem = "-"
+				} else if !out.MemEqual {
+					mem = "DIVERGED"
+				}
+				t.Rows = append(t.Rows, []string{
+					app.Name, profile, fmt.Sprint(seed), outcome, mem,
+					fmt.Sprint(out.Drops), fmt.Sprint(out.Dups),
+					fmt.Sprint(out.Retransmits), fmt.Sprint(out.Suppressed),
+				})
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestChaosMatrix runs every workload under every non-crash fault profile
+// with a fixed seed set and requires each run to complete with final
+// shared-memory contents identical to the fault-free baseline. This is
+// the end-to-end guarantee of the reliability sublayer: injected drops,
+// duplicates and delays are invisible to the program.
+func TestChaosMatrix(t *testing.T) {
+	const procs, scale = 8, 1
+	seeds := []int64{1, 2, 3}
+	for _, app := range workloads.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			base, err := NewChaosBaseline(app.Name, procs, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, profile := range ChaosProfiles() {
+				for _, seed := range seeds {
+					out, err := base.Run(profile, seed)
+					if err != nil {
+						t.Fatalf("%s seed %d: %v", profile, seed, err)
+					}
+					if !out.Completed {
+						t.Fatalf("%s seed %d: run aborted: %v", profile, seed, out.Unreachable)
+					}
+					if !out.MemEqual {
+						t.Errorf("%s seed %d: final memory diverged from fault-free run", profile, seed)
+					}
+					if out.Drops == 0 {
+						t.Errorf("%s seed %d: no drops injected; profile inactive", profile, seed)
+					}
+					if out.Retransmits == 0 {
+						t.Errorf("%s seed %d: drops occurred but nothing retransmitted", profile, seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChaosCrashProfile: under a permanent node crash every workload must
+// either still complete with equivalent memory (if it never needed the
+// dead node after the crash point) or fail with the structured
+// NodeUnreachableError carrying its retry history — never hang and never
+// fall through to the generic stall watchdog.
+func TestChaosCrashProfile(t *testing.T) {
+	const procs, scale = 8, 1
+	for _, app := range workloads.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			base, err := NewChaosBaseline(app.Name, procs, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, seed := range []int64{1, 2, 3} {
+				out, err := base.Run("crash", seed)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				switch {
+				case out.Completed:
+					if !out.MemEqual {
+						t.Errorf("seed %d: completed run diverged from fault-free memory", seed)
+					}
+				case out.Unreachable != nil:
+					ne := out.Unreachable
+					if len(ne.RetryHistory) == 0 {
+						t.Errorf("seed %d: unreachable error has empty retry history", seed)
+					}
+					if ne.Attempts != len(ne.RetryHistory) {
+						t.Errorf("seed %d: attempts=%d but history has %d entries",
+							seed, ne.Attempts, len(ne.RetryHistory))
+					}
+				default:
+					t.Errorf("seed %d: neither completed nor unreachable", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosTraceDeterminism: a fixed (workload, profile, seed) must emit a
+// byte-identical trace on every run — the fault schedule is a pure
+// function of its inputs and the simulation stays deterministic even with
+// faults, retransmissions and duplicate suppression in play.
+func TestChaosTraceDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		app     string
+		profile string
+		seed    int64
+	}{
+		{"LU", "lossy", 1},
+		{"Barnes", "lossy", 2},
+		{"Ocean", "partition", 1},
+		{"Water-Nsq", "crash", 3},
+	} {
+		d1, err := ChaosTraceDigest(tc.app, 8, 1, tc.profile, tc.seed)
+		if err != nil {
+			t.Fatalf("%s/%s/%d: %v", tc.app, tc.profile, tc.seed, err)
+		}
+		d2, err := ChaosTraceDigest(tc.app, 8, 1, tc.profile, tc.seed)
+		if err != nil {
+			t.Fatalf("%s/%s/%d (second run): %v", tc.app, tc.profile, tc.seed, err)
+		}
+		if d1 != d2 {
+			t.Errorf("%s/%s/%d: trace digests differ across runs: %x vs %x",
+				tc.app, tc.profile, tc.seed, d1, d2)
+		}
+		dOther, err := ChaosTraceDigest(tc.app, 8, 1, tc.profile, tc.seed+100)
+		if err != nil {
+			t.Fatalf("%s/%s/%d (other seed): %v", tc.app, tc.profile, tc.seed+100, err)
+		}
+		if d1 == dOther {
+			t.Errorf("%s/%s: seeds %d and %d produced identical traces; schedule ignores seed",
+				tc.app, tc.profile, tc.seed, tc.seed+100)
+		}
+	}
+}

@@ -5,7 +5,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/memchannel"
 	"repro/internal/sim"
+	"repro/internal/workloads"
 )
 
 // TestWatchdogCatchesDowngradeStall is the regression test for the
@@ -40,5 +43,46 @@ func TestWatchdogCatchesDowngradeStall(t *testing.T) {
 		if !strings.Contains(msg, want) {
 			t.Errorf("stall dump missing %q:\n%s", want, msg)
 		}
+	}
+}
+
+// TestTotalLossTripsUnreachableNotStall: a link that drops 100% of its
+// traffic must be reported by the reliability sublayer as a structured
+// NodeUnreachableError — with the retry history populated — well before
+// the generic stall watchdog would give up on the run. The retransmit
+// budget is sized so it always exhausts first (see Config.RetxMaxRetries).
+func TestTotalLossTripsUnreachableNotStall(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Faults = memchannel.FaultConfig{Seed: 1, DropProb: 1}
+	app, ok := workloads.Get("LU")
+	if !ok {
+		t.Fatal("LU workload not registered")
+	}
+	sys := build(cfg)
+	_, err := workloads.Run(sys, app, workloads.RunConfig{Procs: 8, Scale: 1})
+	if err == nil {
+		t.Fatal("run over a total-loss network completed")
+	}
+	var se *sim.StallError
+	if errors.As(err, &se) {
+		t.Fatalf("total loss tripped the generic stall watchdog, not the reliability sublayer:\n%v", err)
+	}
+	var ne *core.NodeUnreachableError
+	if !errors.As(err, &ne) {
+		t.Fatalf("want NodeUnreachableError, got %T: %v", err, err)
+	}
+	if ne.Attempts != sys.Cfg.RetxMaxRetries+1 {
+		t.Errorf("attempts = %d, want %d (the full retry budget)", ne.Attempts, sys.Cfg.RetxMaxRetries+1)
+	}
+	if len(ne.RetryHistory) != ne.Attempts {
+		t.Errorf("retry history has %d entries, want %d", len(ne.RetryHistory), ne.Attempts)
+	}
+	for i := 1; i < len(ne.RetryHistory); i++ {
+		if ne.RetryHistory[i] <= ne.RetryHistory[i-1] {
+			t.Fatalf("retry history not strictly increasing: %v", ne.RetryHistory)
+		}
+	}
+	if !strings.Contains(err.Error(), "protocol state") {
+		t.Errorf("unreachable error missing the protocol-state dump:\n%v", err)
 	}
 }

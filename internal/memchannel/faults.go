@@ -1,0 +1,253 @@
+package memchannel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FaultConfig describes a deterministic fault schedule for the network.
+// Every fault decision is a pure function of (Seed, from-node, to-node,
+// per-pair message index), so two runs with the same configuration take
+// byte-for-byte identical fault schedules regardless of wall-clock effects.
+// Intra-node messages travel through the shared-memory segment and are
+// never faulted.
+type FaultConfig struct {
+	// Seed selects the fault schedule; it is independent of the workload
+	// seed so the same faults can be replayed against different apps.
+	Seed int64
+
+	// DropProb is the probability a message is lost on the wire.
+	DropProb float64
+	// DupProb is the probability a message is delivered twice (the second
+	// copy re-occupies the link and arrives later).
+	DupProb float64
+	// DelayProb is the probability a message suffers extra wire delay of
+	// up to MaxExtraDelay cycles, reordering it behind later traffic.
+	DelayProb float64
+	// MaxExtraDelay bounds the extra delay; 0 disables delay faults even
+	// if DelayProb is set.
+	MaxExtraDelay sim.Time
+
+	// Partitions lists transient link outages: messages on a matching
+	// directed link sent within [Start, End) are dropped.
+	Partitions []Partition
+	// Crashes lists permanent node failures: once a node's crash time is
+	// reached, every message to or from it is dropped for the rest of
+	// the run.
+	Crashes []NodeCrash
+}
+
+// Partition is a transient outage of the directed link From -> To during
+// [Start, End). A value of -1 for From or To matches every node.
+type Partition struct {
+	From, To   int
+	Start, End sim.Time
+}
+
+// NodeCrash is a permanent node failure at time At.
+type NodeCrash struct {
+	Node int
+	At   sim.Time
+}
+
+// Enabled reports whether the configuration injects any faults at all.
+func (c FaultConfig) Enabled() bool {
+	return c.DropProb > 0 || c.DupProb > 0 || (c.DelayProb > 0 && c.MaxExtraDelay > 0) ||
+		len(c.Partitions) > 0 || len(c.Crashes) > 0
+}
+
+// FaultProfiles lists the named profiles accepted by FaultProfile, in
+// increasing order of severity.
+func FaultProfiles() []string { return []string{"none", "lossy", "partition", "crash"} }
+
+// FaultProfile returns a preset fault configuration by name:
+//
+//	none      — no faults
+//	lossy     — 1% drop, 0.5% duplicate, 5% extra delay (reordering)
+//	partition — lossy plus a 2M-cycle partition of node 0 from the rest
+//	crash     — lossy plus a permanent crash of node 1 at t=3M cycles
+//
+// The seed parameterizes the schedule within the profile.
+func FaultProfile(name string, seed int64) (FaultConfig, error) {
+	lossy := FaultConfig{
+		Seed:          seed,
+		DropProb:      0.01,
+		DupProb:       0.005,
+		DelayProb:     0.05,
+		MaxExtraDelay: 2000,
+	}
+	switch name {
+	case "", "none":
+		return FaultConfig{}, nil
+	case "lossy":
+		return lossy, nil
+	case "partition":
+		cfg := lossy
+		cfg.Partitions = []Partition{
+			{From: 0, To: -1, Start: 5_000_000, End: 7_000_000},
+			{From: -1, To: 0, Start: 5_000_000, End: 7_000_000},
+		}
+		return cfg, nil
+	case "crash":
+		cfg := lossy
+		cfg.Crashes = []NodeCrash{{Node: 1, At: 3_000_000}}
+		return cfg, nil
+	}
+	return FaultConfig{}, fmt.Errorf("memchannel: unknown fault profile %q (want one of %v)", name, FaultProfiles())
+}
+
+// Per-decision salts keep the drop, duplicate and delay rolls for one
+// message independent of each other.
+const (
+	saltDrop  = 0x9e3779b97f4a7c15
+	saltDup   = 0xbf58476d1ce4e5b9
+	saltDelay = 0x94d049bb133111eb
+)
+
+// faultHash mixes the schedule seed, the directed link, the per-link
+// message index and a decision salt into a uniform 64-bit value
+// (splitmix64 finalizer). It is the sole source of fault randomness.
+func faultHash(seed int64, from, to int, n int64, salt uint64) uint64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + salt
+	x ^= uint64(from+1) * 0xbf58476d1ce4e5b9
+	x ^= uint64(to+1) * 0x94d049bb133111eb
+	x += uint64(n) * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// roll converts a hash to a uniform float64 in [0, 1).
+func roll(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// crashed reports whether the node is down at time t.
+func (c FaultConfig) crashed(node int, t sim.Time) bool {
+	for _, cr := range c.Crashes {
+		if cr.Node == node && t >= cr.At {
+			return true
+		}
+	}
+	return false
+}
+
+// partitioned reports whether the directed link from -> to is down at t.
+func (c FaultConfig) partitioned(from, to int, t sim.Time) bool {
+	for _, pt := range c.Partitions {
+		if (pt.From == -1 || pt.From == from) && (pt.To == -1 || pt.To == to) &&
+			t >= pt.Start && t < pt.End {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkStats counts traffic on one node's outgoing Memory Channel link.
+// Sends and Bytes include dropped messages and injected duplicates (they
+// occupy the link); Drops and Dups count the injected faults.
+type LinkStats struct {
+	Sends int64
+	Bytes int64
+	Drops int64
+	Dups  int64
+}
+
+// Send delivers a message under the configured fault schedule. It returns
+// up to two arrival times and the number of copies delivered: 0 (dropped),
+// 1 (normal), or 2 (duplicated; the second copy arrives at a2). Intra-node
+// messages and fault-free networks take the Deliver fast path unchanged.
+func (n *Network) Send(fromNode, toNode int, size int, sendTime sim.Time) (a1, a2 sim.Time, copies int) {
+	if !n.faults.Enabled() || fromNode == toNode {
+		return n.Deliver(fromNode, toNode, size, sendTime), 0, 1
+	}
+	if fromNode < 0 || fromNode >= len(n.outBusy) || toNode < 0 || toNode >= len(n.outBusy) {
+		panic(fmt.Sprintf("memchannel: bad nodes %d->%d", fromNode, toNode))
+	}
+	idx := fromNode*len(n.outBusy) + toNode
+	k := n.pairN[idx]
+	n.pairN[idx]++
+	ls := &n.perLink[fromNode]
+
+	// A crashed endpoint silences the link entirely: a dead sender emits
+	// nothing, and traffic toward a dead node disappears at its NIC.
+	if n.faults.crashed(fromNode, sendTime) || n.faults.crashed(toNode, sendTime) {
+		ls.Drops++
+		n.stats.Drops++
+		n.emitFault("drop", "crash", fromNode, toNode, size, sendTime)
+		return 0, 0, 0
+	}
+
+	drop := n.faults.partitioned(fromNode, toNode, sendTime)
+	reason := "partition"
+	if !drop && roll(faultHash(n.faults.Seed, fromNode, toNode, k, saltDrop)) < n.faults.DropProb {
+		drop, reason = true, "loss"
+	}
+
+	// The message occupies the transmit link whether or not it survives
+	// the wire; drops are losses in flight, not suppressed sends.
+	ls.Sends++
+	ls.Bytes += int64(size)
+	a1 = n.transmit(fromNode, toNode, size, sendTime)
+	if drop {
+		ls.Drops++
+		n.stats.Drops++
+		n.emitFault("drop", reason, fromNode, toNode, size, sendTime)
+		return 0, 0, 0
+	}
+
+	if n.faults.MaxExtraDelay > 0 {
+		h := faultHash(n.faults.Seed, fromNode, toNode, k, saltDelay)
+		if roll(h) < n.faults.DelayProb {
+			a1 += sim.Time(h % uint64(n.faults.MaxExtraDelay+1))
+		}
+	}
+	copies = 1
+	if roll(faultHash(n.faults.Seed, fromNode, toNode, k, saltDup)) < n.faults.DupProb {
+		ls.Sends++
+		ls.Bytes += int64(size)
+		ls.Dups++
+		n.stats.Dups++
+		a2 = n.transmit(fromNode, toNode, size, sendTime)
+		if a2 <= a1 {
+			a2 = a1 + 1
+		}
+		copies = 2
+		n.emitFault("dup", "", fromNode, toNode, size, sendTime)
+	}
+	return a1, a2, copies
+}
+
+// transmit charges inter-node link occupancy and returns the arrival time
+// (the fault-free Deliver path for inter-node traffic).
+func (n *Network) transmit(fromNode, toNode int, size int, sendTime sim.Time) sim.Time {
+	n.stats.Messages++
+	n.stats.Bytes += int64(size)
+	start := sendTime
+	if n.outBusy[fromNode] > start {
+		start = n.outBusy[fromNode]
+	}
+	occupy := sim.Time(float64(size) * n.cfg.CyclesPerByte)
+	n.outBusy[fromNode] = start + occupy
+	arrive := start + occupy + n.cfg.WireLatency
+	if n.tracer != nil {
+		n.tracer.Emit(trace.Event{
+			T: sendTime, Cat: "net", Ev: "xfer",
+			P: fromNode, O: toNode, A: arrive - sendTime, B: int64(size),
+		})
+	}
+	return arrive
+}
+
+func (n *Network) emitFault(ev, reason string, fromNode, toNode, size int, sendTime sim.Time) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer.Emit(trace.Event{
+		T: sendTime, Cat: "net", Ev: ev,
+		P: fromNode, O: toNode, B: int64(size), S: reason,
+	})
+}

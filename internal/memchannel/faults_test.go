@@ -1,0 +1,217 @@
+package memchannel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func lossyCfg(seed int64) FaultConfig {
+	fc, err := FaultProfile("lossy", seed)
+	if err != nil {
+		panic(err)
+	}
+	return fc
+}
+
+// sendAll pushes count fixed-size messages across 0->1 and records the
+// outcome of each.
+type sendRec struct {
+	a1, a2 sim.Time
+	copies int
+}
+
+func sendAll(n *Network, count int) []sendRec {
+	out := make([]sendRec, count)
+	for i := range out {
+		a1, a2, c := n.Send(0, 1, 64, sim.Time(i*100))
+		out[i] = sendRec{a1, a2, c}
+	}
+	return out
+}
+
+func TestFaultScheduleDeterministic(t *testing.T) {
+	a := NewNetwork(2, DefaultConfig())
+	a.SetFaults(lossyCfg(7))
+	b := NewNetwork(2, DefaultConfig())
+	b.SetFaults(lossyCfg(7))
+	ra, rb := sendAll(a, 2000), sendAll(b, 2000)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("message %d diverged: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestFaultScheduleVariesWithSeed(t *testing.T) {
+	a := NewNetwork(2, DefaultConfig())
+	a.SetFaults(lossyCfg(1))
+	b := NewNetwork(2, DefaultConfig())
+	b.SetFaults(lossyCfg(2))
+	ra, rb := sendAll(a, 2000), sendAll(b, 2000)
+	same := 0
+	for i := range ra {
+		if ra[i].copies == rb[i].copies {
+			same++
+		}
+	}
+	if same == len(ra) {
+		t.Fatal("seeds 1 and 2 produced identical fault schedules")
+	}
+}
+
+func TestFaultRatesRoughlyMatchConfig(t *testing.T) {
+	n := NewNetwork(2, DefaultConfig())
+	n.SetFaults(FaultConfig{Seed: 3, DropProb: 0.1, DupProb: 0.05})
+	const N = 20000
+	sendAll(n, N)
+	st := n.Stats()
+	if st.Drops < N/20 || st.Drops > N/5 {
+		t.Errorf("drops = %d out of %d, want around %d", st.Drops, N, N/10)
+	}
+	if st.Dups < N/50 || st.Dups > N/10 {
+		t.Errorf("dups = %d out of %d, want around %d", st.Dups, N, N/20)
+	}
+}
+
+func TestFaultFreeSendMatchesDeliver(t *testing.T) {
+	a := NewNetwork(2, DefaultConfig())
+	b := NewNetwork(2, DefaultConfig())
+	b.SetFaults(FaultConfig{}) // explicit zero config: still fault-free
+	for i := 0; i < 100; i++ {
+		want := a.Deliver(0, 1, 64, sim.Time(i*10))
+		got, _, copies := b.Send(0, 1, 64, sim.Time(i*10))
+		if copies != 1 || got != want {
+			t.Fatalf("message %d: Send=(%d,%d copies), Deliver=%d", i, got, copies, want)
+		}
+	}
+}
+
+func TestPartitionWindowDropsAll(t *testing.T) {
+	n := NewNetwork(2, DefaultConfig())
+	n.SetFaults(FaultConfig{
+		Seed:       1,
+		Partitions: []Partition{{From: -1, To: 1, Start: 1000, End: 2000}},
+	})
+	if _, _, c := n.Send(0, 1, 8, 500); c != 1 {
+		t.Fatal("message before partition dropped")
+	}
+	for _, at := range []sim.Time{1000, 1500, 1999} {
+		if _, _, c := n.Send(0, 1, 8, at); c != 0 {
+			t.Fatalf("message at %d survived the partition", at)
+		}
+	}
+	if _, _, c := n.Send(0, 1, 8, 2000); c != 1 {
+		t.Fatal("message after partition dropped")
+	}
+	if _, _, c := n.Send(1, 0, 8, 1500); c != 1 {
+		t.Fatal("reverse direction affected by a directed partition")
+	}
+}
+
+func TestNodeCrashIsPermanent(t *testing.T) {
+	n := NewNetwork(3, DefaultConfig())
+	n.SetFaults(FaultConfig{Seed: 1, Crashes: []NodeCrash{{Node: 1, At: 1000}}})
+	if _, _, c := n.Send(0, 1, 8, 999); c != 1 {
+		t.Fatal("message before crash dropped")
+	}
+	for _, at := range []sim.Time{1000, 5000, 1 << 40} {
+		if _, _, c := n.Send(0, 1, 8, at); c != 0 {
+			t.Fatalf("message to crashed node at %d delivered", at)
+		}
+		if _, _, c := n.Send(1, 2, 8, at); c != 0 {
+			t.Fatalf("message from crashed node at %d delivered", at)
+		}
+	}
+	if _, _, c := n.Send(0, 2, 8, 5000); c != 1 {
+		t.Fatal("traffic between live nodes affected by crash")
+	}
+}
+
+func TestPerLinkStats(t *testing.T) {
+	n := NewNetwork(3, DefaultConfig())
+	n.Deliver(0, 1, 100, 0)
+	n.Deliver(0, 2, 50, 0)
+	n.Deliver(2, 1, 25, 0)
+	n.Deliver(1, 1, 999, 0) // intra-node: not link traffic
+	ls := n.LinkStats()
+	if ls[0].Sends != 2 || ls[0].Bytes != 150 {
+		t.Errorf("link 0 = %+v, want 2 sends / 150 bytes", ls[0])
+	}
+	if ls[1].Sends != 0 {
+		t.Errorf("link 1 = %+v, want no sends", ls[1])
+	}
+	if ls[2].Sends != 1 || ls[2].Bytes != 25 {
+		t.Errorf("link 2 = %+v, want 1 send / 25 bytes", ls[2])
+	}
+}
+
+func TestPerLinkStatsCountFaults(t *testing.T) {
+	n := NewNetwork(2, DefaultConfig())
+	n.SetFaults(FaultConfig{Seed: 5, DropProb: 0.2, DupProb: 0.2})
+	const N = 5000
+	recs := sendAll(n, N)
+	var drops, dups int64
+	for _, r := range recs {
+		switch r.copies {
+		case 0:
+			drops++
+		case 2:
+			dups++
+		}
+	}
+	ls := n.LinkStats()[0]
+	if ls.Drops != drops || ls.Dups != dups {
+		t.Errorf("link stats %+v, observed drops=%d dups=%d", ls, drops, dups)
+	}
+	// Every offered message occupies the link once, plus once per duplicate.
+	if want := int64(N) + dups; ls.Sends != want {
+		t.Errorf("link sends = %d, want %d", ls.Sends, want)
+	}
+	st := n.Stats()
+	if st.Drops != drops || st.Dups != dups {
+		t.Errorf("aggregate stats %+v, observed drops=%d dups=%d", st, drops, dups)
+	}
+}
+
+// TestQueueOrderMixedArrivalProperty extends TestQueueOrderProperty: puts
+// arrive out of order and many share the same arrival instant (as happens
+// when a link delivers a burst); pops must be nondecreasing in arrival
+// time and FIFO among messages with equal arrival times.
+func TestQueueOrderMixedArrivalProperty(t *testing.T) {
+	type tagged struct {
+		arrive sim.Time
+		n      int
+	}
+	f := func(arrivals []uint8) bool {
+		q := NewQueue[tagged]()
+		for i, a := range arrivals {
+			// Coarse buckets force many simultaneous arrivals.
+			q.Put(tagged{sim.Time(a / 16), i}, sim.Time(a/16))
+		}
+		lastN := make(map[sim.Time]int)
+		prev := sim.Time(-1)
+		for {
+			m, ok := q.Pop(1 << 30)
+			if !ok {
+				break
+			}
+			if m.arrive < prev {
+				return false // arrival order violated
+			}
+			if last, seen := lastN[m.arrive]; seen && m.n < last {
+				return false // FIFO among simultaneous arrivals violated
+			}
+			lastN[m.arrive] = m.n
+			prev = m.arrive
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

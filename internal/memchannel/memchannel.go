@@ -48,6 +48,8 @@ type Stats struct {
 	Bytes         int64
 	IntraMessages int64
 	IntraBytes    int64
+	Drops         int64 // messages lost to injected faults
+	Dups          int64 // duplicate copies injected
 }
 
 // Network computes message delivery times across the cluster.
@@ -56,6 +58,10 @@ type Network struct {
 	outBusy []sim.Time // per-node link transmit availability
 	stats   Stats
 	tracer  *trace.Tracer
+
+	faults  FaultConfig
+	pairN   []int64     // per directed node pair: messages offered so far
+	perLink []LinkStats // per sending node
 }
 
 // NewNetwork creates a network connecting the given number of nodes.
@@ -63,7 +69,12 @@ func NewNetwork(nodes int, cfg Config) *Network {
 	if nodes <= 0 {
 		panic("memchannel: need at least one node")
 	}
-	return &Network{cfg: cfg, outBusy: make([]sim.Time, nodes)}
+	return &Network{
+		cfg:     cfg,
+		outBusy: make([]sim.Time, nodes),
+		pairN:   make([]int64, nodes*nodes),
+		perLink: make([]LinkStats, nodes),
+	}
 }
 
 // Config returns the network configuration.
@@ -71,6 +82,18 @@ func (n *Network) Config() Config { return n.cfg }
 
 // Stats returns a copy of the traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
+
+// SetFaults installs a fault schedule; Send consults it for every
+// inter-node message. A zero FaultConfig restores fault-free delivery.
+func (n *Network) SetFaults(fc FaultConfig) { n.faults = fc }
+
+// Faults returns the installed fault schedule.
+func (n *Network) Faults() FaultConfig { return n.faults }
+
+// LinkStats returns per-sending-node link counters. The slice is indexed
+// by node and aliases live counters; callers must not retain it across
+// further traffic if they need a snapshot.
+func (n *Network) LinkStats() []LinkStats { return n.perLink }
 
 // SetTracer attaches a tracer; every delivery then emits a net/xfer event
 // recording latency and the sending link's occupancy.
@@ -96,22 +119,9 @@ func (n *Network) Deliver(fromNode, toNode int, size int, sendTime sim.Time) sim
 		}
 		return arrive
 	}
-	n.stats.Messages++
-	n.stats.Bytes += int64(size)
-	start := sendTime
-	if n.outBusy[fromNode] > start {
-		start = n.outBusy[fromNode]
-	}
-	occupy := sim.Time(float64(size) * n.cfg.CyclesPerByte)
-	n.outBusy[fromNode] = start + occupy
-	arrive := start + occupy + n.cfg.WireLatency
-	if n.tracer != nil {
-		n.tracer.Emit(trace.Event{
-			T: sendTime, Cat: "net", Ev: "xfer",
-			P: fromNode, O: toNode, A: arrive - sendTime, B: int64(size),
-		})
-	}
-	return arrive
+	n.perLink[fromNode].Sends++
+	n.perLink[fromNode].Bytes += int64(size)
+	return n.transmit(fromNode, toNode, size, sendTime)
 }
 
 // Queue is an arrival-time-gated receive queue (a Memory Channel receive

@@ -69,7 +69,7 @@ func (p *Proc) run(fn func(*Proc)) {
 	p.window = <-p.resume
 	defer func() {
 		r := recover()
-		if r != nil && !p.abort {
+		if r != nil && r != any(abortSignal) && !p.abort {
 			buf := make([]byte, 16384)
 			n := runtime.Stack(buf, false)
 			p.eng.fail(fmt.Errorf("sim: process %s[%d] panicked at t=%d: %v\n%s", p.Name, p.ID, p.now, r, buf[:n]))
@@ -89,6 +89,16 @@ func (p *Proc) run(fn func(*Proc)) {
 type abortSignalType struct{}
 
 var abortSignal = abortSignalType{}
+
+// Fail aborts the whole simulation with a structured error: the engine's
+// Run returns err after unwinding every process. Higher layers use it to
+// surface typed failures (e.g. a peer declared unreachable after retry
+// exhaustion) the same way the watchdog surfaces StallError. Must be
+// called from within the process's own body; it does not return.
+func (p *Proc) Fail(err error) {
+	p.eng.fail(err)
+	panic(abortSignal)
+}
 
 // yieldBack returns control to the engine and parks until resumed.
 func (p *Proc) yieldBack() {

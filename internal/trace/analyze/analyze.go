@@ -39,9 +39,20 @@ type Summary struct {
 	// Sched counts scheduler events (spawn, switch, preempt, exit, stall).
 	Sched map[string]int64
 
-	// NetBytes and NetXfers total the network traffic seen in "net" events.
+	// NetBytes and NetXfers total the network traffic seen in "net"
+	// transfer events ("xfer" inter-node, "intra" local). Fault-injection
+	// and reliability events are tallied separately: NetDrops/NetDups are
+	// messages the injected faults removed from or duplicated on the wire,
+	// NetRetx counts retransmissions after ack timeouts.
 	NetBytes int64
 	NetXfers int64
+	NetDrops int64
+	NetDups  int64
+	NetRetx  int64
+
+	// LinkStats sums the end-of-run "stats"/"link" events per sending
+	// node and metric name (sends, bytes, drops, dups).
+	LinkStats map[int]map[string]int64
 }
 
 // Read parses a JSONL trace stream.
@@ -53,6 +64,7 @@ func Read(r io.Reader) (*Summary, error) {
 		MsgHandleDelay: map[string]int64{},
 		MsgHandles:     map[string]int64{},
 		Sched:          map[string]int64{},
+		LinkStats:      map[int]map[string]int64{},
 	}
 	procs := map[int]bool{}
 	sc := bufio.NewScanner(r)
@@ -77,6 +89,11 @@ func Read(r io.Reader) (*Summary, error) {
 				procs[e.P] = true
 			case "count":
 				s.Counters[e.S] += e.A
+			case "link":
+				if s.LinkStats[e.P] == nil {
+					s.LinkStats[e.P] = map[string]int64{}
+				}
+				s.LinkStats[e.P][e.S] += e.A
 			}
 		case "msg":
 			switch e.Ev {
@@ -89,8 +106,17 @@ func Read(r io.Reader) (*Summary, error) {
 		case "sched":
 			s.Sched[e.Ev]++
 		case "net":
-			s.NetXfers++
-			s.NetBytes += e.B
+			switch e.Ev {
+			case "drop":
+				s.NetDrops++
+			case "dup":
+				s.NetDups++
+			case "retx":
+				s.NetRetx++
+			default: // "xfer", "intra": actual wire transfers
+				s.NetXfers++
+				s.NetBytes += e.B
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -157,6 +183,26 @@ func (s *Summary) Render() string {
 	}
 	if s.NetXfers > 0 {
 		fmt.Fprintf(&b, "\nnetwork: %d transfers, %d bytes\n", s.NetXfers, s.NetBytes)
+		if s.NetDrops+s.NetDups+s.NetRetx > 0 {
+			fmt.Fprintf(&b, "faults: %d dropped, %d duplicated, %d retransmitted\n",
+				s.NetDrops, s.NetDups, s.NetRetx)
+		}
+	}
+	if len(s.LinkStats) > 0 {
+		fmt.Fprintf(&b, "\nper-link totals (by sending node):\n")
+		var nodes []int
+		for n := range s.LinkStats {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		for _, n := range nodes {
+			ls := s.LinkStats[n]
+			fmt.Fprintf(&b, "  node %d:", n)
+			for _, k := range sortedKeys(ls) {
+				fmt.Fprintf(&b, " %s=%d", k, ls[k])
+			}
+			fmt.Fprintf(&b, "\n")
+		}
 	}
 	if len(s.Sched) > 0 {
 		fmt.Fprintf(&b, "\nscheduler:")

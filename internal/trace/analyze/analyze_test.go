@@ -2,9 +2,11 @@ package analyze_test
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/memchannel"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/trace/analyze"
@@ -91,5 +93,56 @@ func TestGoldenTraceDeterminism(t *testing.T) {
 			}
 		}
 		t.Fatalf("trace lengths differ: %d vs %d lines", len(la), len(lb))
+	}
+}
+
+// TestAnalyzerFaultEvents runs LU under the lossy fault profile and checks
+// that the analyzer's fault tallies agree with the network's own counters
+// and that per-link stats events reconstruct Network.LinkStats exactly.
+func TestAnalyzerFaultEvents(t *testing.T) {
+	var buf bytes.Buffer
+	fc, err := memchannel.FaultProfile("lossy", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.Build(
+		core.WithTrace(trace.New(trace.DefaultRingSize, &buf)),
+		core.WithMaxTime(sim.Cycles(900e6)),
+		core.WithFaults(fc),
+	)
+	app, _ := workloads.Get("LU")
+	if _, err := workloads.Run(sys, app, workloads.RunConfig{Procs: 8}); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := analyze.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := sys.Net.Stats()
+	agg := sys.AggregateStats()
+	if sum.NetDrops != net.Drops {
+		t.Errorf("net/drop events %d != network drop counter %d", sum.NetDrops, net.Drops)
+	}
+	if sum.NetDups != net.Dups {
+		t.Errorf("net/dup events %d != network dup counter %d", sum.NetDups, net.Dups)
+	}
+	if sum.NetRetx != agg.Retransmits() {
+		t.Errorf("net/retx events %d != retransmits counter %d", sum.NetRetx, agg.Retransmits())
+	}
+	if sum.NetDrops == 0 || sum.NetRetx == 0 {
+		t.Fatalf("lossy run produced no drops (%d) or retransmits (%d); faults inactive",
+			sum.NetDrops, sum.NetRetx)
+	}
+	for node, ls := range sys.Net.LinkStats() {
+		for name, want := range map[string]int64{
+			"sends": ls.Sends, "bytes": ls.Bytes, "drops": ls.Drops, "dups": ls.Dups,
+		} {
+			if got := sum.LinkStats[node][name]; got != want {
+				t.Errorf("link stats node %d %s: analyzer %d, network %d", node, name, got, want)
+			}
+		}
+	}
+	if out := sum.Render(); !strings.Contains(out, "faults:") || !strings.Contains(out, "per-link totals") {
+		t.Errorf("render missing fault/link sections:\n%s", out)
 	}
 }

@@ -36,11 +36,17 @@ type Time = int64
 //	cat "sync":  Ev lock-acq|lock-rel|barrier, P = proc, O = lock/barrier id,
 //	             A = wait cycles where meaningful.
 //	cat "batch": Ev start|end, P = proc, A = block count.
-//	cat "net":   Ev xfer, P = from node, O = to node, A = delivery latency,
-//	             B = bytes.
+//	cat "net":   Ev xfer|intra (P = from node, O = to node, A = delivery
+//	             latency, B = bytes); fault injection adds Ev drop|dup
+//	             (P = from node, O = to node, S = reason: loss|partition|
+//	             crash, B = bytes) and the reliability sublayer Ev retx
+//	             (P = sending proc, O = peer proc, Blk = block,
+//	             S = message kind, A = attempt number).
 //	cat "os":    Ev syscall|fork|exit, P = proc, S = call name, O = peer.
-//	cat "stats": end-of-run accounting; Ev time (S = category, A = cycles)
-//	             or count (S = counter, A = value), P = proc.
+//	cat "stats": end-of-run accounting; Ev time (S = category, A = cycles),
+//	             count (S = counter, A = value), P = proc; and per-link
+//	             network totals Ev link (P = sending node, S = sends|
+//	             bytes|drops|dups, A = value).
 type Event struct {
 	T   Time   `json:"t"`
 	Cat string `json:"cat"`

@@ -137,6 +137,13 @@ func LU() *App {
 				piv := sweepRead(p, pivot, 8, 1, 150)
 				_ = piv
 				for b := rank; b < blocks; b += c.Cfg.Procs {
+					// The pivot block is finished; rewriting it here would
+					// race with the other ranks' pivot reads and make the
+					// final matrix depend on message timing (the chaos
+					// harness compares faulty runs against fault-free ones).
+					if b == k%blocks {
+						continue
+					}
 					if b%4 == k%4 { // subset shrinks per step
 						sweepUpdate(p, mat+uint64(b*8*wordBytes), 8, 1, 220)
 					}
@@ -183,6 +190,13 @@ func LUContig() *App {
 					core.Range{Addr: mine, Bytes: per * 8 * wordBytes, Write: true},
 				)
 				for i := 0; i < per*4; i++ {
+					// The owner skips its finished pivot block: storing to it
+					// here would race with the other ranks' b.Load(pivot) and
+					// make the result timing-dependent.
+					if owner == rank && i%per == k%per {
+						p.Compute(200)
+						continue
+					}
 					a := mine + uint64((i%per)*8*wordBytes)
 					b.Store(a, b.Load(a)+b.Load(pivot))
 					p.Compute(200)
@@ -257,7 +271,13 @@ func Raytrace() *App {
 		},
 		Body: func(c *Ctx, p *core.Proc, rank int) {
 			scene, queue := c.Arr("scene"), c.Arr("queue")
-			image := c.Arr("image") + uint64(rank*512*wordBytes)
+			// The image is task-indexed, not rank-indexed: which rank
+			// traces a bundle depends on lock timing, but the pixels it
+			// writes — and their values — depend only on the task, so the
+			// final image is identical across schedules (and fault
+			// schedules; the chaos harness relies on this).
+			image := c.Arr("image")
+			imgWords := 512 * c.Cfg.Procs
 			tasks := 40 * c.Scale() * c.Cfg.Procs
 			const bundle = 8
 			done := 0
@@ -281,7 +301,8 @@ func Raytrace() *App {
 						p.Load(scene + uint64(idx*wordBytes))
 						p.Compute(900)
 					}
-					p.Store(image+uint64(((int(t)+b)%512)*wordBytes), t)
+					slot := (int(t) + b) % imgWords
+					p.Store(image+uint64(slot*wordBytes), uint64(slot)*3+1)
 				}
 			}
 		},
@@ -300,7 +321,11 @@ func Volrend() *App {
 		},
 		Body: func(c *Ctx, p *core.Proc, rank int) {
 			vol, ctr := c.Arr("volume"), c.Arr("counters")
-			img := c.Arr("img") + uint64(rank*256*wordBytes)
+			// Task-indexed image, like Raytrace: ranks sharing a work
+			// counter may steal each other's bundles, but each pixel's
+			// slot and value derive from the task alone, keeping the
+			// final image schedule-independent.
+			img := c.Arr("img")
 			tasks := 30 * c.Scale() * c.Cfg.Procs
 			const bundle = 3
 			for {
@@ -320,7 +345,8 @@ func Volrend() *App {
 						p.Load(vol + uint64(idx*wordBytes))
 						p.Compute(700)
 					}
-					p.Store(img+uint64(((int(t)+b)%256)*wordBytes), t)
+					slot := q*256 + (int(t)+b)%256
+					p.Store(img+uint64(slot*wordBytes), uint64(slot)*5+2)
 				}
 			}
 		},
@@ -391,9 +417,15 @@ func WaterSp() *App {
 				nb := (rank + 1) % c.Cfg.Procs
 				nbase := boxes + uint64(nb*per*8*wordBytes)
 				sweepRead(p, nbase, per, 8, 300)
+				// The boundary update targets word 4 of the neighbour's
+				// first box: the intra-box sweeps only touch words 0-3, so
+				// this word has a single writer and the final value never
+				// depends on message timing. (Word 0 would race with the
+				// neighbour's unlocked sweepUpdate read-modify-write.)
+				bword := nbase + uint64(4*wordBytes)
 				lk := c.Lock(rank)
 				lk.Acquire(p)
-				p.Store(nbase, p.Load(nbase)+1)
+				p.Store(bword, p.Load(bword)+1)
 				lk.Release(p)
 				c.Barrier(p)
 			}
