@@ -43,6 +43,7 @@ var registry = []struct {
 	{"abl-smp", "ablation: SMP-Shasta vs Base-Shasta", experiments.AblationSMP},
 	{"abl-queues", "ablation: shared message queues", experiments.AblationSharedQueues},
 	{"abl-llsc", "ablation: optimized vs emulated LL/SC", experiments.AblationEmulatedLLSC},
+	{"abl-checkelim", "ablation: CFG-based load-check elimination", experiments.AblationCheckElim},
 	{"chaos", "chaos harness: workloads under injected network faults", experiments.ChaosTable},
 }
 

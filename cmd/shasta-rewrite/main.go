@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	shasta-rewrite [-nobatch] [-nopoll] [-prefetch] [-print] prog.s
+//	shasta-rewrite [-nobatch] [-nopoll] [-noelim] [-prefetch] [-print] prog.s
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 func main() {
 	noBatch := flag.Bool("nobatch", false, "disable check batching")
 	noPoll := flag.Bool("nopoll", false, "disable back-edge polls")
+	noElim := flag.Bool("noelim", false, "disable available-check elimination")
 	prefetch := flag.Bool("prefetch", false, "insert prefetch-exclusive before LL/SC")
 	print := flag.Bool("print", false, "disassemble the rewritten program")
 	flag.Parse()
@@ -36,7 +37,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	opt := rewriter.Options{Batching: !*noBatch, Polls: !*noPoll, PrefetchExclusive: *prefetch}
+	opt := rewriter.Options{
+		Batching: !*noBatch, Polls: !*noPoll, CheckElim: !*noElim,
+		PrefetchExclusive: *prefetch,
+	}
 	out, st, err := rewriter.Rewrite(prog, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -44,12 +48,17 @@ func main() {
 	}
 	fmt.Printf("instructions        %6d -> %d words\n", st.OrigWords, st.NewWords)
 	fmt.Printf("code growth         %6.1f%%\n", st.GrowthPercent())
+	fmt.Printf("basic blocks        %6d\n", st.BasicBlocks)
 	fmt.Printf("load checks         %6d\n", st.LoadChecks)
 	fmt.Printf("store checks        %6d\n", st.StoreChecks)
+	fmt.Printf("checks eliminated   %6d\n", st.ChecksEliminated)
 	fmt.Printf("batched runs        %6d (%d accesses)\n", st.BatchedRuns, st.BatchedMembers)
 	fmt.Printf("back-edge polls     %6d\n", st.Polls)
 	fmt.Printf("LL/SC sequences     %6d\n", st.LLSCPairs)
 	fmt.Printf("MB protocol calls   %6d\n", st.MBCalls)
+	if st.AnalysisFallback {
+		fmt.Println("warning: dataflow analysis did not converge; conservative instrumentation used")
+	}
 	if *print {
 		fmt.Println()
 		for i := range out.Instrs {

@@ -1,0 +1,19 @@
+; A shared counter incremented with LL/SC, then published with a barrier
+; instruction. Run it through shasta-rewrite to see the checked forms,
+; the back-edge poll, and the MB protocol call; shasta-lint verifies the
+; instrumented output.
+proc main
+  lda   r9, 0x100000000     ; shared base
+  lda   r2, 16              ; increments
+loop:
+  ldq_l r1, 0(r9)
+  addq  r1, r1, #1
+  stq_c r1, 0(r9)
+  beq   r1, loop            ; SC failed: retry
+  subq  r2, r2, #1
+  bne   r2, loop
+  mb
+  ldq   r3, 0(r9)           ; read the published value
+  stq   r3, 64(r9)
+  halt
+endproc

@@ -1,0 +1,28 @@
+; A read-mostly sweep over one coherence line, shaped like the hub loops
+; in the SPLASH kernels. The hub load at the loop head keeps its check;
+; the reloads of the same line in both diamond arms are covered by it and
+; eliminated (batching cannot reach them — the runs end at the branch).
+; The join load and the two stores share a base and become one BATCHCHK
+; window. Run shasta-rewrite -print to see all of it; shasta-lint
+; re-proves the output sound.
+proc main
+  lda   r9, 0x100000000     ; shared base (64-aligned)
+  lda   r2, 8               ; iterations
+loop:
+  ldq   r3, 0(r9)           ; hub check: generates the line fact
+  and   r5, r3, #1
+  beq   r5, even
+  ldq   r6, 8(r9)           ; same line, no protocol entry since: eliminated
+  br    join
+even:
+  ldq   r6, 16(r9)          ; eliminated on this arm too
+join:
+  ldq   r7, 0(r9)           ; batched with the stores below
+  addq  r7, r7, r6
+  stq   r7, 24(r9)
+  stq   r6, 32(r9)
+  mb                        ; release: drains the store buffer each pass
+  subq  r2, r2, #1
+  bne   r2, loop
+  halt
+endproc

@@ -63,6 +63,11 @@ func (p *Proc) BatchStart(ranges ...Range) *Batch {
 	}
 	p.enterProtocol()
 	defer p.exitProtocol()
+	// The batch window opens before the fetches are issued: an invalidation
+	// serviced while we stall for one range must defer its flag fill if it
+	// hits another range already fetched (§4.1), which fillAgentInvalid only
+	// does for lines covered by curBatch.
+	p.curBatch = b
 
 	type need struct {
 		blk   *blockInfo

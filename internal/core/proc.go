@@ -489,6 +489,47 @@ func (p *Proc) RawStore(addr uint64, v uint64) {
 	p.resetLocalLLs(p.sys.lineOf(addr))
 }
 
+// ElidedLoad performs a load whose in-line check the rewriter statically
+// eliminated: an earlier check of the same line dominates this access with
+// no intervening protocol entry, so the line cannot have been flag-filled
+// in between (invalidations are only applied at protocol entries, and the
+// invalidating agent stalls for our downgrade ack). Only read-own-write
+// forwarding remains: under RC the covering check may itself have returned
+// a buffered store value without validating the line, in which case this
+// access (to the same address — the analysis only trusts exact-offset
+// facts while a store miss may be outstanding) must see that store too.
+func (p *Proc) ElidedLoad(addr uint64) uint64 {
+	p.stats.N[CntLoads]++
+	p.stats.N[CntElidedChecks]++
+	p.charge(CatTask, 1)
+	if v, ok := p.forwardedStore(addr); ok {
+		return v
+	}
+	return p.mem.data[p.sys.wordOf(addr)]
+}
+
+// ElidedLoadValid reports whether an ElidedLoad at addr would read coherent
+// data right now: a buffered store of our own forwards, the line is valid
+// in the private state table, or — under the flag technique — the word
+// holds non-flag data (the fast path of a load check validates exactly
+// this without ever touching the state table, so a line can be readable
+// while its private state still says Invalid). A genuine datum equal to
+// FlagWord reports invalid here, erring toward a sanitizer report. The
+// interpreter's sanitizer mode uses this to cross-check the rewriter's
+// static elimination proof.
+func (p *Proc) ElidedLoadValid(addr uint64) bool {
+	if !p.sys.Cfg.Checks {
+		return true
+	}
+	if _, ok := p.forwardedStore(addr); ok {
+		return true
+	}
+	if st := p.priv[p.sys.lineOf(addr)]; st == Shared || st == Exclusive {
+		return true
+	}
+	return p.sys.Cfg.FlagCheck && p.mem.data[p.sys.wordOf(addr)] != FlagWord
+}
+
 // SyscallEnter marks the process as executing a system call: it is outside
 // application code (§4.3.4), so other processes may directly downgrade its
 // private state table while it is (possibly) blocked in the kernel.

@@ -60,9 +60,10 @@ type Counter int
 const (
 	CntLoads Counter = iota
 	CntStores
-	CntLoadChecks  // in-line load checks executed
-	CntStoreChecks // in-line store checks executed
-	CntBatchChecks // per-line checks saved into batches
+	CntLoadChecks   // in-line load checks executed
+	CntStoreChecks  // in-line store checks executed
+	CntBatchChecks  // per-line checks saved into batches
+	CntElidedChecks // accesses executed raw because the rewriter proved a check redundant
 	CntPolls
 	CntReadMisses  // remote (inter-agent) read misses
 	CntWriteMisses // remote (inter-agent) write misses
@@ -100,6 +101,7 @@ var counterNames = [numCounters]string{
 	CntLoadChecks:         "load-checks",
 	CntStoreChecks:        "store-checks",
 	CntBatchChecks:        "batch-checks",
+	CntElidedChecks:       "elided-checks",
 	CntPolls:              "polls",
 	CntReadMisses:         "read-misses",
 	CntWriteMisses:        "write-misses",
@@ -183,6 +185,7 @@ func (s *Stats) Stores() int64             { return s.N[CntStores] }
 func (s *Stats) LoadChecks() int64         { return s.N[CntLoadChecks] }
 func (s *Stats) StoreChecks() int64        { return s.N[CntStoreChecks] }
 func (s *Stats) BatchChecks() int64        { return s.N[CntBatchChecks] }
+func (s *Stats) ElidedChecks() int64       { return s.N[CntElidedChecks] }
 func (s *Stats) Polls() int64              { return s.N[CntPolls] }
 func (s *Stats) ReadMisses() int64         { return s.N[CntReadMisses] }
 func (s *Stats) WriteMisses() int64        { return s.N[CntWriteMisses] }

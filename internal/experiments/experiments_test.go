@@ -197,3 +197,26 @@ func TestAblationFlagCheck(t *testing.T) {
 		t.Errorf("flag check on (%.2f) should beat off (%.2f)", on, off)
 	}
 }
+
+// TestAblationCheckElim holds the check-elimination ablation to the PR's
+// acceptance bar: at least three kernels execute strictly fewer dynamic
+// checks, and every kernel's final shared memory is byte-identical.
+func TestAblationCheckElim(t *testing.T) {
+	tab := AblationCheckElim()
+	if len(tab.Rows) != len(workloads.AsmKernels()) {
+		t.Fatalf("%d rows, want one per kernel", len(tab.Rows))
+	}
+	fewer := 0
+	for i, row := range tab.Rows {
+		off, on := cell(t, tab, i, 1), cell(t, tab, i, 2)
+		if on < off {
+			fewer++
+		}
+		if row[5] != "true" {
+			t.Errorf("%s: final shared memory differs with elimination on", row[0])
+		}
+	}
+	if fewer < 3 {
+		t.Errorf("only %d kernels executed fewer checks, want >= 3", fewer)
+	}
+}

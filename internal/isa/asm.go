@@ -90,7 +90,9 @@ func Assemble(src string) (*Program, error) {
 		case "syscall":
 			in.Op = SYSCALL
 			if len(args) == 1 {
-				in.Imm, err = parseImm(args[0])
+				// Accept both "syscall #N" (the documented form) and a
+				// bare "syscall N".
+				in.Imm, err = parseImm(strings.TrimPrefix(args[0], "#"))
 			}
 		case "ldq", "stq", "ldq_l", "stq_c", "lda":
 			in.Op = map[string]Op{"ldq": LDQ, "stq": STQ, "ldq_l": LDQL, "stq_c": STQC, "lda": LDA}[mnem]

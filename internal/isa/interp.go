@@ -31,8 +31,16 @@ type Interp struct {
 	Syscall SyscallHandler
 	// MaxInstrs guards against runaway programs (0 = default limit).
 	MaxInstrs int64
-	executed  int64
-	halted    bool
+	// Sanitize enables the dynamic instrumentation sanitizer: in a
+	// rewritten program, any raw LDQ/STQ/LDQL/STQC that reaches a shared
+	// address faults (the rewriter should have converted it to a checked
+	// form or covered it by a batch), and every Covered load is
+	// cross-checked against the protocol state before it executes raw.
+	// This is the dynamic counterpart of the static verifier in package
+	// rewriter.
+	Sanitize bool
+	executed int64
+	halted   bool
 	// openBatch is the active BATCHCHK region, if any.
 	openBatch *core.Batch
 }
@@ -130,6 +138,15 @@ func (m *Interp) load(p *core.Proc, in Instr, checked bool) (uint64, error) {
 	if checked {
 		return p.Load(addr), nil
 	}
+	if in.Covered {
+		if m.Sanitize && !p.ElidedLoadValid(addr) {
+			return 0, fmt.Errorf("sanitizer: elided check but line not valid at %#x", addr)
+		}
+		return p.ElidedLoad(addr), nil
+	}
+	if m.Sanitize && m.Prog.Rewritten {
+		return 0, fmt.Errorf("sanitizer: raw load of shared address %#x in rewritten program", addr)
+	}
 	return p.RawLoad(addr), nil
 }
 
@@ -150,9 +167,12 @@ func (m *Interp) store(p *core.Proc, in Instr, v uint64, checked bool) error {
 	}
 	if checked {
 		p.Store(addr, v)
-	} else {
-		p.RawStore(addr, v)
+		return nil
 	}
+	if m.Sanitize && m.Prog.Rewritten {
+		return fmt.Errorf("sanitizer: raw store to shared address %#x in rewritten program", addr)
+	}
+	p.RawStore(addr, v)
 	return nil
 }
 
@@ -198,11 +218,17 @@ func (m *Interp) step(p *core.Proc) error {
 		if addr < core.SharedBase {
 			return fmt.Errorf("ldq_l to private memory")
 		}
+		if in.Op == LDQL && m.Sanitize && m.Prog.Rewritten {
+			return fmt.Errorf("sanitizer: raw ldq_l of shared address %#x in rewritten program", addr)
+		}
 		m.setReg(in.Rd, p.LoadLocked(addr))
 	case STQC, CHKSTC:
 		addr := m.ea(in)
 		if addr < core.SharedBase {
 			return fmt.Errorf("stq_c to private memory")
+		}
+		if in.Op == STQC && m.Sanitize && m.Prog.Rewritten {
+			return fmt.Errorf("sanitizer: raw stq_c to shared address %#x in rewritten program", addr)
 		}
 		ok := p.StoreCond(addr, m.reg(in.Rd))
 		if ok {

@@ -128,6 +128,11 @@ type Instr struct {
 	// Batch metadata for BATCHCHK: the accesses covered run from the
 	// instruction after the BATCHCHK to the matching BATCHEND.
 	BatchBytes int
+	// Covered marks a raw load whose in-line check the rewriter eliminated
+	// because a dominating check of the same line makes it redundant; the
+	// interpreter executes it through Proc.ElidedLoad, and the verifier and
+	// sanitizer hold it to the same coverage proof as a checked access.
+	Covered bool
 }
 
 // SizeWords returns the code-size contribution of the instruction in
@@ -197,6 +202,9 @@ func (p *Program) Disassemble(idx int) string {
 	in := p.Instrs[idx]
 	switch {
 	case in.Op.IsMem():
+		if in.Covered {
+			return fmt.Sprintf("%-8s r%d, %d(r%d) ; elided check", in.Op, in.Rd, in.Imm, in.Ra)
+		}
 		return fmt.Sprintf("%-8s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Ra)
 	case in.Op.IsBranch():
 		return fmt.Sprintf("%-8s r%d, @%d", in.Op, in.Ra, in.Target)

@@ -1,0 +1,387 @@
+package rewriter
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// The three client analyses of the dataflow engine.
+//
+// analyzeShared (forward, union): which registers may hold a shared address
+// at each instruction. Registers are unknown at entry — Spawn harnesses may
+// seed any register — so the boundary is all-shared and only in-program
+// definitions (LDA of a private constant, arithmetic off SP/GP) prove
+// privateness. Loaded values are always may-shared: memory-resident
+// pointers are not tracked, so a value read back from any memory may be a
+// shared address. (The seed analysis inherited the base register's bit
+// here, which let a shared pointer round-trip through a private stack slot
+// unchecked.)
+//
+// analyzeAligned (forward, intersect): which registers provably hold an
+// L-aligned value. Only used to widen an exact available-check fact into a
+// whole-line fact at check-generation time.
+//
+// The available-check analysis (forward, intersect) lives in the fact
+// table + availCtx below and is shared between the optimizer (rewriter.go)
+// and the verifier (verify.go).
+
+// regBit reports register r's bit in a 32-bit register mask, treating the
+// always-private registers (zero, SP, GP) as never set.
+func regBit(s uint32, r uint8) bool {
+	if r == isa.RegZero || r == isa.RegSP || r == isa.RegGP {
+		return false
+	}
+	return s&(1<<r) != 0
+}
+
+func setRegBit(s uint32, r uint8, v bool) uint32 {
+	if r == isa.RegZero {
+		return s
+	}
+	if v {
+		return s | 1<<r
+	}
+	return s &^ (1 << r)
+}
+
+// sharedStep folds one instruction (original or rewritten form) over the
+// may-shared register mask.
+func sharedStep(s uint32, in isa.Instr) uint32 {
+	switch in.Op {
+	case isa.LDA:
+		v := regBit(s, in.Ra) || uint64(in.Imm) >= core.SharedBase
+		return setRegBit(s, in.Rd, v)
+	case isa.LDQ, isa.LDQL, isa.CHKLD, isa.CHKLDL:
+		// Loaded values may be shared pointers regardless of where they
+		// were loaded from.
+		return setRegBit(s, in.Rd, true)
+	case isa.ADDQ, isa.SUBQ, isa.MULQ, isa.AND, isa.OR, isa.XOR, isa.SLL, isa.SRL:
+		v := regBit(s, in.Ra)
+		if in.UseImm {
+			v = v || uint64(in.Imm) >= core.SharedBase
+		} else {
+			v = v || regBit(s, in.Rb)
+		}
+		return setRegBit(s, in.Rd, v)
+	case isa.CMPEQ, isa.CMPLT, isa.STQC, isa.CHKSTC:
+		return setRegBit(s, in.Rd, false)
+	case isa.JSR, isa.SYSCALL:
+		// Calls may clobber or define anything.
+		return ^uint32(0)
+	}
+	return s
+}
+
+// memMayShared reports whether a memory instruction's effective address may
+// be shared, given the register mask at its program point.
+func memMayShared(s uint32, in isa.Instr) bool {
+	switch in.Ra {
+	case isa.RegSP, isa.RegGP:
+		return false
+	case isa.RegZero:
+		return uint64(in.Imm) >= core.SharedBase
+	}
+	return regBit(s, in.Ra)
+}
+
+// mask32 converts between the 32-bit register masks the per-instruction
+// steppers use and the engine's BitSet.
+func maskOf(b BitSet) uint32 {
+	var s uint32
+	for r := 0; r < isa.NumRegs; r++ {
+		if b.Get(r) {
+			s |= 1 << uint(r)
+		}
+	}
+	return s
+}
+
+func setMask(b BitSet, s uint32) {
+	b.ClearAll()
+	for r := 0; r < isa.NumRegs; r++ {
+		if s&(1<<uint(r)) != 0 {
+			b.Set(r)
+		}
+	}
+}
+
+// solveRegMask runs a 32-bit register-mask analysis through the engine and
+// returns the mask at entry to every instruction.
+func solveRegMask(c *CFG, meet MeetOp, boundary uint32, step func(uint32, isa.Instr) uint32) ([]uint32, bool) {
+	bd := NewBitSet(isa.NumRegs)
+	setMask(bd, boundary)
+	d := &Dataflow{
+		Dir: Forward, Meet: meet, Bits: isa.NumRegs, Boundary: bd,
+		Transfer: func(b *BasicBlock, in BitSet) BitSet {
+			s := maskOf(in)
+			for i := b.Start; i < b.End; i++ {
+				s = step(s, c.Prog.Instrs[i])
+			}
+			setMask(in, s)
+			return in
+		},
+	}
+	blockIn, ok := c.Solve(d)
+	states := make([]uint32, len(c.Prog.Instrs))
+	if !ok {
+		return states, false
+	}
+	for _, b := range c.Blocks {
+		s := maskOf(blockIn[b.ID])
+		for i := b.Start; i < b.End; i++ {
+			states[i] = s
+			s = step(s, c.Prog.Instrs[i])
+		}
+	}
+	return states, true
+}
+
+// analyzeShared returns, per instruction, whether a memory op's address may
+// be shared. On non-convergence it falls back to marking every memory op
+// shared except provably private ones (SP/GP bases, private absolute
+// addresses) and reports false.
+func analyzeShared(c *CFG) ([]bool, bool) {
+	n := len(c.Prog.Instrs)
+	shared := make([]bool, n)
+	states, ok := solveRegMask(c, Union, ^uint32(0), sharedStep)
+	for i, in := range c.Prog.Instrs {
+		if !in.Op.IsMem() {
+			continue
+		}
+		if !ok {
+			// Conservative fallback: everything not provably private is
+			// shared. This replaces the seed's silent truncation, which
+			// could leave a genuinely shared access unchecked.
+			shared[i] = in.Ra != isa.RegSP && in.Ra != isa.RegGP &&
+				(in.Ra != isa.RegZero || uint64(in.Imm) >= core.SharedBase)
+			continue
+		}
+		shared[i] = memMayShared(states[i], in)
+	}
+	return shared, ok
+}
+
+// alignedStep folds one instruction over the "register holds an L-aligned
+// value" mask.
+func alignedStep(L int64) func(uint32, isa.Instr) uint32 {
+	alignedBit := func(s uint32, r uint8) bool {
+		if r == isa.RegZero {
+			return true // reads as 0
+		}
+		return s&(1<<r) != 0
+	}
+	powTwo := L > 0 && L&(L-1) == 0
+	return func(s uint32, in isa.Instr) uint32 {
+		switch in.Op {
+		case isa.LDA:
+			return setRegBit(s, in.Rd, in.Imm%L == 0 && alignedBit(s, in.Ra))
+		case isa.ADDQ, isa.SUBQ:
+			v := alignedBit(s, in.Ra)
+			if in.UseImm {
+				v = v && in.Imm%L == 0
+			} else {
+				v = v && alignedBit(s, in.Rb)
+			}
+			return setRegBit(s, in.Rd, v)
+		case isa.MULQ:
+			v := alignedBit(s, in.Ra)
+			if in.UseImm {
+				v = v || in.Imm%L == 0
+			} else {
+				v = v || alignedBit(s, in.Rb)
+			}
+			return setRegBit(s, in.Rd, v)
+		case isa.SLL:
+			v := alignedBit(s, in.Ra)
+			if in.UseImm && powTwo && in.Imm >= 0 && in.Imm < 64 {
+				v = v || (uint64(1)<<uint(in.Imm))%uint64(L) == 0
+			} else if !in.UseImm {
+				v = false
+			}
+			return setRegBit(s, in.Rd, v)
+		case isa.LDQ, isa.LDQL, isa.CHKLD, isa.CHKLDL, isa.STQC, isa.CHKSTC,
+			isa.AND, isa.OR, isa.XOR, isa.SRL, isa.CMPEQ, isa.CMPLT:
+			return setRegBit(s, in.Rd, false)
+		case isa.JSR, isa.SYSCALL:
+			return 0
+		}
+		return s
+	}
+}
+
+// analyzeAligned returns the per-instruction alignment mask. On
+// non-convergence the returned masks are all zero (nothing provably
+// aligned), the conservative answer for a must-analysis.
+func analyzeAligned(c *CFG, L int64) []uint32 {
+	states, ok := solveRegMask(c, Intersect, 0, alignedStep(L))
+	if !ok {
+		return make([]uint32, len(c.Prog.Instrs))
+	}
+	return states
+}
+
+// ---------------------------------------------------------------------------
+// Available-check analysis.
+//
+// A fact (base, exact, imm) means: on every path here a load check of
+// address base+imm executed, base has not been redefined since, and no
+// instruction in between could have invalidated the checked line's data —
+// so a load of base+imm may run unchecked through Proc.ElidedLoad (which
+// still consults the store-forwarding buffer, covering the case where the
+// generating check itself was satisfied by one of our own in-flight
+// stores).
+//
+// A fact (base, window, k) widens that to the whole line [base+k·L,
+// base+k·L+L): it is generated only when base is provably L-aligned at the
+// generating check (so line arithmetic is exact) AND no store miss of ours
+// may be in flight (bit 0, "NSIF"): under release consistency a load check
+// may be satisfied by forwarding from an in-flight store without
+// validating the line, which makes the exact fact safe (ElidedLoad
+// forwards too) but the rest of the line unknown.
+//
+// Soundness of elimination rests on the protocol's entry discipline:
+// invalidations are applied only at protocol entries (checks that miss,
+// polls, barriers, batch opens, calls), and the invalidating agent stalls
+// for our downgrade ack, so between a check and a covered access with no
+// protocol entry in between the line cannot be flag-filled under us.
+// Store checks generate no facts at all: a store-check miss is non-blocking
+// under RC, leaving the line Pending with flag data while the miss is in
+// flight.
+// ---------------------------------------------------------------------------
+
+// nsifBit is the "no store miss in flight" bit of the available-check set.
+const nsifBit = 0
+
+type factKey struct {
+	base   uint8
+	window bool
+	key    int64 // exact: byte offset; window: floor(offset/L)
+}
+
+// factTable interns check facts as bit positions (bit 0 is NSIF).
+type factTable struct {
+	bits   map[factKey]int
+	byBase [isa.NumRegs][]int
+	n      int
+}
+
+func newFactTable() *factTable {
+	return &factTable{bits: map[factKey]int{}, n: 1}
+}
+
+func (ft *factTable) intern(k factKey) int {
+	if b, ok := ft.bits[k]; ok {
+		return b
+	}
+	b := ft.n
+	ft.n++
+	ft.bits[k] = b
+	ft.byBase[k.base] = append(ft.byBase[k.base], b)
+	return b
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// availCtx evaluates available-check transfer effects. The same machinery
+// runs in the optimizer (over the planned instruction stream) and in the
+// verifier (over the emitted program).
+type availCtx struct {
+	ft *factTable
+	L  int64
+}
+
+// addGenSite interns the facts a load check at (base, imm) can generate.
+func (a *availCtx) addGenSite(base uint8, imm int64) {
+	a.ft.intern(factKey{base: base, window: false, key: imm})
+	a.ft.intern(factKey{base: base, window: true, key: floorDiv(imm, a.L)})
+}
+
+// covered reports whether a load of base+imm is available in s.
+func (a *availCtx) covered(s BitSet, base uint8, imm int64) bool {
+	if b, ok := a.ft.bits[factKey{base: base, window: false, key: imm}]; ok && s.Get(b) {
+		return true
+	}
+	if b, ok := a.ft.bits[factKey{base: base, window: true, key: floorDiv(imm, a.L)}]; ok && s.Get(b) {
+		return true
+	}
+	return false
+}
+
+func (a *availCtx) killReg(s BitSet, r uint8) {
+	if r == isa.RegZero {
+		return
+	}
+	for _, b := range a.ft.byBase[r] {
+		s.Clear(b)
+	}
+}
+
+// killFacts clears every fact but preserves NSIF: used for protocol
+// entries that cannot issue a store miss of ours (polls, load-locked
+// checks, read-only batch opens, batch closes, prefetches).
+func (a *availCtx) killFacts(s BitSet) {
+	nsif := s.Get(nsifBit)
+	s.ClearAll()
+	if nsif {
+		s.Set(nsifBit)
+	}
+}
+
+// checkLoad applies a live load check at (base, imm) writing rd.
+// alignedBase is whether base is provably L-aligned here.
+func (a *availCtx) checkLoad(s BitSet, base, rd uint8, imm int64, alignedBase bool) {
+	nsif := s.Get(nsifBit)
+	if !a.covered(s, base, imm) {
+		// The check may miss and enter the protocol: every fact dies.
+		// NSIF is unaffected — a load miss issues no store miss.
+		a.killFacts(s)
+	}
+	s.Set(a.ft.bits[factKey{base: base, window: false, key: imm}])
+	if nsif && alignedBase {
+		s.Set(a.ft.bits[factKey{base: base, window: true, key: floorDiv(imm, a.L)}])
+	}
+	a.killReg(s, rd)
+}
+
+// step applies one instruction-stream element. elided marks a load whose
+// check was (or is being modeled as) eliminated; writeBatch marks a
+// BATCHCHK that fetches exclusive copies (its reissued stores may still be
+// in flight after the batch closes).
+func (a *availCtx) step(s BitSet, op isa.Op, rd, ra uint8, imm int64, alignedBase, elided, writeBatch bool) {
+	switch op {
+	case isa.CHKLD:
+		if elided {
+			a.killReg(s, rd)
+			return
+		}
+		a.checkLoad(s, ra, rd, imm, alignedBase)
+	case isa.LDQ, isa.LDA, isa.ADDQ, isa.SUBQ, isa.MULQ, isa.AND, isa.OR,
+		isa.XOR, isa.SLL, isa.SRL, isa.CMPEQ, isa.CMPLT:
+		a.killReg(s, rd)
+	case isa.LDQL, isa.CHKLDL:
+		a.killFacts(s)
+		a.killReg(s, rd)
+	case isa.CHKST, isa.STQC, isa.CHKSTC, isa.JSR, isa.SYSCALL, isa.RET:
+		s.ClearAll() // protocol entry and/or a store miss may now be in flight
+	case isa.MB:
+		// The barrier drains every outstanding store, but applying queued
+		// invalidations kills the line facts.
+		s.ClearAll()
+		s.Set(nsifBit)
+	case isa.POLL, isa.PFXEXCL, isa.BATCHEND:
+		a.killFacts(s)
+	case isa.BATCHCHK:
+		if writeBatch {
+			s.ClearAll()
+		} else {
+			a.killFacts(s)
+		}
+	}
+	// STQ, branches, NOP, HALT, MBPROT: no effect on facts.
+}

@@ -1,0 +1,265 @@
+package rewriter
+
+import "repro/internal/isa"
+
+// This file builds the control-flow graph the analyses and the verifier
+// run over. Blocks split at every branch target (the seed rewriter's
+// batching bug came from ignoring exactly those), at every label (a label
+// is a potential entry even when no branch in this program targets it),
+// and at every procedure start. A virtual entry node — reaching instruction
+// 0 and every procedure start — roots the dominator tree, so code that is
+// only entered externally (Spawn of a non-first procedure, JSR from
+// another procedure) is still analyzed conservatively.
+
+// BasicBlock is a maximal single-entry straight-line run of instructions.
+type BasicBlock struct {
+	ID    int
+	Start int // first instruction index
+	End   int // one past the last instruction
+	Succs []int
+	Preds []int
+}
+
+// CFG is the control-flow graph of a program, with dominator information.
+type CFG struct {
+	Prog    *isa.Program
+	Blocks  []*BasicBlock
+	BlockOf []int // instruction index -> block ID
+	// Idom maps each block to its immediate dominator. The virtual entry
+	// node has ID len(Blocks) and is its own idom; blocks unreachable from
+	// any entry have Idom -1.
+	Idom []int
+	// entries are block IDs reachable from outside: instruction 0 and
+	// every procedure start.
+	entries map[int]bool
+	rpo     []int // reachable blocks (incl. virtual entry) in reverse postorder
+	rpoPos  []int // block ID -> position in rpo; -1 if unreachable
+}
+
+// Entry returns the ID of the virtual entry node.
+func (c *CFG) Entry() int { return len(c.Blocks) }
+
+// IsEntry reports whether block b can be entered from outside the program.
+func (c *CFG) IsEntry(b int) bool { return c.entries[b] }
+
+// BuildCFG constructs the CFG of a program (original or rewritten).
+func BuildCFG(prog *isa.Program) *CFG {
+	n := len(prog.Instrs)
+	c := &CFG{Prog: prog, BlockOf: make([]int, n), entries: map[int]bool{}}
+	if n == 0 {
+		c.computeDominators()
+		return c
+	}
+
+	leader := make([]bool, n)
+	leader[0] = true
+	mark := func(i int) {
+		if i >= 0 && i < n {
+			leader[i] = true
+		}
+	}
+	for _, ps := range prog.Procs {
+		mark(ps.Start)
+	}
+	for _, idx := range prog.Labels {
+		mark(idx)
+	}
+	for i, in := range prog.Instrs {
+		if in.Op.IsBranch() {
+			mark(in.Target)
+			mark(i + 1)
+		} else if in.Op == isa.RET || in.Op == isa.HALT {
+			mark(i + 1)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			c.Blocks = append(c.Blocks, &BasicBlock{ID: len(c.Blocks), Start: i})
+		}
+		c.BlockOf[i] = len(c.Blocks) - 1
+	}
+	for _, b := range c.Blocks {
+		if b.ID+1 < len(c.Blocks) {
+			b.End = c.Blocks[b.ID+1].Start
+		} else {
+			b.End = n
+		}
+	}
+
+	addEdge := func(from, to int) {
+		fb, tb := c.Blocks[from], c.Blocks[to]
+		for _, s := range fb.Succs {
+			if s == to {
+				return
+			}
+		}
+		fb.Succs = append(fb.Succs, to)
+		tb.Preds = append(tb.Preds, from)
+	}
+	for _, b := range c.Blocks {
+		last := prog.Instrs[b.End-1]
+		switch {
+		case last.Op.IsBranch():
+			if last.Target >= 0 && last.Target < n {
+				addEdge(b.ID, c.BlockOf[last.Target])
+			}
+			// Conditional branches and JSR (which returns) fall through.
+			if last.Op != isa.BR && b.End < n {
+				addEdge(b.ID, c.BlockOf[b.End])
+			}
+		case last.Op == isa.RET || last.Op == isa.HALT:
+			// No successors.
+		default:
+			if b.End < n {
+				addEdge(b.ID, c.BlockOf[b.End])
+			}
+		}
+	}
+
+	c.entries[c.BlockOf[0]] = true
+	for _, ps := range prog.Procs {
+		if ps.Start >= 0 && ps.Start < n {
+			c.entries[c.BlockOf[ps.Start]] = true
+		}
+	}
+	c.computeDominators()
+	return c
+}
+
+// computeDominators runs the Cooper-Harvey-Kennedy iterative algorithm
+// over the blocks reachable from the virtual entry.
+func (c *CFG) computeDominators() {
+	nb := len(c.Blocks)
+	V := nb // virtual entry node
+	succs := func(b int) []int {
+		if b == V {
+			out := make([]int, 0, len(c.entries))
+			for e := range c.entries {
+				out = append(out, e)
+			}
+			// Deterministic order keeps rpo stable across runs.
+			for i := 1; i < len(out); i++ {
+				for j := i; j > 0 && out[j-1] > out[j]; j-- {
+					out[j-1], out[j] = out[j], out[j-1]
+				}
+			}
+			return out
+		}
+		return c.Blocks[b].Succs
+	}
+
+	// Postorder DFS from the virtual entry.
+	visited := make([]bool, nb+1)
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		visited[b] = true
+		for _, s := range succs(b) {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(V)
+	c.rpo = make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		c.rpo = append(c.rpo, post[i])
+	}
+	c.rpoPos = make([]int, nb+1)
+	for i := range c.rpoPos {
+		c.rpoPos[i] = -1
+	}
+	for pos, b := range c.rpo {
+		c.rpoPos[b] = pos
+	}
+
+	idom := make([]int, nb+1)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[V] = V
+	intersect := func(a, b int) int {
+		for a != b {
+			for c.rpoPos[a] > c.rpoPos[b] {
+				a = idom[a]
+			}
+			for c.rpoPos[b] > c.rpoPos[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	preds := func(b int) []int {
+		ps := append([]int(nil), c.Blocks[b].Preds...)
+		if c.entries[b] {
+			ps = append(ps, V)
+		}
+		return ps
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.rpo {
+			if b == V {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds(b) {
+				if c.rpoPos[p] < 0 || idom[p] < 0 {
+					continue // pred not yet processed or unreachable
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	c.Idom = idom
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+// Unreachable blocks are dominated by nothing and dominate nothing.
+func (c *CFG) Dominates(a, b int) bool {
+	if c.rpoPos[a] < 0 || c.rpoPos[b] < 0 {
+		return false
+	}
+	V := c.Entry()
+	for {
+		if b == a {
+			return true
+		}
+		if b == V {
+			return a == V
+		}
+		b = c.Idom[b]
+		if b < 0 {
+			return false
+		}
+	}
+}
+
+// BackEdge is a CFG edge whose target dominates its source — the closing
+// edge of a natural loop.
+type BackEdge struct {
+	From, To int // block IDs
+}
+
+// BackEdges returns all loop back-edges.
+func (c *CFG) BackEdges() []BackEdge {
+	var out []BackEdge
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if c.Dominates(s, b.ID) {
+				out = append(out, BackEdge{From: b.ID, To: s})
+			}
+		}
+	}
+	return out
+}

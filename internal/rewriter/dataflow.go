@@ -1,0 +1,213 @@
+package rewriter
+
+// A generic worklist dataflow engine over bitvector lattices. The may-shared
+// register analysis (union), the register-alignment analysis (intersect) and
+// the available-check analysis (intersect) all run through Solve; the seed's
+// ad-hoc fixpoint loop — whose 64-iteration cap could silently truncate the
+// solution and under-instrument the program — is gone. Solve reports
+// non-convergence explicitly and every client falls back conservatively:
+// union clients treat everything as possibly shared, intersect clients
+// discard all facts.
+
+// BitSet is a fixed-width bit vector.
+type BitSet struct {
+	n int
+	w []uint64
+}
+
+// NewBitSet returns an empty set over n bits.
+func NewBitSet(n int) BitSet {
+	return BitSet{n: n, w: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the width of the set.
+func (b BitSet) Len() int { return b.n }
+
+// Get reports whether bit i is set.
+func (b BitSet) Get(i int) bool { return b.w[i/64]&(1<<uint(i%64)) != 0 }
+
+// Set sets bit i.
+func (b BitSet) Set(i int) { b.w[i/64] |= 1 << uint(i%64) }
+
+// Clear clears bit i.
+func (b BitSet) Clear(i int) { b.w[i/64] &^= 1 << uint(i%64) }
+
+// ClearAll empties the set.
+func (b BitSet) ClearAll() {
+	for i := range b.w {
+		b.w[i] = 0
+	}
+}
+
+// SetAll fills the set (tail bits beyond n stay clear).
+func (b BitSet) SetAll() {
+	for i := range b.w {
+		b.w[i] = ^uint64(0)
+	}
+	if tail := b.n % 64; tail != 0 && len(b.w) > 0 {
+		b.w[len(b.w)-1] &= (1 << uint(tail)) - 1
+	}
+}
+
+// Clone returns an independent copy.
+func (b BitSet) Clone() BitSet {
+	c := BitSet{n: b.n, w: make([]uint64, len(b.w))}
+	copy(c.w, b.w)
+	return c
+}
+
+// CopyFrom overwrites b with o (same width required).
+func (b BitSet) CopyFrom(o BitSet) { copy(b.w, o.w) }
+
+// UnionWith adds o's bits to b.
+func (b BitSet) UnionWith(o BitSet) {
+	for i := range b.w {
+		b.w[i] |= o.w[i]
+	}
+}
+
+// IntersectWith keeps only bits present in both.
+func (b BitSet) IntersectWith(o BitSet) {
+	for i := range b.w {
+		b.w[i] &= o.w[i]
+	}
+}
+
+// Equal reports whether the two sets hold the same bits.
+func (b BitSet) Equal(o BitSet) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.w {
+		if b.w[i] != o.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Direction selects which way facts flow.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// MeetOp selects the confluence operator.
+type MeetOp int
+
+const (
+	// Union is the meet of may-analyses (optimistic start: empty).
+	Union MeetOp = iota
+	// Intersect is the meet of must-analyses (optimistic start: full).
+	Intersect
+)
+
+// Dataflow describes one analysis for Solve.
+type Dataflow struct {
+	Dir  Direction
+	Meet MeetOp
+	Bits int
+	// Boundary is the fact set at the program boundary: entry blocks for
+	// Forward, exit blocks (no successors) for Backward.
+	Boundary BitSet
+	// Transfer folds one block's effect over the incoming facts. It owns
+	// `in` (a fresh copy per call) and may mutate and return it.
+	Transfer func(b *BasicBlock, in BitSet) BitSet
+	// MaxPasses bounds the fixpoint iteration; 0 means an automatic bound
+	// far above the lattice height. Exceeding it makes Solve report
+	// non-convergence instead of silently truncating.
+	MaxPasses int
+}
+
+// Solve iterates the analysis to a fixpoint and returns the Transfer-input
+// state of every block: facts at block entry for Forward, at block end for
+// Backward. Unreachable non-entry blocks get the empty set, which is the
+// conservative answer for both meets (nothing known shared, no facts
+// available). The second result is false if the iteration bound was hit
+// before the fixpoint; callers must then fall back conservatively.
+func (c *CFG) Solve(d *Dataflow) ([]BitSet, bool) {
+	nb := len(c.Blocks)
+	in := make([]BitSet, nb)
+	out := make([]BitSet, nb)
+	for i := 0; i < nb; i++ {
+		in[i] = NewBitSet(d.Bits)
+		out[i] = NewBitSet(d.Bits)
+		if d.Meet == Intersect {
+			out[i].SetAll()
+		}
+	}
+	if nb == 0 {
+		return in, true
+	}
+
+	// Iterate in reverse postorder for Forward (postorder for Backward) so
+	// most facts settle in one or two passes.
+	order := make([]int, 0, nb)
+	for _, b := range c.rpo {
+		if b != c.Entry() {
+			order = append(order, b)
+		}
+	}
+	for b := range c.Blocks { // unreachable blocks still get a state
+		if c.rpoPos[b] < 0 {
+			order = append(order, b)
+		}
+	}
+	if d.Dir == Backward {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+
+	edgesIn := func(b int) []int {
+		if d.Dir == Forward {
+			return c.Blocks[b].Preds
+		}
+		return c.Blocks[b].Succs
+	}
+	atBoundary := func(b int) bool {
+		if d.Dir == Forward {
+			return c.entries[b]
+		}
+		return len(c.Blocks[b].Succs) == 0
+	}
+
+	maxPasses := d.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = nb*d.Bits + 8
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, b := range order {
+			s := NewBitSet(d.Bits)
+			first := true
+			if atBoundary(b) {
+				s.CopyFrom(d.Boundary)
+				first = false
+			}
+			for _, p := range edgesIn(b) {
+				if first {
+					s.CopyFrom(out[p])
+					first = false
+				} else if d.Meet == Union {
+					s.UnionWith(out[p])
+				} else {
+					s.IntersectWith(out[p])
+				}
+			}
+			// first still true: unreachable non-entry block; keep empty.
+			in[b].CopyFrom(s)
+			o := d.Transfer(c.Blocks[b], s)
+			if !o.Equal(out[b]) {
+				out[b].CopyFrom(o)
+				changed = true
+			}
+		}
+		if !changed {
+			return in, true
+		}
+	}
+	return in, false
+}

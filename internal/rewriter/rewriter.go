@@ -6,22 +6,26 @@
 //     checked);
 //   - each such load gets the flag-technique in-line check, each store the
 //     state-table check;
-//   - runs of accesses off the same base register within a basic block are
-//     batched under a single check (§2.2);
+//   - runs of accesses off the same base register are batched under a
+//     single check (§2.2); runs are confined to basic blocks except across
+//     fall-through boundaries that nothing can branch into, so control flow
+//     can never enter a batch region past its BATCHCHK;
+//   - an available-check analysis eliminates load checks that an earlier
+//     check of the same line dominates (same base register, base not
+//     redefined, no protocol entry in between);
 //   - a poll is inserted at every loop back-edge (§2.1);
 //   - LL/SC sequences get the §3.1.2 treatment (state-register checks, an
 //     optional prefetch-exclusive before the retry loop);
 //   - a protocol call is inserted after every MB (§3.2.3).
 //
-// The package also models rewrite time and code growth for executables
-// described only by a static profile (Table 3's code sizes, §6.3's
-// conversion times).
+// Every rewrite is post-verified: Verify statically re-proves the
+// instrumented program's invariants from scratch, and Rewrite fails rather
+// than return an output that does not pass.
 package rewriter
 
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/isa"
 )
 
@@ -33,26 +37,57 @@ type Options struct {
 	Polls bool
 	// PrefetchExclusive inserts a prefetch before LL/SC sequences.
 	PrefetchExclusive bool
+	// CheckElim removes load checks made redundant by an earlier check of
+	// the same line on every incoming path.
+	CheckElim bool
+	// MaxBatchBytes caps the address span of one batched check
+	// (0 = 256 bytes).
+	MaxBatchBytes int
+	// LineBytes is the coherence line size the line-level analyses assume
+	// (0 = 64). The rewritten program is correct on any runtime
+	// configuration whose LineSize is a multiple of this value.
+	LineBytes int
 }
 
 // DefaultOptions enables everything the paper's system uses.
 func DefaultOptions() Options {
-	return Options{Batching: true, Polls: true, PrefetchExclusive: false}
+	return Options{Batching: true, Polls: true, PrefetchExclusive: false, CheckElim: true}
+}
+
+func (o Options) lineBytes() int64 {
+	if o.LineBytes <= 0 {
+		return 64
+	}
+	return int64(o.LineBytes)
+}
+
+func (o Options) maxBatchBytes() int {
+	if o.MaxBatchBytes <= 0 {
+		return 256
+	}
+	return o.MaxBatchBytes
 }
 
 // Stats reports what the rewriter did.
 type Stats struct {
 	Instrs         int // original instruction count
+	BasicBlocks    int
 	LoadChecks     int
 	StoreChecks    int
 	LLSCPairs      int
 	BatchedRuns    int
 	BatchedMembers int // accesses covered by a batch instead of a check
-	Polls          int
-	MBCalls        int
-	Prefetches     int
-	OrigWords      int
-	NewWords       int
+	// ChecksEliminated counts load checks removed because an earlier check
+	// of the same line is available on every path.
+	ChecksEliminated int
+	Polls            int
+	MBCalls          int
+	Prefetches       int
+	OrigWords        int
+	NewWords         int
+	// AnalysisFallback is set if a dataflow analysis failed to converge
+	// and the rewriter fell back to conservative instrumentation.
+	AnalysisFallback bool
 }
 
 // GrowthPercent is the static code-size increase (Table 3's last column).
@@ -63,25 +98,35 @@ func (s Stats) GrowthPercent() float64 {
 	return float64(s.NewWords-s.OrigWords) / float64(s.OrigWords) * 100
 }
 
+// plan records, per original instruction, what the emitter produces for it.
+type plan struct {
+	pollBefore bool // loop back-edge poll before this branch
+	pfxBefore  bool
+	batchStart bool
+	batchLo    int64
+	batchBytes int
+	batchWrite bool
+	batchEnd   bool
+	member     bool   // access runs raw inside a batch window
+	covered    bool   // load check eliminated; emit a Covered raw load
+	newOp      isa.Op // replacement op (0 = keep)
+}
+
 // Rewrite instruments the program and returns the new program with stats.
 func Rewrite(prog *isa.Program, opt Options) (*isa.Program, Stats, error) {
 	if prog.Rewritten {
 		return nil, Stats{}, fmt.Errorf("rewriter: program already rewritten")
 	}
 	st := Stats{Instrs: len(prog.Instrs), OrigWords: prog.SizeWords()}
-	shared := analyzeShared(prog)
+	c := BuildCFG(prog)
+	st.BasicBlocks = len(c.Blocks)
+	shared, converged := analyzeShared(c)
+	if !converged {
+		st.AnalysisFallback = true
+	}
 
 	// Pass 1: decide per original instruction what to emit.
-	type plan struct {
-		pollBefore bool // loop back-edge poll before this branch
-		pfxBefore  bool
-		batchStart int // >0: start a batch of this many accesses here
-		batchWrite bool
-		batchEnd   bool
-		newOp      isa.Op // replacement op (0 = keep)
-	}
 	plans := make([]plan, len(prog.Instrs))
-
 	for i, in := range prog.Instrs {
 		switch {
 		case in.Op == isa.LDQ && shared[i]:
@@ -107,50 +152,20 @@ func Rewrite(prog *isa.Program, opt Options) (*isa.Program, Stats, error) {
 		}
 	}
 
-	// Pass 2: batching — consecutive checked accesses in one basic block
-	// with the same base register collapse under one combined check.
+	// Pass 2: batching over the CFG.
 	if opt.Batching {
-		i := 0
-		for i < len(prog.Instrs) {
-			if plans[i].newOp != isa.CHKLD && plans[i].newOp != isa.CHKST {
-				i++
-				continue
-			}
-			base := prog.Instrs[i].Ra
-			j := i + 1
-			for j < len(prog.Instrs) {
-				pj := plans[j]
-				ij := prog.Instrs[j]
-				if (pj.newOp == isa.CHKLD || pj.newOp == isa.CHKST) && ij.Ra == base && !ij.Op.IsBranch() {
-					j++
-					continue
-				}
-				break
-			}
-			if j-i >= 2 {
-				st.BatchedRuns++
-				st.BatchedMembers += j - i
-				plans[i].batchStart = j - i
-				for k := i; k < j; k++ {
-					if plans[k].newOp == isa.CHKST {
-						plans[i].batchWrite = true
-					}
-					// Members execute as raw accesses inside the batch.
-					if plans[k].newOp == isa.CHKLD {
-						plans[k].newOp = isa.LDQ
-						st.LoadChecks--
-					} else {
-						plans[k].newOp = isa.STQ
-						st.StoreChecks--
-					}
-				}
-				plans[j-1].batchEnd = true
-			}
-			i = j
-		}
+		planBatches(c, plans, opt, &st)
 	}
 
-	// Pass 3: emit, tracking the index mapping for branch retargeting.
+	// Pass 3: available-check elimination on the surviving checks.
+	if opt.CheckElim {
+		eliminateChecks(c, plans, opt, &st)
+	}
+
+	// Pass 4: emit, tracking the index mapping for branch retargeting.
+	// newIndex[i] points at the first emitted word for original index i
+	// (before any poll/prefetch/BATCHCHK), so a branch to a batched run's
+	// head lands on the BATCHCHK and the window always opens.
 	out := &isa.Program{Labels: map[string]int{}, Rewritten: true}
 	newIndex := make([]int, len(prog.Instrs)+1)
 	for i, in := range prog.Instrs {
@@ -162,31 +177,22 @@ func Rewrite(prog *isa.Program, opt Options) (*isa.Program, Stats, error) {
 		if pl.pfxBefore {
 			out.Instrs = append(out.Instrs, isa.Instr{Op: isa.PFXEXCL, Ra: in.Ra, Imm: in.Imm})
 		}
-		if pl.batchStart > 0 {
-			// The batch range covers the member accesses' offsets off
-			// the shared base register.
-			lo, hi := in.Imm, in.Imm
-			for k := i; k < i+pl.batchStart && k < len(prog.Instrs); k++ {
-				if prog.Instrs[k].Op.IsMem() {
-					if prog.Instrs[k].Imm < lo {
-						lo = prog.Instrs[k].Imm
-					}
-					if prog.Instrs[k].Imm > hi {
-						hi = prog.Instrs[k].Imm
-					}
-				}
-			}
+		if pl.batchStart {
 			wr := uint8(0)
 			if pl.batchWrite {
 				wr = 1
 			}
 			out.Instrs = append(out.Instrs, isa.Instr{
-				Op: isa.BATCHCHK, Rd: wr, Ra: in.Ra, Imm: lo, BatchBytes: int(hi-lo) + 8,
+				Op: isa.BATCHCHK, Rd: wr, Ra: in.Ra, Imm: pl.batchLo, BatchBytes: pl.batchBytes,
 			})
 		}
 		ni := in
 		if pl.newOp != 0 {
 			ni.Op = pl.newOp
+		}
+		if pl.covered {
+			ni.Op = isa.LDQ
+			ni.Covered = true
 		}
 		out.Instrs = append(out.Instrs, ni)
 		if pl.batchEnd {
@@ -211,101 +217,245 @@ func Rewrite(prog *isa.Program, opt Options) (*isa.Program, Stats, error) {
 		out.Procs = append(out.Procs, isa.ProcSym{Name: ps.Name, Start: newIndex[ps.Start], End: newIndex[ps.End]})
 	}
 	st.NewWords = out.SizeWords()
+
+	// The rewriter never trusts itself: re-prove the instrumentation
+	// invariants on the emitted program.
+	if err := Verify(out, VerifyOptions{Polls: opt.Polls, LineBytes: int(opt.lineBytes())}); err != nil {
+		return nil, st, fmt.Errorf("rewriter: output failed verification: %w", err)
+	}
 	return out, st, nil
 }
 
-// analyzeShared runs a conservative forward dataflow over the program to
-// find memory operations whose base register may hold a shared address.
-// Registers seeded from SP or GP stay private; LDA of a constant at or
-// above core.SharedBase is shared; values propagated through ALU ops
-// inherit; loads produce may-shared values (pointers can live in shared
-// memory). The analysis iterates to a fixpoint over the whole program
-// (branches make any instruction a possible successor of its target).
-func analyzeShared(prog *isa.Program) []bool {
+// canExtendBatch reports whether a batch run may continue from block `from`
+// into block `to`: the blocks are adjacent, control falls through (no
+// branch, return or halt at the seam), nothing else can enter `to` (single
+// predecessor, not a program entry), so the region interior stays
+// unreachable from outside.
+func canExtendBatch(c *CFG, from, to int) bool {
+	fb, tb := c.Blocks[from], c.Blocks[to]
+	if fb.End != tb.Start {
+		return false
+	}
+	if len(tb.Preds) != 1 || tb.Preds[0] != from {
+		return false
+	}
+	if c.IsEntry(to) {
+		return false
+	}
+	last := c.Prog.Instrs[fb.End-1]
+	return !last.Op.IsBranch() && last.Op != isa.RET && last.Op != isa.HALT
+}
+
+// batchNeutral reports whether an unplanned instruction may sit inside a
+// batch window: it must not transfer control, touch the protocol, or
+// redefine the batch's base register. Private memory accesses are fine —
+// the interpreter routes them to private memory before the batch window is
+// consulted.
+func batchNeutral(in isa.Instr, pl plan, base uint8) bool {
+	if pl.newOp != 0 || pl.pollBefore || pl.pfxBefore {
+		return false
+	}
+	writesBase := in.Rd == base && base != isa.RegZero
+	switch in.Op {
+	case isa.NOP:
+		return true
+	case isa.LDA, isa.ADDQ, isa.SUBQ, isa.MULQ, isa.AND, isa.OR, isa.XOR,
+		isa.SLL, isa.SRL, isa.CMPEQ, isa.CMPLT:
+		return !writesBase
+	case isa.LDQ:
+		return !writesBase // raw private load
+	case isa.STQ:
+		return true // raw private store; Rd is the source
+	}
+	return false
+}
+
+// planBatches merges runs of checked same-base accesses (with neutral
+// instructions interleaved) under one BATCHCHK. Unlike the seed — which
+// scanned linearly and could place a BATCHCHK that a branch jumps over —
+// runs follow the CFG and only cross block boundaries canExtendBatch
+// proves unenterable.
+func planBatches(c *CFG, plans []plan, opt Options, st *Stats) {
+	prog := c.Prog
 	n := len(prog.Instrs)
-	// mayShared[r] per program point would be precise; Shasta's analysis
-	// is per-procedure. We keep one lattice per instruction entry.
-	type state = uint32 // bitmask of registers 0..31: may hold shared addr
-	in := make([]state, n+1)
-	shared := make([]bool, n)
+	maxBytes := opt.maxBatchBytes()
+	isCheck := func(i int) bool { return plans[i].newOp == isa.CHKLD || plans[i].newOp == isa.CHKST }
 
-	transfer := func(s state, i int) state {
-		ins := prog.Instrs[i]
-		setBit := func(r uint8, v bool) {
-			if r == isa.RegZero {
-				return
+	i := 0
+	for i < n {
+		if !isCheck(i) {
+			i++
+			continue
+		}
+		base := prog.Instrs[i].Ra
+		lo, hi := prog.Instrs[i].Imm, prog.Instrs[i].Imm
+		members := []int{i}
+		blk := c.BlockOf[i]
+		baseRedefined := false
+		for j := i + 1; j < n && !baseRedefined; j++ {
+			if bj := c.BlockOf[j]; bj != blk {
+				if !canExtendBatch(c, blk, bj) {
+					break
+				}
+				blk = bj
 			}
-			if v {
-				s |= 1 << r
+			in := prog.Instrs[j]
+			if isCheck(j) && in.Ra == base {
+				nlo, nhi := lo, hi
+				if in.Imm < nlo {
+					nlo = in.Imm
+				}
+				if in.Imm > nhi {
+					nhi = in.Imm
+				}
+				if int(nhi-nlo)+8 > maxBytes {
+					break
+				}
+				members = append(members, j)
+				lo, hi = nlo, nhi
+				if in.Op.IsLoad() && in.Rd == base && base != isa.RegZero {
+					// The member overwrites its own base: its address was
+					// formed before the load, but the run must close here.
+					baseRedefined = true
+				}
+				continue
+			}
+			if !batchNeutral(in, plans[j], base) {
+				break
+			}
+		}
+		if len(members) < 2 {
+			i++
+			continue
+		}
+		st.BatchedRuns++
+		st.BatchedMembers += len(members)
+		first := members[0]
+		plans[first].batchStart = true
+		plans[first].batchLo = lo
+		plans[first].batchBytes = int(hi-lo) + 8
+		for _, k := range members {
+			plans[k].member = true
+			if plans[k].newOp == isa.CHKST {
+				plans[first].batchWrite = true
+				plans[k].newOp = isa.STQ
+				st.StoreChecks--
 			} else {
-				s &^= 1 << r
+				plans[k].newOp = isa.LDQ
+				st.LoadChecks--
 			}
 		}
-		bit := func(r uint8) bool {
-			if r == isa.RegZero || r == isa.RegSP || r == isa.RegGP {
-				return false
-			}
-			return s&(1<<r) != 0
+		plans[members[len(members)-1]].batchEnd = true
+		i = members[len(members)-1] + 1
+	}
+}
+
+// foldPlanned applies the available-check effects of one original
+// instruction's full emitted expansion, in emission order.
+func foldPlanned(a *availCtx, s BitSet, in isa.Instr, pl plan, alignedBase bool) {
+	if pl.pollBefore {
+		a.step(s, isa.POLL, 0, 0, 0, false, false, false)
+	}
+	if pl.pfxBefore {
+		a.step(s, isa.PFXEXCL, 0, 0, 0, false, false, false)
+	}
+	if pl.batchStart {
+		a.step(s, isa.BATCHCHK, 0, 0, 0, false, false, pl.batchWrite)
+	}
+	op := in.Op
+	if pl.newOp != 0 {
+		op = pl.newOp
+	}
+	a.step(s, op, in.Rd, in.Ra, in.Imm, alignedBase, pl.covered, false)
+	if pl.batchEnd {
+		a.step(s, isa.BATCHEND, 0, 0, 0, false, false, false)
+	}
+	// An MB's MBPROT companion has no analysis effect.
+}
+
+// eliminateChecks marks load checks as covered when an earlier check of
+// the same line is available on every incoming path. A marked check emits
+// as a raw load with the Covered flag, executed through Proc.ElidedLoad.
+//
+// Elimination changes the fact flow (a covered load no longer generates
+// facts or enters the protocol), so the marking iterates to consistency:
+// start from the full-check solution, model marked sites as elided, and
+// unmark any site whose coverage does not survive its own optimization —
+// exactly the analysis Verify replays on the emitted program.
+func eliminateChecks(c *CFG, plans []plan, opt Options, st *Stats) {
+	prog := c.Prog
+	L := opt.lineBytes()
+	a := &availCtx{ft: newFactTable(), L: L}
+	var sites []int
+	for i := range plans {
+		if plans[i].newOp == isa.CHKLD {
+			sites = append(sites, i)
+			a.addGenSite(prog.Instrs[i].Ra, prog.Instrs[i].Imm)
 		}
-		switch ins.Op {
-		case isa.LDA:
-			v := uint64(ins.Imm)
-			if ins.Ra != isa.RegZero {
-				setBit(ins.Rd, bit(ins.Ra) || v >= core.SharedBase)
-			} else {
-				setBit(ins.Rd, v >= core.SharedBase)
-			}
-		case isa.LDQ, isa.LDQL:
-			// A loaded value may itself be a shared pointer if it came
-			// from shared memory; conservatively inherit the base.
-			setBit(ins.Rd, bit(ins.Ra))
-		case isa.ADDQ, isa.SUBQ, isa.MULQ, isa.AND, isa.OR, isa.XOR, isa.SLL, isa.SRL:
-			v := bit(ins.Ra)
-			if !ins.UseImm {
-				v = v || bit(ins.Rb)
-			}
-			setBit(ins.Rd, v)
-		case isa.CMPEQ, isa.CMPLT, isa.STQC:
-			setBit(ins.Rd, false)
-		case isa.JSR:
-			setBit(isa.RegRA, false)
-		}
-		return s
+	}
+	if len(sites) == 0 {
+		return
+	}
+	aligned := analyzeAligned(c, L)
+	alignedBase := func(i int) bool {
+		ra := prog.Instrs[i].Ra
+		return ra == isa.RegZero || aligned[i]&(1<<ra) != 0
+	}
+	boundary := NewBitSet(a.ft.n)
+	boundary.Set(nsifBit)
+	solve := func() ([]BitSet, bool) {
+		return c.Solve(&Dataflow{
+			Dir: Forward, Meet: Intersect, Bits: a.ft.n, Boundary: boundary,
+			Transfer: func(b *BasicBlock, in BitSet) BitSet {
+				for i := b.Start; i < b.End; i++ {
+					foldPlanned(a, in, prog.Instrs[i], plans[i], alignedBase(i))
+				}
+				return in
+			},
+		})
 	}
 
-	// Fixpoint.
-	changed := true
-	for iter := 0; changed && iter < 64; iter++ {
-		changed = false
-		for i := 0; i < n; i++ {
-			s := in[i]
-			ins := prog.Instrs[i]
-			if ins.Op.IsMem() && ins.Ra != isa.RegSP && ins.Ra != isa.RegGP && ins.Ra != isa.RegZero {
-				if s&(1<<ins.Ra) != 0 && !shared[i] {
-					shared[i] = true
-					changed = true
-				}
+	for round := 0; round <= len(sites)+1; round++ {
+		blockIn, ok := solve()
+		if !ok {
+			// Non-convergence: a must-analysis truncated early
+			// over-approximates, so discard every marking.
+			for _, i := range sites {
+				plans[i].covered = false
 			}
-			outState := transfer(s, i)
-			// Propagate to successors.
-			propagate := func(to int) {
-				if to < 0 || to > n {
-					return
+			st.AnalysisFallback = true
+			return
+		}
+		changed := false
+		for _, b := range c.Blocks {
+			s := blockIn[b.ID].Clone()
+			for i := b.Start; i < b.End; i++ {
+				if plans[i].newOp == isa.CHKLD {
+					// Check sites never carry pre-elements (polls precede
+					// branches, prefetches precede LL/SC, batch members
+					// are no longer checks), so s is the state at the op.
+					cov := a.covered(s, prog.Instrs[i].Ra, prog.Instrs[i].Imm)
+					if round == 0 {
+						if cov {
+							plans[i].covered = true
+							changed = true
+						}
+					} else if plans[i].covered && !cov {
+						plans[i].covered = false
+						changed = true
+					}
 				}
-				if in[to]|outState != in[to] {
-					in[to] |= outState
-					changed = true
-				}
-			}
-			if ins.Op.IsBranch() {
-				propagate(ins.Target)
-				if ins.Op != isa.BR {
-					propagate(i + 1)
-				}
-			} else if ins.Op != isa.HALT && ins.Op != isa.RET {
-				propagate(i + 1)
+				foldPlanned(a, s, prog.Instrs[i], plans[i], alignedBase(i))
 			}
 		}
+		if !changed {
+			break
+		}
 	}
-	return shared
+	for _, i := range sites {
+		if plans[i].covered {
+			st.LoadChecks--
+			st.ChecksEliminated++
+		}
+	}
 }

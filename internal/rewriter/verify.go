@@ -1,0 +1,262 @@
+package rewriter
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Verify statically re-proves the instrumentation invariants of a rewritten
+// program, from scratch, using only the emitted instruction stream. It is
+// the soundness backstop for the optimizer: Rewrite runs it on every output
+// and refuses to return a program that fails, and cmd/shasta-lint runs it
+// over assembled sources in CI. The rules:
+//
+//   - every load or store whose address may be shared is either a checked
+//     op (CHKLD/CHKST), a member of an enclosing batch window, or a
+//     Covered load whose check the available-check analysis proves
+//     redundant at that very point;
+//   - BATCHCHK..BATCHEND regions are properly nested, non-empty windows of
+//     straight-line code; no branch target and no procedure entry lands in
+//     a region interior, members stay inside the declared byte window, and
+//     stores only appear in write batches;
+//   - the batch base register is not redefined while the window is open
+//     (except by the final member, immediately before BATCHEND);
+//   - every retreating branch is immediately preceded by a POLL (every
+//     cycle in instruction-index space must contain a retreating branch,
+//     so this bounds the poll-free path length of any loop);
+//   - every MB is followed by its MBPROT protocol call, and MBPROT appears
+//     nowhere else;
+//   - no raw LDQL/STQC survives (the rewriter must convert them to their
+//     checked forms).
+
+// VerifyOptions configure which invariants apply.
+type VerifyOptions struct {
+	// Polls requires a POLL before every retreating branch. Set it when
+	// the program was rewritten with Options.Polls.
+	Polls bool
+	// LineBytes is the line size the coverage analysis assumes (0 = 64).
+	// It must equal the rewrite-time value.
+	LineBytes int
+}
+
+// Violation is one broken invariant at one instruction.
+type Violation struct {
+	Index  int
+	Kind   string
+	Detail string
+}
+
+// VerifyError collects every violation found.
+type VerifyError struct {
+	Violations []Violation
+	prog       *isa.Program
+}
+
+func (e *VerifyError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d instrumentation violation(s):", len(e.Violations))
+	for i, v := range e.Violations {
+		if i == 20 {
+			fmt.Fprintf(&b, "\n  ... and %d more", len(e.Violations)-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n  @%-4d [%s] %s: %s", v.Index, v.Kind, e.prog.Disassemble(v.Index), v.Detail)
+	}
+	return b.String()
+}
+
+// Verify checks the invariants and returns a *VerifyError listing every
+// violation, or nil if the program is clean.
+func Verify(prog *isa.Program, opt VerifyOptions) error {
+	n := len(prog.Instrs)
+	var vs []Violation
+	add := func(i int, kind, format string, args ...interface{}) {
+		vs = append(vs, Violation{Index: i, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	c := BuildCFG(prog)
+	shared, _ := analyzeShared(c) // non-convergence already yields the conservative over-approximation
+	L := int64(opt.LineBytes)
+	if L <= 0 {
+		L = 64
+	}
+	aligned := analyzeAligned(c, L)
+
+	// --- batch region structure (textual pairing).
+	type region struct {
+		chk, end int
+		base     uint8
+		lo       int64
+		bytes    int
+		write    bool
+	}
+	var regions []region
+	regionOf := make([]int, n) // instruction -> region whose *interior* holds it
+	for i := range regionOf {
+		regionOf[i] = -1
+	}
+	open := -1
+	for i, in := range prog.Instrs {
+		switch in.Op {
+		case isa.BATCHCHK:
+			if open >= 0 {
+				add(i, "nested-batch", "BATCHCHK inside the region opened at %d", open)
+			}
+			if in.BatchBytes <= 0 {
+				add(i, "batch-bytes", "non-positive window size %d", in.BatchBytes)
+			}
+			open = i
+		case isa.BATCHEND:
+			if open < 0 {
+				add(i, "stray-batchend", "no open region")
+				continue
+			}
+			o := prog.Instrs[open]
+			ri := len(regions)
+			regions = append(regions, region{chk: open, end: i, base: o.Ra, lo: o.Imm, bytes: o.BatchBytes, write: o.Rd != 0})
+			for j := open + 1; j < i; j++ {
+				regionOf[j] = ri
+			}
+			open = -1
+		}
+	}
+	if open >= 0 {
+		add(open, "unclosed-batch", "BATCHCHK never reaches a BATCHEND")
+	}
+
+	// --- region interiors.
+	writesRd := func(op isa.Op) bool {
+		switch op {
+		case isa.LDQ, isa.LDA, isa.ADDQ, isa.SUBQ, isa.MULQ, isa.AND, isa.OR,
+			isa.XOR, isa.SLL, isa.SRL, isa.CMPEQ, isa.CMPLT:
+			return true
+		}
+		return false
+	}
+	for _, r := range regions {
+		for j := r.chk + 1; j < r.end; j++ {
+			in := prog.Instrs[j]
+			switch in.Op {
+			case isa.NOP, isa.LDA, isa.ADDQ, isa.SUBQ, isa.MULQ, isa.AND,
+				isa.OR, isa.XOR, isa.SLL, isa.SRL, isa.CMPEQ, isa.CMPLT,
+				isa.LDQ, isa.STQ:
+			default:
+				add(j, "batch-interior-op", "%v may not appear inside a batch window", in.Op)
+				continue
+			}
+			if writesRd(in.Op) && in.Rd == r.base && r.base != isa.RegZero && j != r.end-1 {
+				add(j, "batch-base-redefined", "r%d is the window base and more members may follow", in.Rd)
+			}
+			if (in.Op == isa.LDQ || in.Op == isa.STQ) && shared[j] {
+				if in.Ra != r.base {
+					add(j, "batch-member-base", "member base r%d != window base r%d", in.Ra, r.base)
+				} else if in.Imm < r.lo || in.Imm+8 > r.lo+int64(r.bytes) {
+					add(j, "batch-member-range", "offset %d outside window [%d,%d)", in.Imm, r.lo, r.lo+int64(r.bytes))
+				}
+				if in.Op == isa.STQ && !r.write {
+					add(j, "batch-readonly-store", "store inside a read-only window")
+				}
+			}
+		}
+		// With interiors free of branches and entries, control can only
+		// enter the window at its BATCHCHK; the dominator tree must agree.
+		cb, eb := c.BlockOf[r.chk], c.BlockOf[r.end]
+		if c.rpoPos[cb] >= 0 && !c.Dominates(cb, eb) {
+			add(r.chk, "batch-not-dominating", "BATCHCHK does not dominate its BATCHEND")
+		}
+	}
+	for _, ps := range prog.Procs {
+		if ps.Start >= 0 && ps.Start < n && regionOf[ps.Start] >= 0 {
+			add(ps.Start, "proc-in-batch", "procedure %q starts inside the region opened at %d",
+				ps.Name, regions[regionOf[ps.Start]].chk)
+		}
+	}
+
+	// --- per-instruction structural rules.
+	for i, in := range prog.Instrs {
+		if in.Op.IsBranch() {
+			t := in.Target
+			if t < 0 || t >= n {
+				add(i, "branch-target-range", "target %d out of range", t)
+			} else if regionOf[t] >= 0 {
+				add(i, "branch-into-batch", "target %d is inside the region opened at %d (its BATCHCHK would be skipped)",
+					t, regions[regionOf[t]].chk)
+			}
+			if opt.Polls && t <= i && (i == 0 || prog.Instrs[i-1].Op != isa.POLL) {
+				add(i, "missing-backedge-poll", "retreating branch without a preceding POLL")
+			}
+		}
+		switch in.Op {
+		case isa.MB:
+			if i+1 >= n || prog.Instrs[i+1].Op != isa.MBPROT {
+				add(i, "mb-without-mbprot", "memory barrier without its protocol call")
+			}
+		case isa.MBPROT:
+			if i == 0 || prog.Instrs[i-1].Op != isa.MB {
+				add(i, "stray-mbprot", "MBPROT not preceded by MB")
+			}
+		case isa.LDQL:
+			add(i, "raw-ldql", "load-locked must be rewritten to CHKLDL")
+		case isa.STQC:
+			add(i, "raw-stqc", "store-conditional must be rewritten to CHKSTC")
+		}
+	}
+
+	// --- coverage: replay the available-check analysis over the emitted
+	// program and hold every raw shared access to it.
+	a := &availCtx{ft: newFactTable(), L: L}
+	for _, in := range prog.Instrs {
+		if in.Op == isa.CHKLD {
+			a.addGenSite(in.Ra, in.Imm)
+		}
+	}
+	alignedBase := func(i int) bool {
+		ra := prog.Instrs[i].Ra
+		return ra == isa.RegZero || aligned[i]&(1<<ra) != 0
+	}
+	fold := func(s BitSet, i int) {
+		in := prog.Instrs[i]
+		a.step(s, in.Op, in.Rd, in.Ra, in.Imm, alignedBase(i), in.Covered,
+			in.Op == isa.BATCHCHK && in.Rd != 0)
+	}
+	boundary := NewBitSet(a.ft.n)
+	boundary.Set(nsifBit)
+	blockIn, conv := c.Solve(&Dataflow{
+		Dir: Forward, Meet: Intersect, Bits: a.ft.n, Boundary: boundary,
+		Transfer: func(b *BasicBlock, in BitSet) BitSet {
+			for i := b.Start; i < b.End; i++ {
+				fold(in, i)
+			}
+			return in
+		},
+	})
+	for _, b := range c.Blocks {
+		s := NewBitSet(a.ft.n) // non-convergence: no facts anywhere
+		if conv {
+			s.CopyFrom(blockIn[b.ID])
+		}
+		for i := b.Start; i < b.End; i++ {
+			in := prog.Instrs[i]
+			if regionOf[i] < 0 && shared[i] {
+				switch {
+				case in.Op == isa.LDQ && in.Covered:
+					if !conv || !a.covered(s, in.Ra, in.Imm) {
+						add(i, "uncovered-elided-load", "no check of r%d+%d (or its line) is available on every path here", in.Ra, in.Imm)
+					}
+				case in.Op == isa.LDQ:
+					add(i, "unchecked-shared-load", "may-shared load is neither checked, batched, nor covered")
+				case in.Op == isa.STQ:
+					add(i, "unchecked-shared-store", "may-shared store is neither checked nor batched")
+				}
+			}
+			fold(s, i)
+		}
+	}
+
+	if len(vs) == 0 {
+		return nil
+	}
+	return &VerifyError{Violations: vs, prog: prog}
+}

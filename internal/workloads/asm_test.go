@@ -1,0 +1,121 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rewriter"
+)
+
+// Golden static instrumentation stats for every assembly kernel under
+// DefaultOptions. These pin down the analysis results: a change here means
+// the CFG construction, the may-shared analysis, batching or check
+// elimination changed behavior and must be re-audited.
+var goldenRewriteStats = []struct {
+	name                        string
+	loadChecks, storeChecks     int
+	checksEliminated            int
+	batchedRuns, batchedMembers int
+	polls                       int
+	growthPercent               float64
+}{
+	{"barnes", 1, 3, 3, 3, 9, 2, 113.3},
+	{"fmm", 1, 3, 3, 3, 9, 2, 123.6},
+	{"lu", 1, 3, 3, 3, 9, 2, 123.6},
+	{"lu-contig", 1, 3, 3, 3, 9, 2, 123.6},
+	{"ocean", 1, 3, 3, 3, 9, 2, 123.6},
+	{"raytrace", 1, 3, 3, 3, 9, 2, 123.6},
+	{"volrend", 1, 3, 3, 3, 9, 2, 113.3},
+	{"water-nsq", 1, 3, 3, 3, 9, 3, 147.5},
+	{"water-sp", 1, 3, 3, 3, 9, 3, 147.5},
+}
+
+func TestAsmKernelGoldenStats(t *testing.T) {
+	kernels := AsmKernels()
+	if len(kernels) != len(goldenRewriteStats) {
+		t.Fatalf("%d kernels, %d golden rows", len(kernels), len(goldenRewriteStats))
+	}
+	for i, k := range kernels {
+		res, err := RunAsm(k, rewriter.DefaultOptions(), true)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		g := goldenRewriteStats[i]
+		st := res.Rewrite
+		if k.Name != g.name {
+			t.Fatalf("kernel order changed: %s vs %s", k.Name, g.name)
+		}
+		if st.LoadChecks != g.loadChecks || st.StoreChecks != g.storeChecks ||
+			st.ChecksEliminated != g.checksEliminated ||
+			st.BatchedRuns != g.batchedRuns || st.BatchedMembers != g.batchedMembers ||
+			st.Polls != g.polls {
+			t.Errorf("%s: stats %+v, want %+v", k.Name, st, g)
+		}
+		if math.Abs(st.GrowthPercent()-g.growthPercent) > 0.05 {
+			t.Errorf("%s: growth %.1f%%, want %.1f%%", k.Name, st.GrowthPercent(), g.growthPercent)
+		}
+		if st.AnalysisFallback {
+			t.Errorf("%s: analysis fell back to conservative instrumentation", k.Name)
+		}
+	}
+}
+
+// TestAsmKernelDeterminism runs each kernel twice with the sanitizer on:
+// final shared memory and every dynamic check counter must be identical —
+// the property the golden dynamic numbers in the ablation rest on.
+func TestAsmKernelDeterminism(t *testing.T) {
+	for _, k := range AsmKernels() {
+		a, err := RunAsm(k, rewriter.DefaultOptions(), true)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		b, err := RunAsm(k, rewriter.DefaultOptions(), true)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if len(a.Memory) != len(b.Memory) {
+			t.Fatalf("%s: snapshot sizes differ", k.Name)
+		}
+		for i := range a.Memory {
+			if a.Memory[i] != b.Memory[i] {
+				t.Fatalf("%s: shared word %d differs across runs: %#x vs %#x", k.Name, i, a.Memory[i], b.Memory[i])
+			}
+		}
+		type counters struct{ lc, sc, bc, ec int64 }
+		ca := counters{a.Stats.LoadChecks(), a.Stats.StoreChecks(), a.Stats.BatchChecks(), a.Stats.ElidedChecks()}
+		cb := counters{b.Stats.LoadChecks(), b.Stats.StoreChecks(), b.Stats.BatchChecks(), b.Stats.ElidedChecks()}
+		if ca != cb {
+			t.Fatalf("%s: check counters differ across runs: %+v vs %+v", k.Name, ca, cb)
+		}
+	}
+}
+
+// TestAsmKernelCheckElimEquivalence is the core acceptance property: with
+// elimination on, every kernel executes strictly fewer dynamic checks and
+// produces byte-identical final shared memory.
+func TestAsmKernelCheckElimEquivalence(t *testing.T) {
+	for _, k := range AsmKernels() {
+		off, err := RunAsm(k, rewriter.Options{Batching: true, Polls: true}, true)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		on, err := RunAsm(k, rewriter.DefaultOptions(), true)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for i := range off.Memory {
+			if off.Memory[i] != on.Memory[i] {
+				t.Fatalf("%s: shared word %d differs with elimination: %#x vs %#x",
+					k.Name, i, off.Memory[i], on.Memory[i])
+			}
+		}
+		dynOff := off.Stats.LoadChecks() + off.Stats.StoreChecks() + off.Stats.BatchChecks()
+		dynOn := on.Stats.LoadChecks() + on.Stats.StoreChecks() + on.Stats.BatchChecks()
+		if dynOn >= dynOff {
+			t.Errorf("%s: dynamic checks did not drop: %d -> %d", k.Name, dynOff, dynOn)
+		}
+		if on.Stats.ElidedChecks() == 0 {
+			t.Errorf("%s: no elided checks executed", k.Name)
+		}
+	}
+}
