@@ -1,0 +1,160 @@
+// shasta-check is the protocol model checker CLI. It explores one or
+// all of the built-in protocol models (internal/modelcheck) by driving
+// the real protocol handlers through every interleaving, checking the
+// coherence invariants at each state, and reports the reachable-state
+// summary — or a minimal counterexample path when an invariant fails.
+//
+// Usage:
+//
+//	shasta-check [-model NAME|all] [-consistency rc|sc] [-depth N]
+//	             [-max-states N] [-liveness] [-json]
+//	shasta-check -list
+//
+// -model all (the default) checks every catalogue model except the
+// deliberately broken variants, under both consistency models. Exit
+// status: 0 all checks clean and converged, 1 an invariant violation
+// (or non-convergence under the given bounds), 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/modelcheck"
+)
+
+func parseConsistency(s string) ([]core.ConsistencyModel, error) {
+	switch s {
+	case "rc":
+		return []core.ConsistencyModel{core.ReleaseConsistent}, nil
+	case "sc":
+		return []core.ConsistencyModel{core.SequentiallyConsistent}, nil
+	case "both":
+		return []core.ConsistencyModel{core.ReleaseConsistent, core.SequentiallyConsistent}, nil
+	}
+	return nil, fmt.Errorf("unknown consistency model %q (have rc, sc, both)", s)
+}
+
+func printHuman(w io.Writer, r *modelcheck.Result) {
+	status := "converged"
+	if !r.Converged {
+		status = "truncated"
+	}
+	if r.Violation == nil {
+		fmt.Fprintf(w, "%s/%s: ok (%s, %d states, %d transitions, depth %d)\n",
+			r.Model, r.Consistency, status, r.States, r.Transitions, r.Depth)
+		for _, o := range r.Outcomes {
+			fmt.Fprintf(w, "  outcome: %s\n", o)
+		}
+		return
+	}
+	fmt.Fprintf(w, "%s/%s: VIOLATION of %s after %d states: %s\n",
+		r.Model, r.Consistency, r.Violation.Invariant, r.States, r.Violation.Detail)
+	for i, step := range r.Violation.Path {
+		fmt.Fprintf(w, "  %2d. %s\n", i+1, step)
+	}
+}
+
+// run is the CLI body, factored out of main so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shasta-check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "all", "model to check, or \"all\" for the full catalogue (minus broken variants)")
+	cons := fs.String("consistency", "both", "consistency model: rc, sc, or both")
+	depth := fs.Int("depth", 0, "depth bound on the exploration (0 = unbounded)")
+	maxStates := fs.Int("max-states", 0, "bound on distinct canonical states (0 = package default)")
+	liveness := fs.Bool("liveness", false, "also verify every reachable state can reach a clean terminal")
+	jsonOut := fs.Bool("json", false, "emit results as a JSON array on stdout")
+	list := fs.Bool("list", false, "list the model catalogue and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "shasta-check: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+
+	if *list {
+		if *jsonOut {
+			type entry struct {
+				Name        string `json:"name"`
+				Description string `json:"description"`
+			}
+			var out []entry
+			for _, m := range modelcheck.Models() {
+				out = append(out, entry{m.Name, m.Description})
+			}
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(out)
+			return 0
+		}
+		for _, m := range modelcheck.Models() {
+			fmt.Fprintf(stdout, "%-16s %s\n", m.Name, m.Description)
+		}
+		return 0
+	}
+
+	models, err := parseConsistency(*cons)
+	if err != nil {
+		fmt.Fprintf(stderr, "shasta-check: %v\n", err)
+		return 2
+	}
+	var selected []modelcheck.Model
+	if *model == "all" {
+		for _, m := range modelcheck.Models() {
+			if !m.Cfg.Broken {
+				selected = append(selected, m)
+			}
+		}
+	} else {
+		m, err := modelcheck.ModelByName(*model)
+		if err != nil {
+			fmt.Fprintf(stderr, "shasta-check: %v\n", err)
+			return 2
+		}
+		selected = []modelcheck.Model{m}
+	}
+
+	opts := modelcheck.Options{MaxDepth: *depth, MaxStates: *maxStates, Liveness: *liveness}
+	var results []*modelcheck.Result
+	failed := false
+	for _, m := range selected {
+		for _, c := range models {
+			r := modelcheck.Check(m.WithConsistency(c), opts)
+			results = append(results, r)
+			// Truncation only fails the run when no bound was requested:
+			// with an explicit -depth or -max-states, a clean bounded
+			// sweep is the expected outcome.
+			bounded := *depth > 0 || *maxStates > 0
+			if r.Violation != nil || (!r.Converged && !bounded) {
+				failed = true
+			}
+			if !*jsonOut {
+				printHuman(stdout, r)
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(stderr, "shasta-check: %v\n", err)
+			return 2
+		}
+	}
+	if failed {
+		fmt.Fprintln(stderr, "shasta-check: FAILED")
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+type resultJSON struct {
+	Model       string   `json:"model"`
+	Consistency string   `json:"consistency"`
+	States      int      `json:"states"`
+	Converged   bool     `json:"converged"`
+	Outcomes    []string `json:"outcomes"`
+	Violation   *struct {
+		Invariant string   `json:"invariant"`
+		Path      []string `json:"path"`
+	} `json:"violation"`
+}
+
+func TestCleanModelJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-model", "2p1b", "-consistency", "rc", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	var results []resultJSON
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(results))
+	}
+	r := results[0]
+	if r.Model != "2p1b" || r.Consistency != "RC" {
+		t.Errorf("wrong result identity: %+v", r)
+	}
+	if !r.Converged || r.Violation != nil || r.States == 0 {
+		t.Errorf("2p1b must converge cleanly: %+v", r)
+	}
+	if len(r.Outcomes) == 0 {
+		t.Errorf("converged sweep must report terminal outcomes")
+	}
+}
+
+func TestBrokenModelExitCodeAndCounterexample(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-model", "broken-upgrade", "-consistency", "rc", "-json"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("broken variant must exit 1, got %d", code)
+	}
+	var results []resultJSON
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 1 || results[0].Violation == nil {
+		t.Fatalf("want one result with a violation, got %s", out.String())
+	}
+	v := results[0].Violation
+	if v.Invariant != "swmr" {
+		t.Errorf("broken-upgrade must violate swmr, got %q", v.Invariant)
+	}
+	if len(v.Path) == 0 {
+		t.Errorf("violation must carry a counterexample path")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-model", "no-such-model"},
+		{"-consistency", "weird"},
+		{"stray-arg"},
+		{"-bogus-flag"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("args %v: want exit 2, got %d", args, code)
+		}
+	}
+}
+
+func TestListModels(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	var entries []struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &entries); err != nil {
+		t.Fatalf("list output is not valid JSON: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, e := range entries {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"2p1b", "mp", "sb", "broken-upgrade"} {
+		if !names[want] {
+			t.Errorf("model %q missing from -list output", want)
+		}
+	}
+}
+
+func TestAllSkipsBrokenVariants(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-model", "all", "-consistency", "rc", "-depth", "6", "-max-states", "20000", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("bounded -model all sweep must be clean, exit %d\nstderr: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "broken-upgrade") {
+		t.Errorf("-model all must skip the deliberately broken variants")
+	}
+}

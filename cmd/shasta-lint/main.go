@@ -7,16 +7,20 @@
 //
 // Usage:
 //
-//	shasta-lint [-builtin] [prog.s ...]
+//	shasta-lint [-builtin] [-json] [prog.s ...]
 //
 // -builtin lints the nine built-in assembly workload kernels in addition
-// to any source files given. Exits non-zero if any program fails to
-// assemble, rewrite, or verify.
+// to any source files given. -json emits one report object per program
+// on stdout instead of the human text. Exit status: 0 all programs
+// clean, 1 any program fails to assemble, rewrite, or verify, 2 usage
+// error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/isa"
@@ -36,65 +40,106 @@ var optionMatrix = []struct {
 	{"prefetch", rewriter.Options{Batching: true, Polls: true, CheckElim: true, PrefetchExclusive: true}},
 }
 
-func lint(name, src string) (failures int) {
+// lintReport is one program's outcome across the option matrix.
+type lintReport struct {
+	Program        string   `json:"program"`
+	Configurations int      `json:"configurations"`
+	Failures       []string `json:"failures,omitempty"` // "config: error"
+	Warnings       []string `json:"warnings,omitempty"`
+}
+
+func lint(name, src string) lintReport {
+	rep := lintReport{Program: name, Configurations: len(optionMatrix)}
 	if _, err := isa.Assemble(src); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-		return 1
+		rep.Failures = append(rep.Failures, fmt.Sprintf("assemble: %v", err))
+		return rep
 	}
 	for _, m := range optionMatrix {
 		// Each rewrite needs a pristine program.
 		p, err := isa.Assemble(src)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			return 1
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: assemble: %v", m.name, err))
+			continue
 		}
 		out, st, err := rewriter.Rewrite(p, m.opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s [%s]: rewrite: %v\n", name, m.name, err)
-			failures++
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: rewrite: %v", m.name, err))
 			continue
 		}
 		// Rewrite verifies internally; verify again here so the lint also
 		// covers any future path that skips the internal pass.
 		if err := rewriter.Verify(out, rewriter.VerifyOptions{Polls: m.opt.Polls, LineBytes: m.opt.LineBytes}); err != nil {
-			fmt.Fprintf(os.Stderr, "%s [%s]:\n%v\n", name, m.name, err)
-			failures++
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: verify: %v", m.name, err))
 			continue
 		}
 		if st.AnalysisFallback {
-			fmt.Fprintf(os.Stderr, "%s [%s]: warning: analysis fallback (conservative instrumentation)\n", name, m.name)
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf("%s: analysis fallback (conservative instrumentation)", m.name))
 		}
 	}
-	if failures == 0 {
-		fmt.Printf("%s: ok (%d configurations)\n", name, len(optionMatrix))
+	return rep
+}
+
+// run is the CLI body, factored out of main so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shasta-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	builtin := fs.Bool("builtin", false, "also lint the built-in assembly workload kernels")
+	jsonOut := fs.Bool("json", false, "emit one JSON report per program on stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	return failures
+	if !*builtin && fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: shasta-lint [-builtin] [-json] [prog.s ...]")
+		return 2
+	}
+	var reports []lintReport
+	if *builtin {
+		for _, k := range workloads.AsmKernels() {
+			reports = append(reports, lint("builtin:"+k.Name, k.Source))
+		}
+	}
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			reports = append(reports, lintReport{
+				Program:  path,
+				Failures: []string{fmt.Sprintf("read: %v", err)},
+			})
+			continue
+		}
+		reports = append(reports, lint(path, string(src)))
+	}
+	failures := 0
+	for _, rep := range reports {
+		failures += len(rep.Failures)
+		if *jsonOut {
+			continue
+		}
+		for _, f := range rep.Failures {
+			fmt.Fprintf(stderr, "%s: %s\n", rep.Program, f)
+		}
+		for _, w := range rep.Warnings {
+			fmt.Fprintf(stderr, "%s: warning: %s\n", rep.Program, w)
+		}
+		if len(rep.Failures) == 0 {
+			fmt.Fprintf(stdout, "%s: ok (%d configurations)\n", rep.Program, rep.Configurations)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(stderr, "shasta-lint: %v\n", err)
+			return 2
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "shasta-lint: %d failure(s)\n", failures)
+		return 1
+	}
+	return 0
 }
 
 func main() {
-	builtin := flag.Bool("builtin", false, "also lint the built-in assembly workload kernels")
-	flag.Parse()
-	if !*builtin && flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: shasta-lint [-builtin] [prog.s ...]")
-		os.Exit(2)
-	}
-	failures := 0
-	if *builtin {
-		for _, k := range workloads.AsmKernels() {
-			failures += lint("builtin:"+k.Name, k.Source)
-		}
-	}
-	for _, path := range flag.Args() {
-		src, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			failures++
-			continue
-		}
-		failures += lint(path, string(src))
-	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "shasta-lint: %d failure(s)\n", failures)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

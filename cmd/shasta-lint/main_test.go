@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type reportJSON struct {
+	Program        string   `json:"program"`
+	Configurations int      `json:"configurations"`
+	Failures       []string `json:"failures"`
+	Warnings       []string `json:"warnings"`
+}
+
+func TestBuiltinKernelsCleanJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-builtin", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	var reports []reportJSON
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) == 0 {
+		t.Fatal("no reports for the built-in kernels")
+	}
+	for _, r := range reports {
+		if len(r.Failures) != 0 {
+			t.Errorf("%s: unexpected failures %v", r.Program, r.Failures)
+		}
+		if r.Configurations == 0 {
+			t.Errorf("%s: zero configurations linted", r.Program)
+		}
+	}
+}
+
+func TestBadProgramExitsOne(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.s")
+	if err := os.WriteFile(path, []byte("proc main\n  frobnicate r1\nendproc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", path}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("bad program must exit 1, got %d", code)
+	}
+	var reports []reportJSON
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("output is not valid JSON even on failure: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 || len(reports[0].Failures) == 0 {
+		t.Fatalf("want one report with failures, got %s", out.String())
+	}
+}
+
+func TestUsageExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no arguments: want exit 2, got %d", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown flag: want exit 2, got %d", code)
+	}
+}

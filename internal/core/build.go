@@ -105,6 +105,12 @@ func WithFaults(fc memchannel.FaultConfig) Option {
 	return func(b *builder) { b.cfg.Faults = fc }
 }
 
+// WithInvariantChecks toggles runtime coherence invariant assertions at
+// quiesce points (System.CheckInvariants); on by default.
+func WithInvariantChecks(on bool) Option {
+	return func(b *builder) { b.cfg.InvariantChecks = on }
+}
+
 // WithConfigure applies an arbitrary configuration edit; an escape hatch for
 // the long tail of Config fields that have no dedicated option.
 func WithConfigure(f func(*Config)) Option {

@@ -132,6 +132,11 @@ type Config struct {
 	// Checks disables all in-line check costs when false, modeling the
 	// original un-instrumented binary (Table 3 baselines).
 	Checks bool
+	// InvariantChecks asserts protocol coherence invariants at quiesce
+	// points (barrier releases, end of run); see System.CheckInvariants.
+	// It has no effect on simulated timing and is ignored when Checks is
+	// off (un-instrumented runs are incoherent by construction).
+	InvariantChecks bool
 
 	// HomeProcs lists the processes that maintain directory information
 	// and serve requests (§4.3.3); empty means all initially spawned
@@ -194,6 +199,7 @@ func DefaultConfig() Config {
 		SharedQueues:      true,
 		ProtocolProcs:     false,
 		Checks:            true,
+		InvariantChecks:   true,
 		PollInterval:      120,
 		Cost:              DefaultCostModel(),
 		Net:               memchannel.DefaultConfig(),

@@ -1,0 +1,744 @@
+package core
+
+// This file is the model checker's exploration engine (see
+// internal/modelcheck). Rather than checking a hand-transcribed
+// abstraction of the coherence protocol, the explorer drives the *real*
+// implementation — Proc.handleMessage, dispatch, issueMiss, finishMiss —
+// as an explicit-state transition system:
+//
+//   - Processes are constructed without simulation goroutines
+//     (sim.Engine.ExternalProc); protocol handlers execute synchronously
+//     on the caller.
+//   - System.mcCapture intercepts every deliver() call, so messages land
+//     in per-link FIFO channels owned by the explorer instead of the
+//     simulated wire. Delivering a captured message is an explicit
+//     transition.
+//   - Each process runs a tiny straight-line program of shared-memory
+//     operations; issuing or completing one operation is a transition.
+//
+// The abstraction is exact for Base-Shasta (SMP off): handlers never
+// block (waitDowngrades degenerates to downgradeSelf and
+// tryBeginTransition is trivially true), and cross-agent shared state
+// (the directory) is touched only by its home's handlers, so every real
+// execution corresponds to some sequence of these atomic steps and vice
+// versa.
+//
+// Channel model: the Memory Channel delivers messages on one (src,dst)
+// link in FIFO order, but the receiver services its reply queue before
+// its request queue (Proc.serviceReady), so a reply may be handled
+// before an earlier-sent request from the same link, while requests
+// never overtake anything and replies never reorder among themselves.
+// Enabled deliveries on a link are therefore the head of the link queue
+// plus the first reply-class message behind a request-class prefix.
+//
+// A ghost memory records, per shared word, the last performed store and
+// per-process write counts; it backs the data-value and LL/SC-atomicity
+// invariants.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/memchannel"
+	"repro/internal/trace"
+)
+
+// ExpOpKind enumerates the shared-memory operations a model-checked
+// process can perform.
+type ExpOpKind int
+
+const (
+	ExpRead ExpOpKind = iota
+	ExpWrite
+	ExpLL
+	ExpSC
+	ExpMemBar
+)
+
+// ExpOp is one operation of a model-checked process's program. Word is a
+// global shared-word index; Val is the stored value (ExpWrite, ExpSC).
+type ExpOp struct {
+	Kind ExpOpKind
+	Word int
+	Val  uint64
+}
+
+func (o ExpOp) String() string {
+	switch o.Kind {
+	case ExpRead:
+		return fmt.Sprintf("R w%d", o.Word)
+	case ExpWrite:
+		return fmt.Sprintf("W w%d=%d", o.Word, o.Val)
+	case ExpLL:
+		return fmt.Sprintf("LL w%d", o.Word)
+	case ExpSC:
+		return fmt.Sprintf("SC w%d=%d", o.Word, o.Val)
+	case ExpMemBar:
+		return "MB"
+	}
+	return "?"
+}
+
+// ExpConfig describes one model: the per-process programs, the coherence
+// blocks (one line each; Homes[i] is block i's home process), and the
+// consistency model. Broken selects the deliberately buggy
+// skip-one-InvalAck protocol variant used by counterexample tests.
+type ExpConfig struct {
+	Programs     [][]ExpOp
+	Homes        []int
+	WordsPerLine int // default 2
+	Consistency  ConsistencyModel
+	Broken       bool
+	// Disabled names invariants to skip ("swmr", "data-value",
+	// "dir-agreement", "bounded", "fwd-owner", "llsc").
+	Disabled map[string]bool
+}
+
+// ExpAction is one transition: either a process step (issue/complete the
+// process's next operation) or the delivery of a captured message.
+type ExpAction struct {
+	Step bool
+	Proc int // Step: process ID
+	Src  int // delivery: link source process
+	Dst  int // delivery: link destination process
+	Idx  int // delivery: index within the link queue
+}
+
+func (a ExpAction) String() string {
+	if a.Step {
+		return fmt.Sprintf("p%d", a.Proc)
+	}
+	return fmt.Sprintf("d%d>%d#%d", a.Src, a.Dst, a.Idx)
+}
+
+// ParseExpAction parses the String form of an action (replay files).
+func ParseExpAction(s string) (ExpAction, error) {
+	if strings.HasPrefix(s, "p") {
+		n, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return ExpAction{}, fmt.Errorf("bad action %q: %v", s, err)
+		}
+		return ExpAction{Step: true, Proc: n}, nil
+	}
+	var a ExpAction
+	if _, err := fmt.Sscanf(s, "d%d>%d#%d", &a.Src, &a.Dst, &a.Idx); err != nil {
+		return ExpAction{}, fmt.Errorf("bad action %q: %v", s, err)
+	}
+	return a, nil
+}
+
+// ExpViolation reports one invariant violation.
+type ExpViolation struct {
+	Invariant string
+	Detail    string
+}
+
+func (v *ExpViolation) Error() string {
+	return fmt.Sprintf("invariant %s violated: %s", v.Invariant, v.Detail)
+}
+
+type ghostWord struct {
+	val     uint64
+	version int64   // total performed stores
+	writes  []int64 // performed stores per process
+}
+
+type expAwait struct {
+	kind byte // 'r' read, 'l' LL, 'w' issued write, 'm' merged write, 'c' SC
+	op   ExpOp
+	blk  *blockInfo
+	m    *mshrEntry
+}
+
+type expProc struct {
+	p    *Proc
+	prog []ExpOp
+	pc   int
+	await *expAwait
+	regs []uint64 // observed values (reads, LLs) and SC results (1/0)
+
+	// Ghost LL reservation: others' write count to llWord at the LL.
+	llGhostValid bool
+	llWord       int
+	llOthers     int64
+}
+
+// Explorer drives the protocol as an explicit-state transition system.
+type Explorer struct {
+	cfg   ExpConfig
+	sys   *System
+	eps   []*expProc
+	chans map[[2]int][]msg
+	ghost []ghostWord
+	events []trace.Event
+	viol  *ExpViolation
+	perms [][]int // proc-ID permutations for symmetry reduction
+}
+
+// NewExplorer builds the initial state of a model. The same config always
+// yields the same initial state, and Apply is deterministic, so a path of
+// actions is a complete replay seed.
+func NewExplorer(c ExpConfig) *Explorer {
+	if c.WordsPerLine <= 0 {
+		c.WordsPerLine = 2
+	}
+	n := len(c.Programs)
+	if n == 0 {
+		panic("core: explorer needs at least one process")
+	}
+	for _, h := range c.Homes {
+		if h < 0 || h >= n {
+			panic(fmt.Sprintf("core: explorer home %d out of range", h))
+		}
+	}
+	lineSize := 8 * c.WordsPerLine
+	cfg := Config{
+		Nodes:             n,
+		CPUsPerNode:       1,
+		LineSize:          lineSize,
+		DefaultBlockLines: 1,
+		SharedBytes:       lineSize * len(c.Homes),
+		SMP:               false,
+		Consistency:       c.Consistency,
+		FlagCheck:         true,
+		Checks:            true,
+		Cost:              DefaultCostModel(),
+		Net:               memchannel.DefaultConfig(),
+		Seed:              1,
+	}
+	s := newSystem(cfg)
+	s.brokenSkipInvalAck = c.Broken
+	e := &Explorer{cfg: c, sys: s, chans: make(map[[2]int][]msg)}
+	for i := range c.Programs {
+		p := s.spawnExternal(fmt.Sprintf("mc%d", i), i)
+		e.eps = append(e.eps, &expProc{p: p, prog: c.Programs[i], llWord: -1})
+	}
+	for _, home := range c.Homes {
+		s.Alloc(lineSize, AllocOptions{Home: home})
+	}
+	e.ghost = make([]ghostWord, len(c.Homes)*c.WordsPerLine)
+	for i := range e.ghost {
+		e.ghost[i].writes = make([]int64, n)
+	}
+	s.mcCapture = func(sender, dst *Proc, m msg) bool {
+		key := [2]int{sender.ID, dst.ID}
+		e.chans[key] = append(e.chans[key], m)
+		return true
+	}
+	s.onStorePerform = func(p *Proc, addr, val uint64) {
+		e.ghostStore(p.ID, addr, val)
+	}
+	e.perms = symmetryPerms(c)
+	return e
+}
+
+// spawnExternal constructs a Base-Shasta process without a simulation
+// goroutine: handlers run synchronously on the caller and any attempt to
+// block panics (sim.Engine.ExternalProc). Model checking only.
+func (s *System) spawnExternal(name string, cpu int) *Proc {
+	if s.Cfg.SMP {
+		panic("core: external processes require Base-Shasta (SMP off)")
+	}
+	node := s.Eng.NodeOf(cpu)
+	p := &Proc{
+		ID:           len(s.procs),
+		Name:         name,
+		sys:          s,
+		node:         node,
+		cpu:          cpu,
+		replyQ:       newQueueBox(),
+		mshr:         make(map[int]*mshrEntry),
+		dgAcks:       make(map[int]int),
+		granted:      make(map[int]bool),
+		barrierSeen:  make(map[int]int),
+		barrierWaits: make(map[int]int),
+		pinnedLines:  make(map[int]bool),
+		rng:          rand.New(rand.NewSource(s.Cfg.Seed + int64(len(s.procs))*7919)),
+	}
+	p.reqQ = newQueueBox()
+	m := newAgentMem(p.ID, s.Cfg.SharedBytes/8, s.numLines, false)
+	s.agents = append(s.agents, m)
+	p.mem = m
+	p.priv = m.table
+	p.agent = s.agentOf(p)
+	s.procs = append(s.procs, p)
+	p.Sim = s.Eng.ExternalProc(name, cpu)
+	p.Sim.Data = p
+	return p
+}
+
+func (e *Explorer) addrOf(word int) uint64 { return SharedBase + uint64(word)*8 }
+
+func (e *Explorer) blkOf(word int) *blockInfo {
+	return e.sys.blockOf(e.sys.lineOf(e.addrOf(word)))
+}
+
+func (e *Explorer) ghostStore(pid int, addr, val uint64) {
+	g := &e.ghost[e.sys.wordOf(addr)]
+	g.val = val
+	g.version++
+	g.writes[pid]++
+}
+
+// isReplyClass mirrors the queue selection in System.sendWire: these
+// kinds land in the reply queue, which serviceReady drains first.
+func isReplyClass(k msgKind) bool {
+	switch k {
+	case msgReadReply, msgReadExclReply, msgUpgradeAck, msgSCFail, msgInvalAck,
+		msgDowngradeReq, msgDowngradeAck, msgLockGrant, msgBarrierRelease, msgNetAck:
+		return true
+	}
+	return false
+}
+
+// linkKeys returns the non-empty link keys in deterministic order.
+func (e *Explorer) linkKeys() [][2]int {
+	keys := make([][2]int, 0, len(e.chans))
+	for k, q := range e.chans {
+		if len(q) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// Enabled returns every transition possible in the current state, in a
+// fixed deterministic order.
+func (e *Explorer) Enabled() []ExpAction {
+	var out []ExpAction
+	for i, ep := range e.eps {
+		if e.stepEnabled(ep) {
+			out = append(out, ExpAction{Step: true, Proc: i})
+		}
+	}
+	for _, k := range e.linkKeys() {
+		q := e.chans[k]
+		out = append(out, ExpAction{Src: k[0], Dst: k[1], Idx: 0})
+		if !isReplyClass(q[0].kind) {
+			for i := 1; i < len(q); i++ {
+				if isReplyClass(q[i].kind) {
+					out = append(out, ExpAction{Src: k[0], Dst: k[1], Idx: i})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// stepEnabled reports whether the process's next operation can make
+// progress now. Operations that the real implementation would stall in
+// (a miss outstanding for the same block) are disabled until a delivery
+// completes the miss, which models the stall exactly.
+func (e *Explorer) stepEnabled(ep *expProc) bool {
+	if ep.await != nil || ep.pc >= len(ep.prog) {
+		return false
+	}
+	op := ep.prog[ep.pc]
+	p := ep.p
+	switch op.Kind {
+	case ExpMemBar:
+		return p.outstanding == 0
+	case ExpRead:
+		if p.mshr[e.blkOf(op.Word).id] != nil {
+			_, ok := p.forwardedStore(e.addrOf(op.Word))
+			return ok
+		}
+		return true
+	case ExpLL:
+		return p.mshr[e.blkOf(op.Word).id] == nil
+	case ExpWrite:
+		if m := p.mshr[e.blkOf(op.Word).id]; m != nil {
+			return m.wantExcl
+		}
+		return true
+	case ExpSC:
+		return true
+	}
+	return false
+}
+
+// Apply executes one transition and then settles: any process whose
+// awaited miss completed finishes its operation within the same atomic
+// step, exactly as stallWhile resumes immediately after the completing
+// handler returns in the real implementation.
+func (e *Explorer) Apply(a ExpAction) {
+	if a.Step {
+		e.applyStep(a.Proc)
+	} else {
+		e.applyDeliver(a)
+	}
+	e.settle()
+}
+
+func (e *Explorer) applyDeliver(a ExpAction) {
+	key := [2]int{a.Src, a.Dst}
+	q := e.chans[key]
+	if a.Idx < 0 || a.Idx >= len(q) {
+		panic(fmt.Sprintf("core: explorer delivery %v out of range (queue %d)", a, len(q)))
+	}
+	if a.Idx > 0 {
+		if !isReplyClass(q[a.Idx].kind) {
+			panic(fmt.Sprintf("core: explorer delivery %v would reorder a request", a))
+		}
+		for j := 0; j < a.Idx; j++ {
+			if isReplyClass(q[j].kind) {
+				panic(fmt.Sprintf("core: explorer delivery %v would reorder replies", a))
+			}
+		}
+	}
+	m := q[a.Idx]
+	rest := make([]msg, 0, len(q)-1)
+	rest = append(rest, q[:a.Idx]...)
+	rest = append(rest, q[a.Idx+1:]...)
+	e.chans[key] = rest
+	e.events = append(e.events, trace.Event{
+		Cat: "mc", Ev: "deliver", P: a.Dst, O: a.Src, Blk: m.block, S: m.kind.String(),
+	})
+	e.sys.procs[a.Dst].handleMessage(m, CatMessage)
+}
+
+func (e *Explorer) applyStep(pid int) {
+	ep := e.eps[pid]
+	if ep.await != nil || ep.pc >= len(ep.prog) {
+		panic(fmt.Sprintf("core: explorer step p%d not enabled", pid))
+	}
+	op := ep.prog[ep.pc]
+	e.events = append(e.events, trace.Event{Cat: "mc", Ev: "op", P: pid, S: op.String()})
+	switch op.Kind {
+	case ExpMemBar:
+		if ep.p.outstanding != 0 {
+			panic("core: explorer MemBar with outstanding misses")
+		}
+		ep.pc++
+	case ExpRead:
+		e.stepRead(ep, op)
+	case ExpLL:
+		e.stepLL(ep, op)
+	case ExpWrite:
+		e.stepWrite(ep, op)
+	case ExpSC:
+		e.stepSC(ep, op)
+	}
+}
+
+func (e *Explorer) settle() {
+	for changed := true; changed; {
+		changed = false
+		for _, ep := range e.eps {
+			if ep.await != nil && ep.p.mshr[ep.await.blk.id] == nil {
+				e.finalizeAwait(ep)
+				changed = true
+			}
+		}
+	}
+}
+
+func (e *Explorer) finalizeAwait(ep *expProc) {
+	aw := ep.await
+	switch aw.kind {
+	case 'r':
+		e.finalizeRead(ep, aw.op, false)
+	case 'l':
+		e.finalizeRead(ep, aw.op, true)
+	case 'w':
+		e.finalizeWrite(ep, aw.op)
+	case 'm':
+		// Merged store: performed by finishMiss; nothing to re-check
+		// (storeMissLocked returns straight after the stall).
+		ep.await = nil
+		ep.pc++
+	case 'c':
+		e.finalizeSC(ep, aw.op, aw.m)
+	default:
+		panic("core: explorer unknown await kind")
+	}
+}
+
+// stepRead mirrors Proc.Load / loadMiss for Base-Shasta.
+func (e *Explorer) stepRead(ep *expProc, op ExpOp) {
+	p := ep.p
+	addr := e.addrOf(op.Word)
+	if v, ok := p.forwardedStore(addr); ok {
+		e.completeRead(ep, op, v, true, false)
+		return
+	}
+	e.finalizeRead(ep, op, false)
+}
+
+// stepLL mirrors Proc.LoadLocked (optimized, non-emulated scheme).
+func (e *Explorer) stepLL(ep *expProc, op ExpOp) {
+	e.finalizeRead(ep, op, true)
+}
+
+// finalizeRead is the loadMiss retry loop: complete if the line is valid,
+// otherwise issue a miss and await its completion.
+func (e *Explorer) finalizeRead(ep *expProc, op ExpOp, ll bool) {
+	p := ep.p
+	addr := e.addrOf(op.Word)
+	line := e.sys.lineOf(addr)
+	blk := e.blkOf(op.Word)
+	kind := byte('r')
+	if ll {
+		kind = 'l'
+	}
+	for guard := 0; ; guard++ {
+		if guard > 1024 {
+			panic("core: explorer read retry livelock")
+		}
+		if !ll {
+			if v, ok := p.forwardedStore(addr); ok {
+				e.completeRead(ep, op, v, true, false)
+				return
+			}
+		}
+		if st := p.priv[line]; st == Shared || st == Exclusive {
+			e.completeRead(ep, op, p.mem.data[e.sys.wordOf(addr)], false, ll)
+			return
+		}
+		m := p.issueMiss(blk, false, nil)
+		if p.mshr[blk.id] != nil {
+			ep.await = &expAwait{kind: kind, op: op, blk: blk, m: m}
+			return
+		}
+	}
+}
+
+func (e *Explorer) completeRead(ep *expProc, op ExpOp, v uint64, forwarded, ll bool) {
+	p := ep.p
+	if ll {
+		line := e.sys.lineOf(e.addrOf(op.Word))
+		p.llValid = true
+		p.llLine = line
+		p.llState = p.priv[line]
+		g := &e.ghost[op.Word]
+		ep.llGhostValid = true
+		ep.llWord = op.Word
+		ep.llOthers = g.version - g.writes[p.ID]
+	}
+	ep.regs = append(ep.regs, v)
+	ep.await = nil
+	ep.pc++
+	e.events = append(e.events, trace.Event{
+		Cat: "mc", Ev: "value", P: p.ID, A: int64(v), S: fmt.Sprintf("%s -> %d", op, v),
+	})
+	if !forwarded && !e.cfg.Disabled["data-value"] {
+		if g := e.ghost[op.Word]; v != g.val {
+			e.fail("data-value", fmt.Sprintf(
+				"p%d %s read %#x, last performed store was %#x (version %d)",
+				p.ID, op, v, g.val, g.version))
+		}
+	}
+}
+
+// stepWrite mirrors Proc.Store / storeMissLocked.
+func (e *Explorer) stepWrite(ep *expProc, op ExpOp) {
+	p := ep.p
+	addr := e.addrOf(op.Word)
+	blk := e.blkOf(op.Word)
+	if m := p.mshr[blk.id]; m != nil {
+		if !m.wantExcl {
+			panic("core: explorer write step with read miss in flight")
+		}
+		m.stores = append(m.stores, pendingStore{addr, op.Val})
+		if e.sys.Cfg.Consistency == SequentiallyConsistent {
+			ep.await = &expAwait{kind: 'm', op: op, blk: blk, m: m}
+			return
+		}
+		ep.pc++
+		return
+	}
+	e.finalizeWrite(ep, op)
+}
+
+// finalizeWrite is the storeMissLocked loop: store directly on an
+// exclusive line, otherwise issue an exclusive miss carrying the buffered
+// store; under SC the operation awaits completion and re-verifies.
+func (e *Explorer) finalizeWrite(ep *expProc, op ExpOp) {
+	p := ep.p
+	addr := e.addrOf(op.Word)
+	line := e.sys.lineOf(addr)
+	blk := e.blkOf(op.Word)
+	for guard := 0; ; guard++ {
+		if guard > 1024 {
+			panic("core: explorer write retry livelock")
+		}
+		if p.priv[line] == Exclusive {
+			p.mem.data[e.sys.wordOf(addr)] = op.Val
+			e.ghostStore(p.ID, addr, op.Val)
+			p.resetLocalLLs(line)
+			ep.await = nil
+			ep.pc++
+			return
+		}
+		m := p.issueMiss(blk, true, []pendingStore{{addr, op.Val}})
+		if e.sys.Cfg.Consistency != SequentiallyConsistent {
+			// RC: non-blocking; the buffered store is performed by the
+			// protocol when the reply (and all acks) arrive.
+			ep.await = nil
+			ep.pc++
+			return
+		}
+		if p.mshr[blk.id] != nil {
+			ep.await = &expAwait{kind: 'w', op: op, blk: blk, m: m}
+			return
+		}
+	}
+}
+
+// stepSC mirrors Proc.StoreCond (optimized scheme).
+func (e *Explorer) stepSC(ep *expProc, op ExpOp) {
+	p := ep.p
+	addr := e.addrOf(op.Word)
+	line := e.sys.lineOf(addr)
+	w := e.sys.wordOf(addr)
+	blk := e.blkOf(op.Word)
+	if p.llState == Exclusive {
+		ok := p.llValid && p.priv[line] == Exclusive && p.llLine == line
+		p.llValid = false
+		if ok {
+			p.mem.data[w] = op.Val
+			e.ghostStore(p.ID, addr, op.Val)
+			p.resetLocalLLs(line)
+			e.checkSCAtomicity(ep, op)
+		}
+		e.completeSC(ep, op, ok)
+		return
+	}
+	if !p.llValid || p.llLine != line {
+		p.llValid = false
+		e.completeSC(ep, op, false)
+		return
+	}
+	p.llValid = false
+	switch p.priv[line] {
+	case Invalid, Pending, Exclusive:
+		e.completeSC(ep, op, false)
+		return
+	}
+	// Shared: SC upgrade through the directory, watched for reservation
+	// breaks while the request is in flight.
+	p.scWatchValid = true
+	p.scWatchLine = line
+	m := p.issueMissKind(blk, true, nil, true)
+	if p.mshr[blk.id] != nil {
+		ep.await = &expAwait{kind: 'c', op: op, blk: blk, m: m}
+		return
+	}
+	e.finalizeSC(ep, op, m)
+}
+
+func (e *Explorer) finalizeSC(ep *expProc, op ExpOp, m *mshrEntry) {
+	p := ep.p
+	addr := e.addrOf(op.Word)
+	line := e.sys.lineOf(addr)
+	ok := !m.scFailed && p.scWatchValid && p.priv[line] == Exclusive
+	p.scWatchValid = false
+	if ok {
+		p.mem.data[e.sys.wordOf(addr)] = op.Val
+		e.ghostStore(p.ID, addr, op.Val)
+		p.resetLocalLLs(line)
+		e.checkSCAtomicity(ep, op)
+	}
+	e.completeSC(ep, op, ok)
+}
+
+// checkSCAtomicity asserts the LL/SC atomicity invariant on a successful
+// SC: no other process's store to the word serialized between the LL and
+// this SC. The explorer's own store has already been counted, so the
+// others' write count must match the LL snapshot exactly.
+func (e *Explorer) checkSCAtomicity(ep *expProc, op ExpOp) {
+	if e.cfg.Disabled["llsc"] || !ep.llGhostValid || ep.llWord != op.Word {
+		return
+	}
+	g := &e.ghost[op.Word]
+	others := g.version - g.writes[ep.p.ID]
+	if others != ep.llOthers {
+		e.fail("llsc", fmt.Sprintf(
+			"p%d SC w%d succeeded but %d foreign store(s) serialized since the LL",
+			ep.p.ID, op.Word, others-ep.llOthers))
+	}
+}
+
+func (e *Explorer) completeSC(ep *expProc, op ExpOp, ok bool) {
+	ep.llGhostValid = false
+	var r uint64
+	if ok {
+		r = 1
+	}
+	ep.regs = append(ep.regs, r)
+	ep.await = nil
+	ep.pc++
+	e.events = append(e.events, trace.Event{
+		Cat: "mc", Ev: "value", P: ep.p.ID, A: int64(r), S: fmt.Sprintf("%s -> %d", op, r),
+	})
+}
+
+func (e *Explorer) fail(inv, detail string) {
+	if e.viol != nil {
+		return
+	}
+	e.viol = &ExpViolation{Invariant: inv, Detail: detail}
+	e.events = append(e.events, trace.Event{Cat: "mc", Ev: "violation", S: inv + ": " + detail})
+}
+
+// Done reports whether every process has finished its program.
+func (e *Explorer) Done() bool {
+	for _, ep := range e.eps {
+		if ep.await != nil || ep.pc < len(ep.prog) {
+			return false
+		}
+	}
+	return true
+}
+
+// Terminal reports a clean final state: programs done, no message in
+// flight, no miss outstanding, no queued or deferred request, and no
+// busy directory entry.
+func (e *Explorer) Terminal() bool {
+	if !e.Done() {
+		return false
+	}
+	for _, q := range e.chans {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	for _, ep := range e.eps {
+		if len(ep.p.mshr) > 0 || ep.p.outstanding != 0 || len(ep.p.deferredReqs) > 0 {
+			return false
+		}
+	}
+	for _, blk := range e.sys.blocks {
+		if blk.dir.state == dirBusy || len(blk.dir.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Outcome summarizes the observed values of every process — the litmus
+// outcome of a terminal state.
+func (e *Explorer) Outcome() string {
+	var b strings.Builder
+	for i, ep := range e.eps {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "p%d:%v", i, ep.regs)
+	}
+	return b.String()
+}
+
+// Events returns the trace events recorded along the applied path (the
+// counterexample trace after a violating replay).
+func (e *Explorer) Events() []trace.Event { return e.events }

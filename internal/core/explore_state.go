@@ -1,0 +1,444 @@
+package core
+
+// Canonical state encoding, symmetry reduction, and the invariant
+// catalogue for the model-checking explorer (explore.go).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// symmetryPerms computes the process-ID permutations under which the
+// model is symmetric: two processes are interchangeable iff they run the
+// same program and play the same home roles. The checker canonicalizes
+// every state by taking the lexicographically least encoding over these
+// permutations (Murphi-style scalarset reduction).
+func symmetryPerms(c ExpConfig) [][]int {
+	n := len(c.Programs)
+	sig := make([]string, n)
+	for i, prog := range c.Programs {
+		var b strings.Builder
+		for _, op := range prog {
+			b.WriteString(op.String())
+			b.WriteByte(';')
+		}
+		sig[i] = b.String()
+	}
+	for blk, h := range c.Homes {
+		sig[h] += fmt.Sprintf("|home%d", blk)
+	}
+	classes := make(map[string][]int)
+	var order []string
+	for i := 0; i < n; i++ {
+		if _, ok := classes[sig[i]]; !ok {
+			order = append(order, sig[i])
+		}
+		classes[sig[i]] = append(classes[sig[i]], i)
+	}
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	perms := [][]int{identity}
+	for _, key := range order {
+		members := classes[key]
+		if len(members) < 2 {
+			continue
+		}
+		var next [][]int
+		for _, mp := range permutationsOf(members) {
+			for _, base := range perms {
+				p := append([]int(nil), base...)
+				for i, m := range members {
+					p[m] = mp[i]
+				}
+				next = append(next, p)
+			}
+		}
+		perms = next
+	}
+	return perms
+}
+
+func permutationsOf(xs []int) [][]int {
+	var out [][]int
+	var rec func(k int)
+	work := append([]int(nil), xs...)
+	rec = func(k int) {
+		if k == len(work) {
+			out = append(out, append([]int(nil), work...))
+			return
+		}
+		for i := k; i < len(work); i++ {
+			work[k], work[i] = work[i], work[k]
+			rec(k + 1)
+			work[k], work[i] = work[i], work[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Encode returns the canonical fingerprint of the current state: the
+// lexicographic minimum over all symmetry permutations of the full
+// protocol-relevant state (process program counters and observations,
+// MSHRs, deferred requests, state tables, data, directories, in-flight
+// messages, and the ghost values). Simulated time, statistics, and the
+// monotonic ghost write counters are deliberately excluded.
+func (e *Explorer) Encode() string {
+	best := ""
+	for _, perm := range e.perms {
+		s := e.encodeWith(perm)
+		if best == "" || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+func (e *Explorer) encodeWith(perm []int) string {
+	n := len(e.eps)
+	inv := make([]int, n)
+	for o, c := range perm {
+		inv[c] = o
+	}
+	var b strings.Builder
+	for c := 0; c < n; c++ {
+		ep := e.eps[inv[c]]
+		p := ep.p
+		fmt.Fprintf(&b, "P%d{pc%d", c, ep.pc)
+		if ep.await != nil {
+			fmt.Fprintf(&b, " aw%c%d", ep.await.kind, ep.await.blk.id)
+		}
+		fmt.Fprintf(&b, " r%v o%d", ep.regs, p.outstanding)
+		if p.llValid {
+			fmt.Fprintf(&b, " ll%d.%d", p.llLine, p.llState)
+		}
+		if p.scWatchValid {
+			fmt.Fprintf(&b, " scw%d", p.scWatchLine)
+		}
+		if ep.llGhostValid {
+			// Encode the delta the SC atomicity check will compare — the
+			// number of foreign stores serialized since the LL — not the
+			// raw snapshot, which embeds an unbounded version counter.
+			g := &e.ghost[ep.llWord]
+			fmt.Fprintf(&b, " llg%d.%d", ep.llWord, g.version-g.writes[p.ID]-ep.llOthers)
+		}
+		blks := make([]int, 0, len(p.mshr))
+		for id := range p.mshr {
+			blks = append(blks, id)
+		}
+		sort.Ints(blks)
+		for _, id := range blks {
+			m := p.mshr[id]
+			fmt.Fprintf(&b, " m%d{we%t hr%t aw%d ag%d sf%t if%t g%d", id,
+				m.wantExcl, m.haveReply, m.acksWanted, m.acksGot, m.scFailed, m.invalAfterFill, m.grant)
+			for _, st := range m.stores {
+				fmt.Fprintf(&b, " s%d=%d", e.sys.wordOf(st.addr), st.val)
+			}
+			b.WriteByte('}')
+		}
+		for _, dm := range p.deferredReqs {
+			b.WriteString(" q")
+			b.WriteString(encodeMsg(dm, perm))
+		}
+		b.WriteString(" t")
+		for line := 0; line < e.sys.numLines; line++ {
+			fmt.Fprintf(&b, "%d", p.priv[line])
+		}
+		fmt.Fprintf(&b, " d%v}", p.mem.data)
+	}
+	for _, blk := range e.sys.blocks {
+		d := blk.dir
+		fmt.Fprintf(&b, "B%d{%d o%d po%d sh%x", blk.id, d.state,
+			perm[d.owner], perm[d.pendingOwner], remapMask(d.sharers, perm))
+		for _, qm := range d.queue {
+			b.WriteString(" q")
+			b.WriteString(encodeMsg(qm, perm))
+		}
+		b.WriteByte('}')
+	}
+	type link struct {
+		src, dst int
+		q        []msg
+	}
+	var links []link
+	for k, q := range e.chans {
+		if len(q) > 0 {
+			links = append(links, link{perm[k[0]], perm[k[1]], q})
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].src != links[j].src {
+			return links[i].src < links[j].src
+		}
+		return links[i].dst < links[j].dst
+	})
+	for _, l := range links {
+		fmt.Fprintf(&b, "C%d>%d{", l.src, l.dst)
+		for _, m := range l.q {
+			b.WriteByte(' ')
+			b.WriteString(encodeMsg(m, perm))
+		}
+		b.WriteByte('}')
+	}
+	// Only the ghost VALUE is future-relevant (the data-value invariant
+	// compares copies against it). The version and per-process write
+	// counters grow monotonically — a retried miss re-performs its
+	// buffered store — so including them would keep protocol-identical
+	// states distinct and make SC retry cycles explore forever; their one
+	// behavioral use, the foreign-writes-since-LL count, is encoded as a
+	// bounded delta in the per-process section above.
+	b.WriteString("G{")
+	for w := range e.ghost {
+		fmt.Fprintf(&b, " %d", e.ghost[w].val)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func encodeMsg(m msg, perm []int) string {
+	return fmt.Sprintf("k%d.b%d.f%d.q%d.i%d.dt%d.id%d.d%v",
+		m.kind, m.block, perm[m.from], perm[m.reqProc], m.invals, m.downTo, m.id, m.data)
+}
+
+func remapMask(mask uint64, perm []int) uint64 {
+	var out uint64
+	for a := 0; a < len(perm); a++ {
+		if mask&(1<<uint(a)) != 0 {
+			out |= 1 << uint(perm[a])
+		}
+	}
+	return out
+}
+
+// Check evaluates the safety invariant catalogue against the current
+// state and returns the first violation found (or one recorded eagerly
+// during Apply — data-value and LL/SC-atomicity fire at the moment the
+// offending read or SC completes).
+//
+//	swmr          I1: at most one exclusive copy; never exclusive+shared
+//	data-value    I2: every valid copy holds the last performed store
+//	dir-agreement I3: directory state agrees with the agent state tables
+//	bounded       I4: MSHRs, directory queues, deferred requests, and
+//	               in-flight traffic are bounded
+//	fwd-owner     I5: forwarded requests target a live owner
+//	llsc          I6: a successful SC pairs atomically with its LL
+func (e *Explorer) Check() *ExpViolation {
+	if e.viol != nil {
+		return e.viol
+	}
+	dis := e.cfg.Disabled
+	s := e.sys
+	n := len(s.procs)
+	if !dis["swmr"] {
+		for line := 0; line < s.numLines; line++ {
+			excl, shared := -1, -1
+			for a, am := range s.agents {
+				switch am.table[line] {
+				case Exclusive:
+					if excl >= 0 {
+						return e.record("swmr", fmt.Sprintf(
+							"line %d exclusive at both p%d and p%d", line, excl, a))
+					}
+					excl = a
+				case Shared:
+					shared = a
+				}
+			}
+			if excl >= 0 && shared >= 0 {
+				return e.record("swmr", fmt.Sprintf(
+					"line %d exclusive at p%d while p%d holds a shared copy",
+					line, excl, shared))
+			}
+		}
+	}
+	if !dis["data-value"] {
+		for _, blk := range s.blocks {
+			line := blk.firstLine
+			for a, am := range s.agents {
+				if st := am.table[line]; st != Shared && st != Exclusive {
+					continue
+				}
+				for w := 0; w < s.wordsPerLine; w++ {
+					word := line*s.wordsPerLine + w
+					if am.data[word] != e.ghost[word].val {
+						return e.record("data-value", fmt.Sprintf(
+							"p%d holds %#x for w%d, last performed store was %#x",
+							a, am.data[word], word, e.ghost[word].val))
+					}
+				}
+			}
+		}
+	}
+	if !dis["dir-agreement"] {
+		for _, blk := range s.blocks {
+			if v := e.checkDir(blk); v != nil {
+				return v
+			}
+		}
+	}
+	if !dis["bounded"] {
+		for _, ep := range e.eps {
+			p := ep.p
+			if p.outstanding != len(p.mshr) {
+				return e.record("bounded", fmt.Sprintf(
+					"p%d outstanding=%d but %d MSHRs", p.ID, p.outstanding, len(p.mshr)))
+			}
+			if len(p.deferredReqs) > n {
+				return e.record("bounded", fmt.Sprintf(
+					"p%d has %d deferred requests (max %d)", p.ID, len(p.deferredReqs), n))
+			}
+		}
+		for _, blk := range s.blocks {
+			if len(blk.dir.queue) > n {
+				return e.record("bounded", fmt.Sprintf(
+					"block %d directory queue holds %d requests (max %d)",
+					blk.id, len(blk.dir.queue), n))
+			}
+		}
+		limit := 4*len(s.blocks)*n + 4
+		for k, q := range e.chans {
+			if len(q) > limit {
+				return e.record("bounded", fmt.Sprintf(
+					"link %d->%d holds %d messages (limit %d)", k[0], k[1], len(q), limit))
+			}
+		}
+	}
+	if !dis["fwd-owner"] {
+		for k, q := range e.chans {
+			for _, m := range q {
+				if m.kind != msgFwdRead && m.kind != msgFwdReadExcl {
+					continue
+				}
+				dst := k[1]
+				blk := s.blocks[m.block]
+				st := s.agents[dst].table[blk.firstLine]
+				if st != Exclusive && s.procs[dst].mshr[m.block] == nil {
+					return e.record("fwd-owner", fmt.Sprintf(
+						"%s for block %d in flight to p%d, which holds state %d with no miss outstanding",
+						m.kind, m.block, dst, st))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkDir verifies directory/state-table agreement for one block,
+// tolerating exactly the transients the protocol creates (pending
+// requesters already counted as sharers or owner, invalidations still in
+// flight to stale sharers).
+func (e *Explorer) checkDir(blk *blockInfo) *ExpViolation {
+	s := e.sys
+	d := blk.dir
+	line := blk.firstLine
+	switch d.state {
+	case dirShared:
+		for a, am := range s.agents {
+			st := am.table[line]
+			if st == Exclusive {
+				return e.record("dir-agreement", fmt.Sprintf(
+					"block %d is dirShared but p%d holds it exclusive", blk.id, a))
+			}
+			if (st == Shared) && d.sharers&(1<<uint(a)) == 0 {
+				return e.record("dir-agreement", fmt.Sprintf(
+					"block %d: p%d holds a shared copy but is not in the sharer set %x",
+					blk.id, a, d.sharers))
+			}
+		}
+		if st := s.agents[blk.home].table[line]; st != Shared {
+			return e.record("dir-agreement", fmt.Sprintf(
+				"block %d is dirShared but its home p%d holds state %d", blk.id, blk.home, st))
+		}
+	case dirExclusive:
+		st := s.agents[d.owner].table[line]
+		if st != Exclusive && st != Pending {
+			return e.record("dir-agreement", fmt.Sprintf(
+				"block %d owner p%d holds state %d (want exclusive or pending)",
+				blk.id, d.owner, st))
+		}
+		for a, am := range s.agents {
+			if a == d.owner {
+				continue
+			}
+			ast := am.table[line]
+			if ast != Shared && ast != Exclusive {
+				continue
+			}
+			// A non-owner valid copy is legal only while its
+			// invalidation is still in flight (or deferred behind the
+			// holder's own fill).
+			if !e.invalPending(blk.id, a) {
+				return e.record("dir-agreement", fmt.Sprintf(
+					"block %d owned by p%d but p%d holds a stale valid copy with no invalidation in flight",
+					blk.id, d.owner, a))
+			}
+		}
+	case dirBusy:
+		if !e.busyJustified(blk.id) {
+			return e.record("dir-agreement", fmt.Sprintf(
+				"block %d is dirBusy with no forward, writeback, or ownership transfer in flight",
+				blk.id))
+		}
+	}
+	return nil
+}
+
+// invalPending reports whether an msgInvalReq for the block is in flight
+// to, or deferred at, process a.
+func (e *Explorer) invalPending(block, a int) bool {
+	for k, q := range e.chans {
+		if k[1] != a {
+			continue
+		}
+		for _, m := range q {
+			if m.kind == msgInvalReq && m.block == block {
+				return true
+			}
+		}
+	}
+	for _, m := range e.sys.procs[a].deferredReqs {
+		if m.kind == msgInvalReq && m.block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// busyJustified reports whether a dirBusy entry has its resolving message
+// somewhere: a forward in flight or deferred, or the resulting writeback
+// or ownership transfer heading back to the home.
+func (e *Explorer) busyJustified(block int) bool {
+	resolving := func(m msg) bool {
+		if m.block != block {
+			return false
+		}
+		switch m.kind {
+		case msgFwdRead, msgFwdReadExcl, msgShareWB, msgOwnerTransfer:
+			return true
+		}
+		return false
+	}
+	for _, q := range e.chans {
+		for _, m := range q {
+			if resolving(m) {
+				return true
+			}
+		}
+	}
+	for _, p := range e.sys.procs {
+		for _, m := range p.deferredReqs {
+			if resolving(m) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (e *Explorer) record(inv, detail string) *ExpViolation {
+	e.fail(inv, detail)
+	return e.viol
+}

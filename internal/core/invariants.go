@@ -1,0 +1,227 @@
+package core
+
+// Runtime coherence invariants, shared with the model checker's
+// catalogue (explore_state.go) but phrased for live systems: light
+// checks are safe at any quiesce point (barrier releases, chaos-harness
+// probes), full checks additionally require global quiescence — no miss
+// outstanding anywhere, no message in flight, no busy directory entry —
+// because mid-transition states legitimately disagree in ways only the
+// model checker (which sees in-flight traffic) can discount.
+
+import "fmt"
+
+// InvariantError reports a violated coherence invariant.
+type InvariantError struct {
+	Invariant string
+	Detail    string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("coherence invariant %s violated: %s", e.Invariant, e.Detail)
+}
+
+// CheckInvariants verifies protocol-level coherence invariants against
+// the current system state. It always runs the light checks; when the
+// system is fully quiescent it additionally verifies exact
+// directory/state-table agreement, word-for-word agreement among valid
+// copies, and flag-fill integrity of invalid lines. Returns nil when
+// inline checks are disabled (Cfg.Checks off means application code
+// writes shared memory without coherence, so the invariants cannot
+// hold by construction).
+func (s *System) CheckInvariants() error {
+	if !s.Cfg.Checks {
+		return nil
+	}
+	if err := s.checkInvariantsLight(); err != nil {
+		return err
+	}
+	if s.fullyQuiescent() {
+		return s.checkQuiescent()
+	}
+	return nil
+}
+
+// checkInvariantsLight runs the always-true invariants: single writer
+// (at most one exclusive agent copy per line, never alongside shared
+// copies), MSHR accounting, and directory queue boundedness. O(lines ×
+// agents); safe at any point, including mid-transition.
+func (s *System) checkInvariantsLight() error {
+	for line := 0; line < s.allocCursor; line++ {
+		excl, shared := -1, -1
+		for a, am := range s.agents {
+			switch am.table[line] {
+			case Exclusive:
+				if excl >= 0 {
+					return &InvariantError{"swmr", fmt.Sprintf(
+						"line %d exclusive at agents %d and %d", line, excl, a)}
+				}
+				excl = a
+			case Shared:
+				shared = a
+			}
+		}
+		if excl >= 0 && shared >= 0 {
+			return &InvariantError{"swmr", fmt.Sprintf(
+				"line %d exclusive at agent %d while agent %d holds a shared copy",
+				line, excl, shared)}
+		}
+	}
+	for _, p := range s.procs {
+		if p.outstanding != len(p.mshr) {
+			return &InvariantError{"bounded", fmt.Sprintf(
+				"%s outstanding=%d but %d MSHRs", p.Name, p.outstanding, len(p.mshr))}
+		}
+	}
+	for _, blk := range s.blocks {
+		if len(blk.dir.queue) > len(s.procs) {
+			return &InvariantError{"bounded", fmt.Sprintf(
+				"block %d directory queue holds %d requests (max %d)",
+				blk.id, len(blk.dir.queue), len(s.procs))}
+		}
+	}
+	return nil
+}
+
+// fullyQuiescent reports whether no protocol activity is pending
+// anywhere: no outstanding miss, deferred request, unacknowledged
+// retransmission, queued message (delivered or resequencer-held), or
+// busy directory entry.
+func (s *System) fullyQuiescent() bool {
+	for _, p := range s.procs {
+		if p.outstanding != 0 || len(p.deferredReqs) > 0 {
+			return false
+		}
+		if p.replyQ.q.Len() > 0 {
+			return false
+		}
+		if p.reqQ != nil && p.reqQ.q.Len() > 0 {
+			return false
+		}
+		for _, rt := range p.retx {
+			if !rt.acked {
+				return false
+			}
+		}
+	}
+	for _, c := range s.cpus {
+		if c.reqQ != nil && c.reqQ.q.Len() > 0 {
+			return false
+		}
+	}
+	for _, r := range s.reseq {
+		if r != nil && len(r.held) > 0 {
+			return false
+		}
+	}
+	for _, blk := range s.blocks {
+		if blk.dir.state == dirBusy || len(blk.dir.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// checkQuiescent verifies the invariants that hold exactly when nothing
+// is in flight: the directory agrees with the agent tables copy for
+// copy, all valid copies of a line hold identical data, and invalid
+// lines are filled with the flag value (modulo fills still deferred
+// behind an open batch).
+func (s *System) checkQuiescent() error {
+	for _, blk := range s.blocks {
+		d := blk.dir
+		for line := blk.firstLine; line < blk.firstLine+blk.lines; line++ {
+			switch d.state {
+			case dirExclusive:
+				for a, am := range s.agents {
+					st := am.table[line]
+					if a == d.owner {
+						if st != Exclusive {
+							return &InvariantError{"dir-agreement", fmt.Sprintf(
+								"block %d quiescent owner agent %d holds state %v on line %d",
+								blk.id, d.owner, st, line)}
+						}
+					} else if st != Invalid {
+						return &InvariantError{"dir-agreement", fmt.Sprintf(
+							"block %d owned by agent %d but agent %d holds state %v on line %d",
+							blk.id, d.owner, a, st, line)}
+					}
+				}
+			case dirShared:
+				for a, am := range s.agents {
+					st := am.table[line]
+					inSet := d.sharers&(1<<uint(a)) != 0
+					if st == Shared && !inSet {
+						return &InvariantError{"dir-agreement", fmt.Sprintf(
+							"block %d line %d: agent %d holds a shared copy but is not in sharer set %x",
+							blk.id, line, a, d.sharers)}
+					}
+					if st == Exclusive {
+						return &InvariantError{"dir-agreement", fmt.Sprintf(
+							"block %d line %d: dirShared but agent %d holds it exclusive",
+							blk.id, line, a)}
+					}
+					if inSet && st != Shared {
+						return &InvariantError{"dir-agreement", fmt.Sprintf(
+							"block %d line %d: agent %d in sharer set %x but holds state %v",
+							blk.id, line, a, d.sharers, st)}
+					}
+				}
+			}
+			if err := s.checkLineData(blk, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkLineData verifies that all valid copies of a line agree word for
+// word, and that invalid copies are flag-filled (the §4.1 flag
+// technique), skipping lines whose fill is still deferred.
+func (s *System) checkLineData(blk *blockInfo, line int) error {
+	ref := -1
+	for a, am := range s.agents {
+		st := am.table[line]
+		if st == Shared || st == Exclusive {
+			if ref < 0 {
+				ref = a
+				continue
+			}
+			for w := 0; w < s.wordsPerLine; w++ {
+				word := line*s.wordsPerLine + w
+				if am.data[word] != s.agents[ref].data[word] {
+					return &InvariantError{"copies-agree", fmt.Sprintf(
+						"line %d word %d: agent %d holds %#x, agent %d holds %#x",
+						line, w, a, am.data[word], ref, s.agents[ref].data[word])}
+				}
+			}
+			continue
+		}
+		if st != Invalid || !s.Cfg.FlagCheck {
+			continue
+		}
+		if s.fillDeferred(line) {
+			continue
+		}
+		for w := 0; w < s.wordsPerLine; w++ {
+			word := line*s.wordsPerLine + w
+			if am.data[word] != FlagWord {
+				return &InvariantError{"flag-fill", fmt.Sprintf(
+					"line %d word %d: invalid copy at agent %d holds %#x instead of the flag value",
+					line, w, a, am.data[word])}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) fillDeferred(line int) bool {
+	for _, p := range s.procs {
+		for _, l := range p.deferredFills {
+			if l == line {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -709,6 +709,20 @@ func (p *Proc) applyDeferredFills() {
 		if s.Cfg.SMP && p.mem.table[line] != Invalid {
 			continue // the node has a valid copy again; data is live
 		}
+		// A co-resident process may still be inside a batch covering this
+		// line: it shares the node copy, and its batched loads are still
+		// entitled to the old contents (§4.1). Hand the fill to it instead
+		// of clobbering the data under it.
+		handed := false
+		for _, q := range s.localProcs(p.agent) {
+			if q != p && q.curBatch != nil && q.curBatch.lines[line] {
+				q.deferredFills = append(q.deferredFills, line)
+				handed = true
+			}
+		}
+		if handed {
+			continue
+		}
 		fillFlag(p.mem, line, s.wordsPerLine)
 	}
 	p.deferredFills = p.deferredFills[:0]

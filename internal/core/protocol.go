@@ -386,7 +386,12 @@ func (p *Proc) fillAgentInvalid(blk *blockInfo) {
 	deferFill := false
 	for _, q := range s.localProcs(p.agent) {
 		if q.curBatch != nil && q.curBatch.covers(blk) {
-			q.deferredFills = append(q.deferredFills, blk.firstLine)
+			// Record every line of the block: the fill below is skipped
+			// for the whole block, so multi-line blocks need all their
+			// lines re-filled after the batch, not just the first.
+			for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
+				q.deferredFills = append(q.deferredFills, l)
+			}
 			q.stats.N[CntDeferredFlagFills]++
 			deferFill = true
 		}
@@ -408,18 +413,29 @@ func (p *Proc) handleInval(m msg) {
 	blk := s.blocks[m.block]
 	p.stats.N[CntInvalidations]++
 	missInFlight := false
+	holder := p
 	if p.sys.Cfg.SMP {
 		if h := p.mem.busy[blk.id]; h != nil && h.mshr[blk.id] != nil {
 			missInFlight = true
+			holder = h
 		}
 	} else {
 		missInFlight = p.mshr[blk.id] != nil
 	}
 	if missInFlight {
-		// An upgrade by a local process is in flight; this invalidation
-		// targets the previous epoch. Local private copies are dropped;
-		// the pending fill will install fresh data.
+		// A miss by a local process is in flight. Local private copies
+		// are dropped either way, but what the pending fill will install
+		// depends on the miss kind. An upgrade serializes after this
+		// invalidation at the home and installs fresh data, so absorbing
+		// the inval is enough. A read fill, however, may predate the
+		// invalidating writer (its reply can trail this inval on another
+		// link), so the invalidation is remembered and re-applied the
+		// moment the fill installs — otherwise a stale shared copy the
+		// directory no longer tracks would survive.
 		p.waitDowngrades(blk, Invalid)
+		if mshr := holder.mshr[blk.id]; mshr != nil && !mshr.wantExcl {
+			mshr.invalAfterFill = true
+		}
 	} else if p.mem.table[blk.firstLine] != Invalid {
 		p.downgradeAgent(blk, Invalid, false)
 	}
@@ -579,6 +595,12 @@ func (p *Proc) handleReply(m msg) {
 	}
 	mshr.haveReply = true
 	mshr.acksWanted = m.invals
+	if p.sys.brokenSkipInvalAck && m.invals > 1 {
+		// Broken variant for counterexample tests: forget one expected
+		// invalidation ack, so the miss can complete while a stale
+		// sharer still holds a valid copy (single-writer violation).
+		mshr.acksWanted = m.invals - 1
+	}
 	mshr.grant = Shared
 	if m.kind == msgReadExclReply || m.kind == msgUpgradeAck || m.downTo == Exclusive {
 		mshr.grant = Exclusive
@@ -644,6 +666,9 @@ func (p *Proc) finishMiss(m *mshrEntry) {
 		}
 		for _, st := range m.stores {
 			p.mem.data[s.wordOf(st.addr)] = st.val
+			if s.onStorePerform != nil {
+				s.onStorePerform(p, st.addr, st.val)
+			}
 			p.resetLocalLLs(s.lineOf(st.addr))
 		}
 		if debugTrace != nil || p.sys.tracer != nil {
@@ -653,6 +678,13 @@ func (p *Proc) finishMiss(m *mshrEntry) {
 	delete(p.mshr, m.block)
 	p.outstanding--
 	p.endTransition(blk)
+	if m.invalAfterFill && !m.scFailed {
+		// An invalidation from a newer epoch raced ahead of this fill;
+		// drop the just-installed copy so no stale data survives.
+		// Stalled operations observe the invalid line and re-miss.
+		traceEvent(p, blk, "finish:inval-after-fill")
+		p.downgradeAgent(blk, Invalid, false)
+	}
 	p.notifyAgentWaiters()
 	if len(p.deferredReqs) > 0 {
 		pending := p.deferredReqs

@@ -200,8 +200,13 @@ type mshrEntry struct {
 	acksGot    int
 	scFailed   bool
 	grant      LineState // state granted by the reply
-	stores     []pendingStore
-	batch      *Batch // non-nil if issued as part of a batch
+	// invalAfterFill records an invalidation that arrived while this
+	// (read) miss was pending but belongs to a newer epoch than the
+	// in-flight fill: the installed copy must be dropped immediately
+	// after the fill completes (see handleInval / finishMiss).
+	invalAfterFill bool
+	stores         []pendingStore
+	batch          *Batch // non-nil if issued as part of a batch
 }
 
 // pendingStore is a store buffered behind a non-blocking (RC) store miss;

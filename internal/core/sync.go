@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/trace"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // This file implements Shasta's message-passing synchronization: the
 // queue-based locks and centralized barriers that applications can use
@@ -162,6 +166,13 @@ func (p *Proc) barrierArrive(b *barrierState, who int) {
 	arrived := b.arrived
 	b.arrived = nil
 	b.epoch++
+	if p.sys.Cfg.InvariantChecks && p.sys.Cfg.Checks {
+		// Barrier release is a natural quiesce point: every participant
+		// has drained its outstanding misses before arriving.
+		if err := p.sys.checkInvariantsLight(); err != nil {
+			panic(fmt.Sprintf("core: %v (at barrier %d release, epoch %d)", err, id, b.epoch))
+		}
+	}
 	for _, proc := range arrived {
 		dst := p.sys.procs[proc]
 		if dst == p {

@@ -90,6 +90,17 @@ type System struct {
 
 	deliveryCount int64 // messages offered to the wire (debug dup hook)
 
+	// Model-checker hooks (see explore.go). mcCapture, when set,
+	// intercepts every deliver: returning true claims the message (the
+	// explorer owns delivery order). onStorePerform observes each store
+	// performed against an agent copy (ghost-memory bookkeeping).
+	// brokenSkipInvalAck enables a deliberately broken protocol variant —
+	// the requester forgets one expected invalidation ack — used by the
+	// counterexample-replay golden test.
+	mcCapture          func(sender, dst *Proc, m msg) bool
+	onStorePerform     func(p *Proc, addr, val uint64)
+	brokenSkipInvalAck bool
+
 	// Reliability sublayer link state, indexed [srcNode*Nodes+dstNode]:
 	// per-link sequence counters and receiver-side resequencers.
 	linkSeq []int64
@@ -321,6 +332,9 @@ func (s *System) Run() error {
 		s.spawnProtocolProcs()
 	}
 	err := s.Eng.Run()
+	if err == nil && s.Cfg.InvariantChecks {
+		err = s.CheckInvariants()
+	}
 	if s.tracer != nil {
 		// Emit final accounting even on error so stall dumps can be analyzed.
 		s.emitStats()
@@ -500,6 +514,9 @@ func (s *System) requestBox(p *Proc) *queueBox {
 // ReliableDelivery on, inter-node messages are sequenced and registered
 // for retransmission until acknowledged (net acks themselves are not).
 func (s *System) deliver(sender *Proc, dst *Proc, m msg, cat TimeCategory) {
+	if s.mcCapture != nil && s.mcCapture(sender, dst, m) {
+		return
+	}
 	if m.kind != msgNetAck && sender.reliable(dst) {
 		m.seq = sender.assignSeq(dst)
 	}

@@ -66,6 +66,12 @@ func chaosRun(app string, procs, scale int, cfg core.Config) (*core.System, *wor
 	}
 	sys := build(cfg)
 	res, err := workloads.Run(sys, a, workloads.RunConfig{Procs: procs, Scale: scale})
+	if err == nil {
+		// Every completed chaos run must satisfy the coherence invariants
+		// at its quiesce point: a fault schedule that corrupts protocol
+		// metadata is a bug even when the final memory compares equal.
+		err = sys.CheckInvariants()
+	}
 	return sys, res, err
 }
 

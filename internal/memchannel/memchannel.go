@@ -192,3 +192,12 @@ func (q *Queue[T]) Pop(now sim.Time) (T, bool) {
 
 // Len returns the number of queued messages regardless of visibility.
 func (q *Queue[T]) Len() int { return len(q.entries) }
+
+// Each calls fn for every queued message in (arrive, seq) order, visible
+// or not, without removing anything. Invariant checkers use it to scan
+// in-flight traffic.
+func (q *Queue[T]) Each(fn func(msg T, arrive sim.Time)) {
+	for i := range q.entries {
+		fn(q.entries[i].msg, q.entries[i].arrive)
+	}
+}

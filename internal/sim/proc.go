@@ -46,6 +46,9 @@ type Proc struct {
 	// becomes runnable earlier (it holds the CPU only nominally).
 	sleeping bool
 	abort    bool
+	// external marks a process driven from outside Engine.Run (no
+	// goroutine, never scheduled). It must not block; see ExternalProc.
+	external bool
 
 	resume chan Time
 	yield  chan struct{}
@@ -102,6 +105,9 @@ func (p *Proc) Fail(err error) {
 
 // yieldBack returns control to the engine and parks until resumed.
 func (p *Proc) yieldBack() {
+	if p.external {
+		panic(fmt.Sprintf("sim: external process %s attempted to block at t=%d (external steps must run to completion)", p.Name, p.now))
+	}
 	p.yield <- struct{}{}
 	p.window = <-p.resume
 	if p.abort {

@@ -193,6 +193,29 @@ func (e *Engine) SpawnAt(name string, cpu int, priority int, start Time, fn func
 	return p
 }
 
+// ExternalProc creates a process that is driven from outside Engine.Run:
+// it has no goroutine, is never scheduled, and is invisible to the
+// scheduler (not registered with the engine or any CPU queue). It exists
+// so higher-layer code that charges time (Proc.Advance) or reads clocks
+// can execute directly on the calling goroutine — the model checker uses
+// it to invoke protocol handlers as atomic steps. An external process
+// must never block: Wait/Block/Sleep panic.
+func (e *Engine) ExternalProc(name string, cpu int) *Proc {
+	if cpu < 0 || cpu >= len(e.cpus) {
+		panic(fmt.Sprintf("sim: external proc %q on invalid cpu %d", name, cpu))
+	}
+	return &Proc{
+		ID:       -1,
+		Name:     name,
+		eng:      e,
+		cpu:      e.cpus[cpu],
+		state:    stateRunning,
+		wakeAt:   Forever,
+		window:   Forever,
+		external: true,
+	}
+}
+
 // Run drives the simulation until every process has finished, a process
 // panics, deadlock is detected, or MaxTime is exceeded.
 func (e *Engine) Run() error {

@@ -1,0 +1,141 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// litmusCase is one kernel × consistency-model entry of the golden
+// outcome table: the full allowed set, and the exact set the delay sweep
+// observes (a subset of allowed; relaxed outcomes are only reachable
+// under RC). The model checker cross-validates the allowed sets for
+// mp/sb by exhaustive exploration (internal/modelcheck TestLitmusOutcomes).
+type litmusCase struct {
+	kernel   string
+	cons     core.ConsistencyModel
+	allowed  []string
+	observed []string // golden: exact sweep result, sorted
+}
+
+func litmusTable() []litmusCase {
+	return []litmusCase{
+		{
+			kernel: "mp", cons: core.SequentiallyConsistent,
+			allowed:  []string{"ry=0 rx=0", "ry=0 rx=1", "ry=1 rx=1"},
+			observed: []string{"ry=0 rx=0", "ry=0 rx=1", "ry=1 rx=1"},
+		},
+		{
+			kernel: "mp", cons: core.ReleaseConsistent,
+			allowed:  []string{"ry=0 rx=0", "ry=0 rx=1", "ry=1 rx=0", "ry=1 rx=1"},
+			observed: []string{"ry=0 rx=0", "ry=1 rx=0", "ry=1 rx=1"},
+		},
+		{
+			kernel: "sb", cons: core.SequentiallyConsistent,
+			allowed:  []string{"ry=0 rx=1", "ry=1 rx=0", "ry=1 rx=1"},
+			observed: []string{"ry=0 rx=1", "ry=1 rx=0", "ry=1 rx=1"},
+		},
+		{
+			kernel: "sb", cons: core.ReleaseConsistent,
+			allowed:  []string{"ry=0 rx=0", "ry=0 rx=1", "ry=1 rx=0", "ry=1 rx=1"},
+			observed: []string{"ry=0 rx=0", "ry=0 rx=1", "ry=1 rx=0"},
+		},
+		{
+			kernel: "iriw", cons: core.SequentiallyConsistent,
+			observed: []string{
+				"r2=0,0 r3=0,1", "r2=0,0 r3=1,1", "r2=1,1 r3=0,1", "r2=1,1 r3=1,1",
+			},
+		},
+		{
+			kernel: "iriw", cons: core.ReleaseConsistent,
+			observed: []string{
+				"r2=0,0 r3=0,1", "r2=0,0 r3=1,1", "r2=1,1 r3=0,1", "r2=1,1 r3=1,1",
+			},
+		},
+	}
+}
+
+// relaxedOutcome names the outcome reachable only under RC for the
+// two-variable tests; for iriw there is none (stores stay
+// multi-copy-atomic under both models).
+var relaxedOutcome = map[string]string{
+	"mp": "ry=1 rx=0", // saw the flag write but not the earlier data write
+	"sb": "ry=0 rx=0", // both buffered stores hidden from both readers
+}
+
+// iriwForbidden reports whether an iriw outcome shows the two readers
+// disagreeing on the order of the independent writes.
+func iriwForbidden(outcome string) bool {
+	return strings.Contains(outcome, "r2=1,0") && strings.Contains(outcome, "r3=1,0")
+}
+
+// TestLitmusOutcomeTables sweeps every litmus kernel under both
+// consistency models and checks the outcome sets against the golden
+// table: observed sets must match exactly, stay inside the allowed set,
+// exclude the model's forbidden outcomes, and (for mp/sb under RC)
+// include the relaxed outcome that distinguishes the models.
+func TestLitmusOutcomeTables(t *testing.T) {
+	for _, tc := range litmusTable() {
+		k, err := LitmusKernelByName(tc.kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := LitmusSweep(k, tc.cons)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.kernel, tc.cons, err)
+		}
+		if tc.kernel == "iriw" {
+			for _, o := range got {
+				if iriwForbidden(o) {
+					t.Errorf("iriw/%s: readers disagree on write order: %q", tc.cons, o)
+				}
+			}
+		} else {
+			allowed := make(map[string]bool)
+			for _, o := range tc.allowed {
+				allowed[o] = true
+			}
+			for _, o := range got {
+				if !allowed[o] {
+					t.Errorf("%s/%s: forbidden outcome observed: %q", tc.kernel, tc.cons, o)
+				}
+			}
+			relaxed := relaxedOutcome[tc.kernel]
+			sawRelaxed := false
+			for _, o := range got {
+				sawRelaxed = sawRelaxed || o == relaxed
+			}
+			if tc.cons == core.ReleaseConsistent && !sawRelaxed {
+				t.Errorf("%s/RC: relaxed outcome %q not observed in sweep %v", tc.kernel, relaxed, got)
+			}
+			if tc.cons == core.SequentiallyConsistent && sawRelaxed {
+				t.Errorf("%s/SC: relaxed outcome %q observed; SC must forbid it", tc.kernel, relaxed)
+			}
+		}
+		if g, w := strings.Join(got, " | "), strings.Join(tc.observed, " | "); g != w {
+			t.Errorf("%s/%s observed set drifted from golden:\n got  %s\n want %s",
+				tc.kernel, tc.cons, g, w)
+		}
+	}
+}
+
+// TestLitmusDeterminism: one (kernel, model, delays) point must produce
+// the same outcome on repeated runs — the sweep is reproducible.
+func TestLitmusDeterminism(t *testing.T) {
+	k, err := LitmusKernelByName("mp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunLitmus(k, core.ReleaseConsistent, 301, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLitmus(k, core.ReleaseConsistent, 301, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("outcome not deterministic: %q vs %q", a, b)
+	}
+}
