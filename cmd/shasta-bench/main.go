@@ -1,19 +1,24 @@
 // shasta-bench regenerates the tables and figures of the Shasta paper's
-// evaluation (§6) on the simulated cluster.
+// evaluation (§6) on the simulated cluster, and measures the repo's own
+// wall-clock performance trajectory (sequential vs parallel engine).
 //
 // Usage:
 //
 //	shasta-bench -list
 //	shasta-bench -run table1,table2
 //	shasta-bench -run all
+//	shasta-bench -json BENCH_PR5.json          # engine benchmark suite
+//	shasta-bench -json out.json -bench-quick   # CI smoke variant
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/memchannel"
@@ -55,9 +60,51 @@ func main() {
 	faultProfile := flag.String("fault-profile", "none",
 		fmt.Sprintf("network fault profile applied to every run: %v", memchannel.FaultProfiles()))
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+	engine := flag.String("engine", "seq", "simulation engine for -run experiments: seq or parallel")
+	workers := flag.Int("workers", 0, "parallel engine worker-pool size (0 = one per host core)")
+	jsonOut := flag.String("json", "", "run the engine benchmark suite and write the JSON report to this file")
+	benchQuick := flag.Bool("bench-quick", false, "with -json: run the cut-down CI smoke suite")
 	flag.Parse()
 
-	var opts []core.Option
+	if *jsonOut != "" {
+		cases := bench.DefaultCases()
+		if *benchQuick {
+			cases = bench.QuickCases()
+		}
+		report, err := bench.RunSuite(cases, bench.DefaultWorkers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, c := range report.Cases {
+			best := 1.0
+			for _, r := range c.Runs {
+				if r.Speedup > best {
+					best = r.Speedup
+				}
+			}
+			fmt.Printf("%-16s sim=%d cycles invariant=%v best speedup %.2fx\n",
+				c.Name, c.SimElapsedCycles, c.SimTimeInvariant && c.StatsInvariant, best)
+		}
+		fmt.Printf("best speedup at 4 workers: %.2fx → %s\n", report.BestSpeedup4, *jsonOut)
+		return
+	}
+
+	engineWorkers, err := experiments.ParseEngine(*engine, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := experiments.EngineOptions(engineWorkers)
 	if *watchdog != 0 {
 		opts = append(opts, core.WithWatchdog(sim.Time(*watchdog)))
 	}

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/memchannel"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -30,6 +31,8 @@ func main() {
 	faultProfile := flag.String("fault-profile", "none",
 		fmt.Sprintf("network fault profile: %v", memchannel.FaultProfiles()))
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+	engine := flag.String("engine", "seq", "simulation engine: seq or parallel (conservative PDES, identical output)")
+	workers := flag.Int("workers", 0, "parallel engine worker-pool size (0 = one per host core)")
 	listApps := flag.Bool("listapps", false, "list workloads")
 	flag.Parse()
 
@@ -54,6 +57,12 @@ func main() {
 			}
 		}),
 	}
+	engineWorkers, err := experiments.ParseEngine(*engine, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts = append(opts, experiments.EngineOptions(engineWorkers)...)
 	fc, err := memchannel.FaultProfile(*faultProfile, *faultSeed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

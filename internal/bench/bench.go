@@ -1,0 +1,168 @@
+// Package bench measures the repository's wall-clock performance
+// trajectory: how long the simulated experiments take on the host, on the
+// sequential engine versus the parallel conservative (PDES) engine at
+// several worker-pool sizes. The output is a JSON report (BENCH_PR5.json
+// at the repo root holds the committed baseline) that future changes can
+// regress against.
+//
+// Wall-clock numbers are host-dependent; the report therefore also
+// records what must NOT vary: the simulated elapsed time and aggregate
+// protocol statistics of every run. Any engine or worker count producing
+// a different simulated outcome is a correctness bug (see the cross-engine
+// determinism tests in internal/experiments), and the report flags it.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sim/parallel"
+	"repro/internal/workloads"
+)
+
+// Case is one benchmark experiment: a workload on a fixed cluster
+// topology. Wide topologies (many nodes, one CPU each) give the parallel
+// engine one shard per process — the configuration the PDES engine is
+// built for; the default 4×4 cluster is included to report honestly on
+// the narrow-topology case as well.
+type Case struct {
+	Name        string `json:"name"`
+	App         string `json:"app"`
+	Procs       int    `json:"procs"`
+	Scale       int    `json:"scale"`
+	Nodes       int    `json:"nodes"`
+	CPUsPerNode int    `json:"cpus_per_node"`
+}
+
+// Run is one engine's timing on one case.
+type Run struct {
+	Engine  string  `json:"engine"` // "seq" or "par<N>"
+	Workers int     `json:"workers,omitempty"`
+	WallMS  float64 `json:"wall_ms"`
+	Speedup float64 `json:"speedup"` // sequential wall time / this wall time
+}
+
+// CaseResult holds every engine's timing on one case plus the invariance
+// verdict.
+type CaseResult struct {
+	Case
+	SimElapsedCycles sim.Time `json:"sim_elapsed_cycles"`
+	SimTimeInvariant bool     `json:"sim_time_invariant"`
+	StatsInvariant   bool     `json:"stats_invariant"`
+	Runs             []Run    `json:"runs"`
+}
+
+// Report is the full benchmark output.
+type Report struct {
+	Suite      string       `json:"suite"`
+	HostCPUs   int          `json:"host_cpus"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Cases      []CaseResult `json:"cases"`
+	// BestSpeedup4 is the best wall-clock speedup observed at 4 workers
+	// across all cases — the headline number of the perf trajectory.
+	BestSpeedup4 float64 `json:"best_speedup_4_workers"`
+}
+
+// DefaultWorkers are the parallel worker-pool sizes the suite sweeps.
+var DefaultWorkers = []int{1, 2, 4, 8}
+
+// DefaultCases is the standard suite: three wide-topology experiments
+// (one shard per process) and one on the default 4×4 cluster.
+func DefaultCases() []Case {
+	return []Case{
+		{Name: "barnes-wide", App: "Barnes", Procs: 8, Scale: 4, Nodes: 8, CPUsPerNode: 1},
+		{Name: "ocean-wide", App: "Ocean", Procs: 8, Scale: 4, Nodes: 8, CPUsPerNode: 1},
+		{Name: "water-nsq-wide", App: "Water-Nsq", Procs: 8, Scale: 4, Nodes: 8, CPUsPerNode: 1},
+		{Name: "barnes-4x4", App: "Barnes", Procs: 8, Scale: 2, Nodes: 4, CPUsPerNode: 4},
+	}
+}
+
+// QuickCases is a cut-down suite for CI smoke runs.
+func QuickCases() []Case {
+	return []Case{
+		{Name: "barnes-wide", App: "Barnes", Procs: 8, Scale: 2, Nodes: 8, CPUsPerNode: 1},
+	}
+}
+
+func runOnce(c Case, workers int) (time.Duration, sim.Time, core.Stats, error) {
+	app, ok := workloads.Get(c.App)
+	if !ok {
+		return 0, 0, core.Stats{}, fmt.Errorf("bench: unknown workload %q", c.App)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Nodes = c.Nodes
+	cfg.CPUsPerNode = c.CPUsPerNode
+	cfg.SharedBytes = 4 << 20
+	cfg.MaxTime = sim.Cycles(900e6)
+	opts := []core.Option{core.WithConfig(cfg)}
+	if workers >= 0 {
+		opts = append(opts, core.WithEngine(parallel.New(workers)))
+	}
+	start := time.Now()
+	sys := core.Build(opts...)
+	res, err := workloads.Run(sys, app, workloads.RunConfig{Procs: c.Procs, Scale: c.Scale})
+	if err != nil {
+		return 0, 0, core.Stats{}, fmt.Errorf("bench %s (workers=%d): %w", c.Name, workers, err)
+	}
+	return time.Since(start), res.Elapsed, sys.AggregateStats(), nil
+}
+
+// RunCase benchmarks one case on the sequential engine and on the
+// parallel engine at each worker count.
+func RunCase(c Case, workerCounts []int) (CaseResult, error) {
+	out := CaseResult{Case: c, SimTimeInvariant: true, StatsInvariant: true}
+	seqWall, seqElapsed, seqStats, err := runOnce(c, -1)
+	if err != nil {
+		return out, err
+	}
+	out.SimElapsedCycles = seqElapsed
+	out.Runs = append(out.Runs, Run{Engine: "seq", WallMS: ms(seqWall), Speedup: 1})
+	for _, w := range workerCounts {
+		wall, elapsed, stats, err := runOnce(c, w)
+		if err != nil {
+			return out, err
+		}
+		if elapsed != seqElapsed {
+			out.SimTimeInvariant = false
+		}
+		if stats != seqStats {
+			out.StatsInvariant = false
+		}
+		out.Runs = append(out.Runs, Run{
+			Engine:  fmt.Sprintf("par%d", w),
+			Workers: w,
+			WallMS:  ms(wall),
+			Speedup: float64(seqWall) / float64(wall),
+		})
+	}
+	return out, nil
+}
+
+// RunSuite benchmarks every case and assembles the report.
+func RunSuite(cases []Case, workerCounts []int) (*Report, error) {
+	r := &Report{
+		Suite:      "pdes-engine",
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range cases {
+		cr, err := RunCase(c, workerCounts)
+		if err != nil {
+			return nil, err
+		}
+		r.Cases = append(r.Cases, cr)
+		for _, run := range cr.Runs {
+			if run.Workers == 4 && run.Speedup > r.BestSpeedup4 {
+				r.BestSpeedup4 = run.Speedup
+			}
+		}
+	}
+	return r, nil
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestQuickSuite runs the CI smoke suite end to end: every engine run
+// must succeed, the simulated outcome must be invariant across engines
+// and worker counts, and the report must serialize.
+func TestQuickSuite(t *testing.T) {
+	workers := []int{1, 4}
+	if testing.Short() {
+		workers = []int{4}
+	}
+	r, err := RunSuite(QuickCases(), workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Cases {
+		if !c.SimTimeInvariant {
+			t.Errorf("%s: simulated elapsed time varies across engines", c.Name)
+		}
+		if !c.StatsInvariant {
+			t.Errorf("%s: aggregate stats vary across engines", c.Name)
+		}
+		if len(c.Runs) != len(workers)+1 {
+			t.Errorf("%s: %d runs, want %d", c.Name, len(c.Runs), len(workers)+1)
+		}
+	}
+	if _, err := json.Marshal(r); err != nil {
+		t.Fatalf("report does not serialize: %v", err)
+	}
+}

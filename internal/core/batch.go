@@ -58,7 +58,7 @@ func (p *Proc) BatchStart(ranges ...Range) *Batch {
 		return b
 	}
 	p.stats.N[CntBatchesIssued]++
-	if t := s.tracer; t != nil {
+	if t := s.tr(p); t != nil {
 		t.Emit(trace.Event{T: p.Sim.Now(), Cat: "batch", Ev: "start", P: p.ID, A: int64(len(ranges))})
 	}
 	p.enterProtocol()
@@ -201,7 +201,7 @@ func (p *Proc) BatchEnd(b *Batch) {
 		p.storeMissLocked(st.addr, st.val, line)
 		p.exitProtocol()
 	}
-	if t := p.sys.tracer; t != nil {
+	if t := p.sys.tr(p); t != nil {
 		t.Emit(trace.Event{T: p.Sim.Now(), Cat: "batch", Ev: "end", P: p.ID, A: int64(len(reissue))})
 	}
 }

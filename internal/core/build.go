@@ -15,6 +15,7 @@ type builder struct {
 	cfg    Config
 	tracer *trace.Tracer
 	wantOS bool
+	runner sim.Runner
 }
 
 // WithConfig starts from an explicit configuration instead of
@@ -145,6 +146,9 @@ func Build(opts ...Option) *System {
 	if b.tracer != nil {
 		s.SetTracer(b.tracer)
 	}
+	if b.runner != nil {
+		s.enableParallel(b.runner, b.wantOS)
+	}
 	if b.wantOS {
 		if osFactory == nil {
 			panic("core: WithOS requires the cluster OS package to be linked in; use clusteros.Build")
@@ -163,6 +167,7 @@ func (s *System) SetTracer(t *trace.Tracer) {
 	s.tracer = t
 	s.Eng.SetTracer(t)
 	s.Net.SetTracer(t)
+	s.wireShardTracers()
 }
 
 // Tracer returns the attached tracer, or nil.
@@ -186,8 +191,16 @@ func (s *System) emitStats() {
 			}
 		}
 	}
-	// Per-link network totals (P is the sending node, not a process).
-	now := s.Eng.Now()
+	// Per-link network totals (P is the sending node, not a process). The
+	// timestamp is the furthest process clock — a property of the
+	// simulated execution, identical across engines (the engines' notion
+	// of "current scheduler time" is not).
+	var now sim.Time
+	for _, p := range s.procs {
+		if t := p.Sim.Now(); t > now {
+			now = t
+		}
+	}
 	for node, ls := range s.Net.LinkStats() {
 		for _, m := range []struct {
 			name string

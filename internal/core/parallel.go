@@ -1,0 +1,214 @@
+package core
+
+import (
+	"repro/internal/memchannel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file wires the DSM layer to a parallel (per-node-sharded) simulation
+// engine. The engine side lives in internal/sim + internal/sim/parallel;
+// the DSM layer's obligations are:
+//
+//   - stage cross-node message puts during a window and commit them at the
+//     window barrier (in-window, shards may only mutate their own node's
+//     queues, agents, and directory entries);
+//   - route every trace emit to the acting process's node so concurrent
+//     shards never share a tracer, and merge the per-node buffers into the
+//     main tracer at each barrier;
+//   - replace the global live-application-process counter with an exit log
+//     read through the network's visibility latency, so both engines see
+//     remote exits at the same simulated time.
+//
+// Everything here is inert (nil s.par, active=false) unless the system was
+// built WithEngine.
+
+// parState is the per-run parallel support state.
+type parState struct {
+	runner sim.Runner
+	active bool
+	// staged cross-node puts, indexed by sending node. Entries are
+	// committed in staging order per node, which per destination link is
+	// exactly the sequential engine's enqueue order (shard execution order
+	// equals the sequential schedule restricted to the shard).
+	staged [][]stagedPut
+	// shardTracers holds one buffering tracer per node (nil when tracing
+	// is off); commitRound drains them into s.tracer in node order.
+	shardTracers []*trace.Tracer
+}
+
+// stagedPut is one wire copy awaiting commit at the window barrier.
+type stagedPut struct {
+	dst    *Proc
+	m      msg
+	box    *queueBox
+	arrive sim.Time
+	ord    memchannel.Ord
+}
+
+// WithEngine installs a sim.Runner (e.g. parallel.New(workers)) that drives
+// the simulation in place of the sequential scheduler, and shards the
+// engine per node. The parallel engine requires a static process layout:
+// it rejects WithOS (the cluster OS performs zero-latency cross-node
+// notifications) and ProtocolProcs (protocol processes share CPUs with
+// application processes, making quantum preemption points schedule-
+// dependent); dynamic Spawn during the run panics in the engine.
+func WithEngine(r sim.Runner) Option {
+	return func(b *builder) { b.runner = r }
+}
+
+// enableParallel shards the engine per node and installs the staging
+// machinery. Called from Build before any process is spawned.
+func (s *System) enableParallel(r sim.Runner, wantOS bool) {
+	if r == nil {
+		return
+	}
+	if wantOS {
+		panic("core: WithEngine(parallel) is incompatible with WithOS (the cluster OS layer performs zero-latency cross-node notifications; run it on the sequential engine)")
+	}
+	if s.Cfg.ProtocolProcs {
+		panic("core: WithEngine(parallel) is incompatible with ProtocolProcs (dedicated protocol processes share CPUs with application processes, which makes preemption points depend on the schedule; run them on the sequential engine)")
+	}
+	s.par = &parState{
+		runner: r,
+		active: true,
+		staged: make([][]stagedPut, s.Cfg.Nodes),
+	}
+	s.Eng.ShardPerNode()
+	s.Eng.SetRunner(r)
+	// Lookahead: the minimum simulated latency of any cross-node effect.
+	// Every cross-node interaction goes over the Memory Channel, so a
+	// message sent at t arrives no earlier than t + WireLatency (occupancy
+	// and injected delay faults only add on top).
+	s.Eng.SetLookahead(s.Cfg.Net.WireLatency)
+	s.Eng.SetBarrierHook(s.commitRound)
+	s.wireShardTracers()
+}
+
+// wireShardTracers gives each node a private buffering tracer (only when
+// tracing is enabled at all).
+func (s *System) wireShardTracers() {
+	if s.par == nil {
+		return
+	}
+	if s.tracer == nil {
+		s.par.shardTracers = nil
+		return
+	}
+	ts := make([]*trace.Tracer, s.Cfg.Nodes)
+	for i := range ts {
+		ts[i] = trace.NewBuffer()
+	}
+	s.par.shardTracers = ts
+	s.Eng.SetShardTracers(ts)
+	s.Net.SetNodeTracers(ts)
+}
+
+// parActive reports whether cross-node effects must currently be staged.
+func (s *System) parActive() bool { return s.par != nil && s.par.active }
+
+// tr returns the tracer for events attributed to process p: its node's
+// buffer during a parallel run, the main tracer otherwise.
+func (s *System) tr(p *Proc) *trace.Tracer {
+	if s.par != nil && s.par.active && s.par.shardTracers != nil {
+		return s.par.shardTracers[p.node]
+	}
+	return s.tracer
+}
+
+// stagePut records one cross-node wire copy for commit at the barrier.
+func (s *System) stagePut(srcNode int, dst *Proc, m msg, box *queueBox, arrive sim.Time, ord memchannel.Ord) {
+	s.par.staged[srcNode] = append(s.par.staged[srcNode], stagedPut{
+		dst: dst, m: m, box: box, arrive: arrive, ord: ord,
+	})
+}
+
+// commitRound is the engine's barrier hook: with every shard parked at the
+// horizon, apply the staged cross-node puts and merge the per-node trace
+// buffers. Committing per sending node in staging order reproduces the
+// sequential engine's per-link resequencer call order, and the queues'
+// canonical (arrival, Ord) ordering makes the interleaving across links
+// irrelevant — so queue contents, held-arrival counts, and wake-ups are
+// identical to the sequential run.
+func (s *System) commitRound() {
+	for n := range s.par.staged {
+		for _, sp := range s.par.staged[n] {
+			if sp.m.seq != 0 {
+				s.reseqEnqueue(n, sp.dst, sp.m, sp.box, sp.arrive)
+			} else {
+				mm := sp.m
+				mm.arrive = sp.arrive
+				sp.box.put(mm, sp.arrive, sp.ord)
+			}
+		}
+		s.par.staged[n] = s.par.staged[n][:0]
+	}
+	s.mergeShardTraces()
+}
+
+// mergeShardTraces drains each node's buffered events into the main tracer
+// in node order (deterministic run to run; cross-engine comparisons use an
+// order-blind multiset digest, trace.MultisetDigest).
+func (s *System) mergeShardTraces() {
+	if s.par.shardTracers == nil || s.tracer == nil {
+		return
+	}
+	for _, bt := range s.par.shardTracers {
+		for _, e := range bt.TakeBuffered() {
+			s.tracer.Emit(e)
+		}
+	}
+}
+
+// finishParallel commits any leftover staged state after the engine
+// returns (e.g. sends staged in the final window, or events emitted while
+// draining) and drops back to direct tracing for end-of-run accounting.
+func (s *System) finishParallel() {
+	if s.par == nil {
+		return
+	}
+	s.commitRound()
+	s.par.active = false
+}
+
+// appExit records one application process exit for appAlive.
+type appExit struct {
+	at   sim.Time
+	node int
+}
+
+// noteAppExit logs an application process exit. The mutex makes the append
+// safe against concurrent appAlive readers in other shards; determinism is
+// unaffected because an exit is never visible across nodes within the
+// window it happens in (see appAlive).
+func (s *System) noteAppExit(at sim.Time, node int) {
+	s.exitMu.Lock()
+	s.appExits = append(s.appExits, appExit{at: at, node: node})
+	s.exitMu.Unlock()
+}
+
+// appAlive reports whether any application process is still running from
+// the point of view of an observer on the given node at time now. A local
+// exit is visible immediately; a remote exit only after the network's
+// minimum cross-node latency — the mechanism a real cluster would use
+// (Shasta's exit handshake is a message). Both engines apply the same
+// rule, so protocol-serving loops terminate at identical simulated times;
+// under the parallel engine a remote exit inside the current window is
+// never visible yet (its time + latency is at or past the horizon), making
+// the log race-benign.
+func (s *System) appAlive(now sim.Time, node int) bool {
+	s.exitMu.Lock()
+	defer s.exitMu.Unlock()
+	visible := 0
+	lat := s.Cfg.Net.WireLatency
+	for _, e := range s.appExits {
+		if e.node == node {
+			if e.at <= now {
+				visible++
+			}
+		} else if e.at+lat <= now {
+			visible++
+		}
+	}
+	return s.appStarted > visible
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/memchannel"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -74,6 +75,9 @@ type Proc struct {
 	stats  Stats
 	rng    *rand.Rand
 	exited bool
+	// sendSeq numbers this process's wire transmissions for the queues'
+	// canonical ordering key (see memchannel.Ord).
+	sendSeq int64
 
 	// OSData is used by the cluster OS layer for per-process state.
 	OSData any
@@ -363,7 +367,7 @@ func traceEvent(p *Proc, blk *blockInfo, site string) {
 	if debugTrace != nil {
 		debugTrace(p, blk, site)
 	}
-	if t := p.sys.tracer; t != nil {
+	if t := p.sys.tr(p); t != nil {
 		t.Emit(trace.Event{T: p.Sim.Now(), Cat: "line", Ev: site, P: p.ID, Blk: blk.id})
 	}
 }
@@ -751,17 +755,32 @@ func (p *Proc) serveAfterExit() {
 	}()
 	backoff := sim.Cycles(20)
 	const maxBackoff = sim.Time(3000 * sim.CyclesPerMicrosecond)
-	for s.appLive > 0 {
+	for s.appAlive(p.Sim.Now(), p.node) {
 		if p.serviceReady(CatMessage) {
 			backoff = sim.Cycles(20)
 			continue
 		}
-		p.Sim.NotifyAt(p.Sim.Now() + backoff)
+		// Re-arm from queue state before blocking (like stallWhile): the
+		// put-time notification is edge-triggered and a backoff wake-up
+		// between a message's send and its arrival would consume it,
+		// leaving the message to the (much later) next backoff expiry.
+		wake := p.Sim.Now() + backoff
+		if a, ok := p.nextArrival(); ok && a < wake {
+			wake = a
+		}
+		p.Sim.NotifyAt(wake)
 		p.Sim.Block()
 		if backoff < maxBackoff {
 			backoff *= 2
 		}
 	}
+}
+
+// nextOrd allocates the canonical ordering key for one wire transmission
+// sent by this process at the given time (see memchannel.Ord).
+func (p *Proc) nextOrd(now sim.Time) memchannel.Ord {
+	p.sendSeq++
+	return memchannel.Ord{At: now, Sender: p.ID, Seq: p.sendSeq}
 }
 
 // Exited reports whether the process body has returned.

@@ -61,12 +61,12 @@ func (p *Proc) handleMessage(m msg, cat TimeCategory) {
 	if debugSvcDelay != nil && m.arrive > 0 {
 		debugSvcDelay(p, m.kind.String(), p.Sim.Now()-m.arrive)
 	}
-	if s.tracer != nil {
+	if t := s.tr(p); t != nil {
 		var delay sim.Time
 		if m.arrive > 0 {
 			delay = p.Sim.Now() - m.arrive
 		}
-		s.tracer.Emit(trace.Event{
+		t.Emit(trace.Event{
 			T: p.Sim.Now(), Cat: "msg", Ev: "handle",
 			P: p.ID, O: m.from, Blk: m.block, S: m.kind.String(), A: delay,
 		})

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/memchannel"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -128,12 +129,21 @@ func (p *Proc) assignSeq(dst *Proc) int64 {
 // of a still-buffered seq are dropped outright: the original will be
 // released (and acked) once, and later retransmissions re-ack normally.
 func (s *System) reseqEnqueue(srcNode int, dst *Proc, m msg, box *queueBox, arrive sim.Time) {
-	r := s.reseq[srcNode*s.Cfg.Nodes+dst.node]
+	link := srcNode*s.Cfg.Nodes + dst.node
+	r := s.reseq[link]
+	// Sequenced traffic orders by (link, seq), not by transmission time:
+	// the resequencer's job is to restore the link's FIFO order, and a
+	// retransmission's send time can be arbitrarily far past the send
+	// times of successors it was reordered around. At = 0 sorts sequenced
+	// releases ahead of unsequenced traffic with an equal arrival time.
+	ord := func(seq int64) memchannel.Ord {
+		return memchannel.Ord{Sender: link, Seq: seq}
+	}
 	switch {
 	case m.seq <= r.contig:
 		m.dup = true
 		m.arrive = arrive
-		box.put(m, arrive)
+		box.put(m, arrive, ord(m.seq))
 	case m.seq == r.contig+1:
 		r.contig++
 		if arrive < r.lastAt {
@@ -141,7 +151,7 @@ func (s *System) reseqEnqueue(srcNode int, dst *Proc, m msg, box *queueBox, arri
 		}
 		r.lastAt = arrive
 		m.arrive = arrive
-		box.put(m, arrive)
+		box.put(m, arrive, ord(m.seq))
 		for {
 			h, ok := r.held[r.contig+1]
 			if !ok {
@@ -154,7 +164,7 @@ func (s *System) reseqEnqueue(srcNode int, dst *Proc, m msg, box *queueBox, arri
 			}
 			r.lastAt = h.arrive
 			h.m.arrive = h.arrive
-			h.box.put(h.m, h.arrive)
+			h.box.put(h.m, h.arrive, ord(h.m.seq))
 		}
 	default:
 		if _, dup := r.held[m.seq]; dup {
@@ -247,7 +257,7 @@ func (p *Proc) pumpReliability(cat TimeCategory) bool {
 		e.history = append(e.history, now)
 		e.deadline = now + rto
 		p.stats.N[CntRetransmits]++
-		if t := p.sys.tracer; t != nil {
+		if t := p.sys.tr(p); t != nil {
 			t.Emit(trace.Event{
 				T: now, Cat: "net", Ev: "retx",
 				P: p.ID, O: e.dst.ID, Blk: e.m.block, S: e.m.kind.String(),

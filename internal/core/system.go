@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/memchannel"
 	"repro/internal/sim"
@@ -32,8 +33,8 @@ func newQueueBox() *queueBox {
 	return &queueBox{q: memchannel.NewQueue[msg](), waiters: make(map[*Proc]int)}
 }
 
-func (b *queueBox) put(m msg, arrive sim.Time) {
-	b.q.Put(m, arrive)
+func (b *queueBox) put(m msg, arrive sim.Time, ord memchannel.Ord) {
+	b.q.PutOrd(m, arrive, ord)
 	for w := range b.waiters {
 		w.Sim.NotifyAt(arrive)
 	}
@@ -80,8 +81,16 @@ type System struct {
 
 	userHandler UserHandler
 
-	appLive int // live application (non-protocol) processes
-	started bool
+	// appStarted counts application (non-protocol) processes; appExits
+	// logs their exits, read through appAlive with cross-node visibility
+	// latency (see parallel.go).
+	appStarted int
+	exitMu     sync.Mutex
+	appExits   []appExit
+	started    bool
+
+	// par holds the parallel-engine staging state when built WithEngine.
+	par *parState
 
 	tracer *trace.Tracer
 	osObj  any // cluster OS layer when built WithOS
@@ -280,7 +289,7 @@ func (s *System) spawn(name string, cpu, priority int, start sim.Time, body func
 	p.agent = s.agentOf(p)
 	s.procs = append(s.procs, p)
 	if priority == 0 {
-		s.appLive++
+		s.appStarted++
 	}
 	wrapped := func(sp *sim.Proc) {
 		p.Sim = sp
@@ -288,9 +297,7 @@ func (s *System) spawn(name string, cpu, priority int, start sim.Time, body func
 		body(p)
 		p.exited = true
 		if priority == 0 {
-			s.appLive--
-		}
-		if priority == 0 {
+			s.noteAppExit(sp.Now(), p.node)
 			p.serveAfterExit()
 		}
 	}
@@ -306,11 +313,11 @@ func (s *System) spawnProtocolProcs() {
 	for cpu := 0; cpu < s.Eng.NumCPUs(); cpu++ {
 		cpu := cpu
 		s.spawn(fmt.Sprintf("proto%d", cpu), cpu, 1, 0, func(p *Proc) {
-			for s.appLive > 0 {
+			for s.appAlive(p.Sim.Now(), p.node) {
 				if !p.serviceReady(CatMessage) {
 					box := s.cpus[cpu].reqQ
 					box.addWaiter(p)
-					if !box.q.Ready(p.Sim.Now()) && s.appLive > 0 {
+					if !box.q.Ready(p.Sim.Now()) && s.appAlive(p.Sim.Now(), p.node) {
 						p.Sim.NotifyAt(p.Sim.Now() + sim.Cycles(100))
 						p.Sim.Wait()
 					}
@@ -332,6 +339,9 @@ func (s *System) Run() error {
 		s.spawnProtocolProcs()
 	}
 	err := s.Eng.Run()
+	// Commit any staged state left from the final parallel window (and
+	// trace events emitted during tear-down) before accounting runs.
+	s.finishParallel()
 	if err == nil && s.Cfg.InvariantChecks {
 		err = s.CheckInvariants()
 	}
@@ -536,7 +546,8 @@ func (s *System) sendWire(sender *Proc, dst *Proc, m msg, cat TimeCategory) {
 	}
 	sender.stats.N[CntMessagesSent]++
 	size := m.wireSize(s.Cfg.LineSize)
-	a1, a2, copies := s.Net.Send(sender.node, dst.node, size, sender.Sim.Now())
+	now := sender.Sim.Now()
+	a1, a2, copies := s.Net.Send(sender.node, dst.node, size, now)
 	var box *queueBox
 	switch m.kind {
 	case msgReadReply, msgReadExclReply, msgUpgradeAck, msgSCFail, msgInvalAck,
@@ -549,34 +560,65 @@ func (s *System) sendWire(sender *Proc, dst *Proc, m msg, cat TimeCategory) {
 	if copies == 0 {
 		arrive = 0 // dropped: never arrives
 	}
+	// Under a parallel engine, cross-node traffic is staged and committed
+	// at the next window barrier; it arrives at or past the horizon, so no
+	// shard could have observed it within the current window anyway.
+	staging := s.parActive() && sender.node != dst.node
 	if m.seq != 0 {
 		// Sequenced traffic goes through the destination node's link
-		// resequencer, which restores FIFO order before the queues.
+		// resequencer, which restores FIFO order before the queues (and
+		// assigns the canonical (link, seq) ordering key itself).
 		if copies >= 1 {
-			s.reseqEnqueue(sender.node, dst, m, box, a1)
+			if staging {
+				s.stagePut(sender.node, dst, m, box, a1, memchannel.Ord{})
+			} else {
+				s.reseqEnqueue(sender.node, dst, m, box, a1)
+			}
 		}
 		if copies >= 2 {
-			s.reseqEnqueue(sender.node, dst, m, box, a2)
+			if staging {
+				s.stagePut(sender.node, dst, m, box, a2, memchannel.Ord{})
+			} else {
+				s.reseqEnqueue(sender.node, dst, m, box, a2)
+			}
 		}
-		if debugForceDup != nil && copies >= 1 && debugForceDup(s.deliveryCount) {
+		if !staging && debugForceDup != nil && copies >= 1 && debugForceDup(s.deliveryCount) {
 			s.reseqEnqueue(sender.node, dst, m, box, a1+500)
 		}
 	} else {
+		// Each surviving wire copy gets a canonical ordering key (send
+		// time, sender, per-sender sequence): queue order among equal
+		// arrival times is then a property of the messages, not of
+		// enqueue order, which is what lets a parallel engine commit
+		// staged cross-node traffic at window barriers without replaying
+		// the sequential enqueue sequence.
 		if copies >= 1 {
-			mm := m
-			mm.arrive = a1
-			box.put(mm, a1)
+			ord1 := sender.nextOrd(now)
+			if staging {
+				s.stagePut(sender.node, dst, m, box, a1, ord1)
+			} else {
+				mm := m
+				mm.arrive = a1
+				box.put(mm, a1, ord1)
+			}
 		}
 		if copies >= 2 {
-			mm := m
-			mm.arrive = a2
-			box.put(mm, a2)
+			ord2 := sender.nextOrd(now)
+			if staging {
+				s.stagePut(sender.node, dst, m, box, a2, ord2)
+			} else {
+				mm := m
+				mm.arrive = a2
+				box.put(mm, a2, ord2)
+			}
 		}
 	}
-	s.deliveryCount++
-	if s.tracer != nil {
-		s.tracer.Emit(trace.Event{
-			T: sender.Sim.Now(), Cat: "msg", Ev: "send",
+	if !s.parActive() {
+		s.deliveryCount++ // debug-hook cursor; meaningful sequentially only
+	}
+	if t := s.tr(sender); t != nil {
+		t.Emit(trace.Event{
+			T: now, Cat: "msg", Ev: "send",
 			P: sender.ID, O: dst.ID, Blk: m.block, S: m.kind.String(),
 			A: arrive, B: int64(size),
 		})

@@ -14,7 +14,14 @@ import (
 func TestChaosMatrix(t *testing.T) {
 	const procs, scale = 8, 1
 	seeds := []int64{1, 2, 3}
-	for _, app := range workloads.All() {
+	apps := workloads.All()
+	if testing.Short() {
+		// Representative slice: one regular and one LL/SC-heavy workload,
+		// one seed. The full matrix runs in the long tier.
+		seeds = seeds[:1]
+		apps = apps[:2]
+	}
+	for _, app := range apps {
 		app := app
 		t.Run(app.Name, func(t *testing.T) {
 			base, err := NewChaosBaseline(app.Name, procs, scale)
@@ -52,7 +59,11 @@ func TestChaosMatrix(t *testing.T) {
 // fall through to the generic stall watchdog.
 func TestChaosCrashProfile(t *testing.T) {
 	const procs, scale = 8, 1
-	for _, app := range workloads.All() {
+	apps := workloads.All()
+	if testing.Short() {
+		apps = apps[:2]
+	}
+	for _, app := range apps {
 		app := app
 		t.Run(app.Name, func(t *testing.T) {
 			base, err := NewChaosBaseline(app.Name, procs, scale)
@@ -101,6 +112,9 @@ func TestChaosTraceDeterminism(t *testing.T) {
 		{"Ocean", "partition", 1},
 		{"Water-Nsq", "crash", 3},
 	} {
+		if testing.Short() && tc.app != "LU" {
+			continue
+		}
 		d1, err := ChaosTraceDigest(tc.app, 8, 1, tc.profile, tc.seed)
 		if err != nil {
 			t.Fatalf("%s/%s/%d: %v", tc.app, tc.profile, tc.seed, err)

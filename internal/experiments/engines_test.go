@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memchannel"
+	"repro/internal/workloads"
+)
+
+// faultCases are the network conditions the determinism matrix covers: a
+// clean network plus two lossy chaos seeds, so retransmission and
+// resequencing paths are exercised on both engines.
+var faultCases = []struct {
+	name    string
+	profile string
+	seed    int64
+}{
+	{"clean", "", 0},
+	{"lossy-1", "lossy", 1},
+	{"lossy-2", "lossy", 2},
+}
+
+func engineCaseConfig(t *testing.T, model core.ConsistencyModel, profile string, seed int64) core.Config {
+	t.Helper()
+	cfg := baseConfig()
+	cfg.Consistency = model
+	if profile != "" {
+		fc, err := memchannel.FaultProfile(profile, seed)
+		if err != nil {
+			t.Fatalf("fault profile %s/%d: %v", profile, seed, err)
+		}
+		cfg.Faults = fc
+	}
+	return cfg
+}
+
+// TestCrossEngineWorkloads runs every built-in workload under both
+// consistency models and three network conditions on the sequential engine
+// and the parallel conservative engine (4 workers), and requires the two
+// runs to agree on every observable: trace digest, final memory image,
+// aggregate protocol stats, network counters, and simulated completion
+// time. This is the determinism contract of internal/sim/parallel.
+//
+// In -short mode only one representative slice runs (LU and Water-Nsq,
+// clean network); the full matrix is ~110 runs and takes a few seconds.
+func TestCrossEngineWorkloads(t *testing.T) {
+	models := []core.ConsistencyModel{core.ReleaseConsistent, core.SequentiallyConsistent}
+	for _, a := range workloads.All() {
+		for _, model := range models {
+			for _, fc := range faultCases {
+				short := (a.Name == "LU" || a.Name == "Water-Nsq") && fc.profile == ""
+				if testing.Short() && !short {
+					continue
+				}
+				name := fmt.Sprintf("%s/%s/%s", a.Name, model, fc.name)
+				t.Run(name, func(t *testing.T) {
+					cfg := engineCaseConfig(t, model, fc.profile, fc.seed)
+					seq, err := RunWorkloadOnEngine(a.Name, 8, 1, cfg, -1)
+					if err != nil {
+						t.Fatalf("sequential: %v", err)
+					}
+					par, err := RunWorkloadOnEngine(a.Name, 8, 1, cfg, 4)
+					if err != nil {
+						t.Fatalf("parallel: %v", err)
+					}
+					if d := seq.Diff(par); d != "" {
+						t.Fatalf("engines diverge: %s", d)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCrossEngineAsmKernels runs every instrumented assembly kernel —
+// the full binary path through the rewriter's inline checks, batching and
+// polls — on both engines under both consistency models and requires
+// identical observables. Fault cases are limited to the clean network and
+// one lossy seed to keep the matrix proportionate.
+func TestCrossEngineAsmKernels(t *testing.T) {
+	models := []core.ConsistencyModel{core.ReleaseConsistent, core.SequentiallyConsistent}
+	for _, k := range workloads.AsmKernels() {
+		for _, model := range models {
+			for _, fc := range faultCases {
+				if fc.seed > 1 {
+					continue
+				}
+				short := k.Name == "lu" && fc.profile == ""
+				if testing.Short() && !short {
+					continue
+				}
+				name := fmt.Sprintf("%s/%s/%s", k.Name, model, fc.name)
+				t.Run(name, func(t *testing.T) {
+					cfg := workloads.AsmConfig()
+					cfg.Consistency = model
+					if fc.profile != "" {
+						f, err := memchannel.FaultProfile(fc.profile, fc.seed)
+						if err != nil {
+							t.Fatalf("fault profile: %v", err)
+						}
+						cfg.Faults = f
+					}
+					seq, err := RunAsmOnEngine(k, cfg, -1)
+					if err != nil {
+						t.Fatalf("sequential: %v", err)
+					}
+					par, err := RunAsmOnEngine(k, cfg, 4)
+					if err != nil {
+						t.Fatalf("parallel: %v", err)
+					}
+					if d := seq.Diff(par); d != "" {
+						t.Fatalf("engines diverge: %s", d)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelWorkerCountInvariance checks that the parallel engine's
+// output does not depend on the worker-pool size: 1, 2 and 8 workers must
+// reproduce the 4-worker observables exactly (the windows and their
+// commit order are fixed by simulated time, not by host scheduling).
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	cfg := engineCaseConfig(t, core.ReleaseConsistent, "lossy", 1)
+	ref, err := RunWorkloadOnEngine("Ocean", 8, 1, cfg, 4)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	for _, w := range []int{1, 2, 8} {
+		got, err := RunWorkloadOnEngine("Ocean", 8, 1, cfg, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if d := ref.Diff(got); d != "" {
+			t.Fatalf("workers=%d diverges from workers=4: %s", w, d)
+		}
+	}
+}

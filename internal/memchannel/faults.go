@@ -176,7 +176,7 @@ func (n *Network) Send(fromNode, toNode int, size int, sendTime sim.Time) (a1, a
 	// nothing, and traffic toward a dead node disappears at its NIC.
 	if n.faults.crashed(fromNode, sendTime) || n.faults.crashed(toNode, sendTime) {
 		ls.Drops++
-		n.stats.Drops++
+		n.stats[fromNode].Drops++
 		n.emitFault("drop", "crash", fromNode, toNode, size, sendTime)
 		return 0, 0, 0
 	}
@@ -194,7 +194,7 @@ func (n *Network) Send(fromNode, toNode int, size int, sendTime sim.Time) (a1, a
 	a1 = n.transmit(fromNode, toNode, size, sendTime)
 	if drop {
 		ls.Drops++
-		n.stats.Drops++
+		n.stats[fromNode].Drops++
 		n.emitFault("drop", reason, fromNode, toNode, size, sendTime)
 		return 0, 0, 0
 	}
@@ -210,7 +210,7 @@ func (n *Network) Send(fromNode, toNode int, size int, sendTime sim.Time) (a1, a
 		ls.Sends++
 		ls.Bytes += int64(size)
 		ls.Dups++
-		n.stats.Dups++
+		n.stats[fromNode].Dups++
 		a2 = n.transmit(fromNode, toNode, size, sendTime)
 		if a2 <= a1 {
 			a2 = a1 + 1
@@ -224,8 +224,8 @@ func (n *Network) Send(fromNode, toNode int, size int, sendTime sim.Time) (a1, a
 // transmit charges inter-node link occupancy and returns the arrival time
 // (the fault-free Deliver path for inter-node traffic).
 func (n *Network) transmit(fromNode, toNode int, size int, sendTime sim.Time) sim.Time {
-	n.stats.Messages++
-	n.stats.Bytes += int64(size)
+	n.stats[fromNode].Messages++
+	n.stats[fromNode].Bytes += int64(size)
 	start := sendTime
 	if n.outBusy[fromNode] > start {
 		start = n.outBusy[fromNode]
@@ -233,8 +233,8 @@ func (n *Network) transmit(fromNode, toNode int, size int, sendTime sim.Time) si
 	occupy := sim.Time(float64(size) * n.cfg.CyclesPerByte)
 	n.outBusy[fromNode] = start + occupy
 	arrive := start + occupy + n.cfg.WireLatency
-	if n.tracer != nil {
-		n.tracer.Emit(trace.Event{
+	if t := n.tr(fromNode); t != nil {
+		t.Emit(trace.Event{
 			T: sendTime, Cat: "net", Ev: "xfer",
 			P: fromNode, O: toNode, A: arrive - sendTime, B: int64(size),
 		})
@@ -243,10 +243,11 @@ func (n *Network) transmit(fromNode, toNode int, size int, sendTime sim.Time) si
 }
 
 func (n *Network) emitFault(ev, reason string, fromNode, toNode, size int, sendTime sim.Time) {
-	if n.tracer == nil {
+	t := n.tr(fromNode)
+	if t == nil {
 		return
 	}
-	n.tracer.Emit(trace.Event{
+	t.Emit(trace.Event{
 		T: sendTime, Cat: "net", Ev: ev,
 		P: fromNode, O: toNode, B: int64(size), S: reason,
 	})

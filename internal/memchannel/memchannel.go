@@ -52,12 +52,18 @@ type Stats struct {
 	Dups          int64 // duplicate copies injected
 }
 
-// Network computes message delivery times across the cluster.
+// Network computes message delivery times across the cluster. All mutable
+// state (link occupancy, counters, fault schedule position) is held per
+// sending node and touched only on that node's sends, so a per-node-sharded
+// parallel simulation can drive the network from all shards concurrently.
 type Network struct {
 	cfg     Config
 	outBusy []sim.Time // per-node link transmit availability
-	stats   Stats
+	stats   []Stats    // per sending node; Stats() sums
 	tracer  *trace.Tracer
+	// nodeTracers, when set, route each emit to the sending node's tracer
+	// (a shard-private buffer during parallel windows) instead of tracer.
+	nodeTracers []*trace.Tracer
 
 	faults  FaultConfig
 	pairN   []int64     // per directed node pair: messages offered so far
@@ -72,6 +78,7 @@ func NewNetwork(nodes int, cfg Config) *Network {
 	return &Network{
 		cfg:     cfg,
 		outBusy: make([]sim.Time, nodes),
+		stats:   make([]Stats, nodes),
 		pairN:   make([]int64, nodes*nodes),
 		perLink: make([]LinkStats, nodes),
 	}
@@ -80,8 +87,19 @@ func NewNetwork(nodes int, cfg Config) *Network {
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// Stats returns a copy of the traffic counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns the traffic counters summed over all sending nodes.
+func (n *Network) Stats() Stats {
+	var s Stats
+	for i := range n.stats {
+		s.Messages += n.stats[i].Messages
+		s.Bytes += n.stats[i].Bytes
+		s.IntraMessages += n.stats[i].IntraMessages
+		s.IntraBytes += n.stats[i].IntraBytes
+		s.Drops += n.stats[i].Drops
+		s.Dups += n.stats[i].Dups
+	}
+	return s
+}
 
 // SetFaults installs a fault schedule; Send consults it for every
 // inter-node message. A zero FaultConfig restores fault-free delivery.
@@ -99,6 +117,25 @@ func (n *Network) LinkStats() []LinkStats { return n.perLink }
 // recording latency and the sending link's occupancy.
 func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
 
+// SetNodeTracers installs one tracer per node; each emit then goes to the
+// sending node's tracer. A parallel simulation points these at the shards'
+// buffering tracers so concurrent sends never share a tracer. Pass nil to
+// restore the single tracer.
+func (n *Network) SetNodeTracers(ts []*trace.Tracer) {
+	if ts != nil && len(ts) != len(n.outBusy) {
+		panic(fmt.Sprintf("memchannel: %d node tracers for %d nodes", len(ts), len(n.outBusy)))
+	}
+	n.nodeTracers = ts
+}
+
+// tr returns the tracer for events attributed to fromNode.
+func (n *Network) tr(fromNode int) *trace.Tracer {
+	if n.nodeTracers != nil {
+		return n.nodeTracers[fromNode]
+	}
+	return n.tracer
+}
+
 // Deliver computes the arrival time of a message of the given size sent at
 // sendTime from one node to another, charging link occupancy. Intra-node
 // messages use the shared-memory segment fast path and do not occupy the
@@ -108,11 +145,11 @@ func (n *Network) Deliver(fromNode, toNode int, size int, sendTime sim.Time) sim
 		panic(fmt.Sprintf("memchannel: bad nodes %d->%d", fromNode, toNode))
 	}
 	if fromNode == toNode {
-		n.stats.IntraMessages++
-		n.stats.IntraBytes += int64(size)
+		n.stats[fromNode].IntraMessages++
+		n.stats[fromNode].IntraBytes += int64(size)
 		arrive := sendTime + n.cfg.IntraNodeLatency + sim.Time(float64(size)*n.cfg.IntraNodeCyclesPerByte)
-		if n.tracer != nil {
-			n.tracer.Emit(trace.Event{
+		if t := n.tr(fromNode); t != nil {
+			t.Emit(trace.Event{
 				T: sendTime, Cat: "net", Ev: "intra",
 				P: fromNode, O: toNode, A: arrive - sendTime, B: int64(size),
 			})
@@ -124,11 +161,36 @@ func (n *Network) Deliver(fromNode, toNode int, size int, sendTime sim.Time) sim
 	return n.transmit(fromNode, toNode, size, sendTime)
 }
 
+// Ord is the canonical tiebreak for queue entries with equal arrival time:
+// the simulated send time of the transmission, the sending process, and a
+// per-sender sequence number. Because every component is simulated-time or
+// sender-local, an ordering key is a pure function of the message itself —
+// two engines that deliver the same set of messages to a queue leave it in
+// the same order no matter which engine enqueued them first in wall-clock
+// terms. (The zero Ord sorts first.)
+type Ord struct {
+	At     sim.Time // send time of the transmission
+	Sender int      // sending process id
+	Seq    int64    // per-sender send sequence
+}
+
+func (a Ord) less(b Ord) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Sender != b.Sender {
+		return a.Sender < b.Sender
+	}
+	return a.Seq < b.Seq
+}
+
 // Queue is an arrival-time-gated receive queue (a Memory Channel receive
 // ring). Messages become visible to Poll/Pop only once simulated time has
 // reached their arrival time, which models the pollable flag word.
 type Queue[T any] struct {
 	entries []entry[T]
+	// seq orders plain Put entries FIFO among equal arrival times.
+	seq int64
 	// onPut, if set, is invoked with each message's arrival time; the
 	// owner uses it to wake a waiting process.
 	onPut func(arrive sim.Time)
@@ -136,11 +198,9 @@ type Queue[T any] struct {
 
 type entry[T any] struct {
 	arrive sim.Time
-	seq    int64
+	ord    Ord
 	msg    T
 }
-
-var queueSeq int64
 
 // NewQueue creates an empty receive queue.
 func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
@@ -149,19 +209,36 @@ func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
 func (q *Queue[T]) SetWaker(fn func(arrive sim.Time)) { q.onPut = fn }
 
 // Put enqueues a message that becomes visible at the given arrival time.
+// Messages with equal arrival times pop in put order.
 func (q *Queue[T]) Put(msg T, arrive sim.Time) {
-	queueSeq++
-	e := entry[T]{arrive: arrive, seq: queueSeq, msg: msg}
-	// Insert keeping (arrive, seq) order; queues are short in practice.
+	q.seq++
+	// At = arrive keeps plain puts FIFO among themselves while sorting
+	// after any PutOrd entry with the same arrival (whose send time is
+	// necessarily earlier than its arrival).
+	q.insert(entry[T]{arrive: arrive, ord: Ord{At: arrive, Seq: q.seq}, msg: msg})
+}
+
+// PutOrd enqueues a message with a canonical ordering key (see Ord). The
+// DSM layer uses it for every protocol message so queue order is
+// independent of enqueue order, which lets a parallel engine commit staged
+// cross-node messages at window barriers without tracking the sequential
+// engine's exact enqueue sequence.
+func (q *Queue[T]) PutOrd(msg T, arrive sim.Time, ord Ord) {
+	q.insert(entry[T]{arrive: arrive, ord: ord, msg: msg})
+}
+
+func (q *Queue[T]) insert(e entry[T]) {
+	// Insert keeping (arrive, ord) order; queues are short in practice.
 	i := len(q.entries)
-	for i > 0 && (q.entries[i-1].arrive > e.arrive) {
+	for i > 0 && (q.entries[i-1].arrive > e.arrive ||
+		(q.entries[i-1].arrive == e.arrive && e.ord.less(q.entries[i-1].ord))) {
 		i--
 	}
 	q.entries = append(q.entries, entry[T]{})
 	copy(q.entries[i+1:], q.entries[i:])
 	q.entries[i] = e
 	if q.onPut != nil {
-		q.onPut(arrive)
+		q.onPut(e.arrive)
 	}
 }
 

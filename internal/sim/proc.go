@@ -11,6 +11,7 @@ import (
 type CPU struct {
 	id       int
 	node     int
+	shard    *shard // scheduling domain this CPU belongs to
 	current  *Proc
 	queue    []*Proc // descheduled processes bound to this CPU
 	lastRan  *Proc
@@ -75,7 +76,7 @@ func (p *Proc) run(fn func(*Proc)) {
 		if r != nil && r != any(abortSignal) && !p.abort {
 			buf := make([]byte, 16384)
 			n := runtime.Stack(buf, false)
-			p.eng.fail(fmt.Errorf("sim: process %s[%d] panicked at t=%d: %v\n%s", p.Name, p.ID, p.now, r, buf[:n]))
+			p.cpu.shard.fail(fmt.Errorf("sim: process %s[%d] panicked at t=%d: %v\n%s", p.Name, p.ID, p.now, r, buf[:n]))
 		}
 		p.state = stateDone
 		// Always hand control back — during tear-down the engine's drain is
@@ -99,7 +100,7 @@ var abortSignal = abortSignalType{}
 // exhaustion) the same way the watchdog surfaces StallError. Must be
 // called from within the process's own body; it does not return.
 func (p *Proc) Fail(err error) {
-	p.eng.fail(err)
+	p.cpu.shard.fail(err)
 	panic(abortSignal)
 }
 
@@ -124,10 +125,11 @@ func (p *Proc) Advance(c Time) {
 	p.now += c
 	if c > 0 {
 		// Charged work is the stall watchdog's definition of progress.
-		if p.now > p.eng.progressMark {
-			p.eng.progressMark = p.now
+		sh := p.cpu.shard
+		if p.now > sh.progressMark {
+			sh.progressMark = p.now
 		}
-		p.eng.itersNoProgress = 0
+		sh.itersNoProgress = 0
 	}
 	if p.now >= p.window {
 		p.yieldBack()
@@ -168,11 +170,20 @@ func (p *Proc) NotifyAt(t Time) {
 	w := maxTime(t, p.now)
 	if w < p.wakeAt {
 		p.wakeAt = w
+		// A sleeper parked on its CPU had its quantum anchored to the old
+		// wake time; track the earlier wake.
+		if c := p.cpu; c.current == p && p.state == stateBlocked && c.sliceEnd < Forever {
+			if end := maxTime(p.now, p.wakeAt) + p.eng.cfg.Quantum; end < c.sliceEnd {
+				c.sliceEnd = end
+			}
+		}
 	}
 	// The notifier must yield control by the wake time, or the waiter
 	// would be resumed only after the notifier's (possibly unbounded)
-	// window expires.
-	if r := p.eng.running; r != nil && r != p && w < r.window {
+	// window expires. (Only meaningful for a notifier in the same shard;
+	// cross-shard notifications happen at window barriers, when no process
+	// is running.)
+	if r := p.cpu.shard.running; r != nil && r != p && w < r.window {
 		r.window = w
 	}
 }
@@ -181,7 +192,7 @@ func (p *Proc) NotifyAt(t Time) {
 // it (models a low-priority protocol process offering the processor).
 func (p *Proc) YieldCPU() {
 	c := p.cpu
-	if c.current == p && p.eng.anyoneElseWants(c) {
+	if c.current == p && anyoneElseWants(c) {
 		c.sliceEnd = p.now // force reschedule at this yield
 	}
 	p.yieldBack()
@@ -198,6 +209,11 @@ func (p *Proc) effectiveTime() Time {
 		t = p.now
 	case stateWaiting, stateBlocked:
 		t = p.wakeAt
+		if p.state == stateBlocked && p.cpu.current == p && p.now > t {
+			// Parked on its CPU after dispatch: the context-switch charge
+			// (already folded into p.now) floors the resume time.
+			t = p.now
+		}
 	}
 	if t >= Forever {
 		return Forever

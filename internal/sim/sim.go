@@ -1,13 +1,25 @@
 // Package sim provides a deterministic, conservative discrete-event
 // simulation engine for a cluster of SMP nodes.
 //
-// Each simulated process runs as a goroutine, but the engine resumes exactly
-// one process at a time: always a process whose next possible action is
-// earliest in simulated time. A resumed process runs until it blocks, or
-// until its local clock passes the engine-supplied window (the minimum
-// effective time of any other process), at which point it yields back to
-// the engine. Because processes interact only at yield points, this
-// schedule is causally correct and fully deterministic.
+// Each simulated process runs as a goroutine. The scheduler is organised
+// around *shards*: disjoint groups of CPUs (and the processes bound to
+// them) that each resume exactly one process at a time — always a process
+// whose next possible action is earliest in simulated time within the
+// shard. A resumed process runs until it blocks, or until its local clock
+// passes the engine-supplied window (the minimum effective time of any
+// other process in the shard, clamped to the shard's horizon), at which
+// point it yields back to the scheduler.
+//
+// By default the engine has a single shard containing every CPU and a
+// horizon of Forever, which is exactly the classic sequential
+// discrete-event schedule: causally correct and fully deterministic. A
+// Runner (see internal/sim/parallel) may instead partition the engine into
+// one shard per node and drive all shards concurrently in bounded time
+// windows — conservative parallel discrete-event simulation. Within a
+// window shards share no mutable state (higher layers stage cross-shard
+// effects until the window barrier), so the parallel schedule commits the
+// same state transitions at the same simulated times as the sequential
+// one.
 //
 // Time is measured in CPU cycles of the modeled machine (300 MHz Alpha
 // 21164 in the Shasta configuration, so 300 cycles per microsecond).
@@ -92,15 +104,44 @@ type Config struct {
 // phase (barrier release cascades, queue drains) finishes long before it.
 const defaultWatchdogIters = 4 << 20
 
-// Engine is the simulation scheduler.
-type Engine struct {
-	cfg     Config
-	cpus    []*CPU
-	procs   []*Proc
+// Runner drives Engine.Run in place of the built-in sequential scheduler.
+// Implementations (internal/sim/parallel) repeatedly call RunShardWindow on
+// every shard, CommitRound at each window barrier, and return the first
+// error. Engine.Run still owns process tear-down (drain) around the runner.
+type Runner interface {
+	Run(e *Engine) error
+}
+
+// WindowStatus reports how a shard's window ended.
+type WindowStatus int
+
+const (
+	// WindowHorizon: the shard ran until no process could act before the
+	// horizon. The normal outcome of a bounded window.
+	WindowHorizon WindowStatus = iota
+	// WindowIdle: no process in the shard can ever run again without an
+	// external notification (all done or blocked indefinitely).
+	WindowIdle
+	// WindowErr: the shard recorded an error (guest panic, MaxTime, Fail).
+	WindowErr
+	// WindowStall: the shard's watchdog tripped; the coordinator must
+	// confirm (ConfirmStall) at the window barrier.
+	WindowStall
+)
+
+// shard is one scheduling domain: a disjoint set of CPUs and the processes
+// bound to them. All scheduler state that the sequential engine kept
+// globally lives per shard, so shards can run concurrently without sharing.
+type shard struct {
+	eng   *Engine
+	idx   int
+	cpus  []*CPU
+	procs []*Proc
+
 	now     Time // time of the most recently resumed process
 	running *Proc
 	err     error
-	// ctxSwitches counts context switches performed by the scheduler.
+	// ctxSwitches counts context switches performed by this shard.
 	ctxSwitches int64
 
 	// progressMark is the clock of the last process that performed charged
@@ -108,6 +149,27 @@ type Engine struct {
 	// feed the stall watchdog.
 	progressMark    Time
 	itersNoProgress int64
+	// stalled is the process at which the watchdog tripped; stallIters
+	// marks an iteration-budget (rather than cycle-budget) trip.
+	stalled    *Proc
+	stallIters bool
+
+	tracer *trace.Tracer
+}
+
+// Engine is the simulation scheduler.
+type Engine struct {
+	cfg    Config
+	cpus   []*CPU
+	procs  []*Proc
+	shards []*shard
+
+	runner    Runner
+	lookahead Time
+	// barrierHook runs at every window barrier of a parallel run; higher
+	// layers use it to commit staged cross-shard effects.
+	barrierHook func()
+	inRounds    bool
 
 	tracer *trace.Tracer
 	// dumpHook, when set, contributes higher-layer state (protocol queues,
@@ -126,21 +188,94 @@ func NewEngine(cfg Config) *Engine {
 			e.cpus = append(e.cpus, &CPU{id: len(e.cpus), node: n, sliceEnd: Forever})
 		}
 	}
+	sh := &shard{eng: e, idx: 0, cpus: e.cpus}
+	e.shards = []*shard{sh}
+	for _, c := range e.cpus {
+		c.shard = sh
+	}
 	return e
 }
+
+// ShardPerNode partitions the engine into one shard per node for a parallel
+// run. Must be called before any process is spawned.
+func (e *Engine) ShardPerNode() {
+	if len(e.procs) > 0 {
+		panic("sim: ShardPerNode after processes were spawned")
+	}
+	e.shards = nil
+	for n := 0; n < e.cfg.Nodes; n++ {
+		sh := &shard{eng: e, idx: n}
+		for _, c := range e.cpus {
+			if c.node == n {
+				sh.cpus = append(sh.cpus, c)
+				c.shard = sh
+			}
+		}
+		e.shards = append(e.shards, sh)
+	}
+}
+
+// NumShards returns the number of scheduling shards (1 unless ShardPerNode
+// was called).
+func (e *Engine) NumShards() int { return len(e.shards) }
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
 // SetTracer installs a structured event tracer (nil disables tracing).
-func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
+// With a single shard the tracer also receives scheduling events; a
+// per-node-sharded engine needs SetShardTracers for those.
+func (e *Engine) SetTracer(t *trace.Tracer) {
+	e.tracer = t
+	if len(e.shards) == 1 {
+		e.shards[0].tracer = t
+	}
+}
 
 // Tracer returns the installed tracer, or nil.
 func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
+// SetShardTracers installs one tracer per shard (indexed like shards, i.e.
+// by node after ShardPerNode). Shard tracers receive the scheduling events
+// emitted inside windows; a parallel coordinator merges them into the main
+// tracer at each barrier.
+func (e *Engine) SetShardTracers(ts []*trace.Tracer) {
+	if len(ts) != len(e.shards) {
+		panic(fmt.Sprintf("sim: %d shard tracers for %d shards", len(ts), len(e.shards)))
+	}
+	for i, sh := range e.shards {
+		sh.tracer = ts[i]
+	}
+}
+
 // SetDumpHook installs a callback that contributes extra state to watchdog
 // stall dumps (the DSM layer uses it to describe protocol queues).
 func (e *Engine) SetDumpHook(fn func() string) { e.dumpHook = fn }
+
+// SetRunner installs a Runner that Run delegates to (nil restores the
+// built-in sequential scheduler).
+func (e *Engine) SetRunner(r Runner) { e.runner = r }
+
+// SetLookahead records the minimum cross-shard interaction latency of the
+// modeled system; a parallel runner adds it to the global minimum effective
+// time to obtain each round's safe horizon.
+func (e *Engine) SetLookahead(l Time) { e.lookahead = l }
+
+// Lookahead returns the configured lookahead.
+func (e *Engine) Lookahead() Time { return e.lookahead }
+
+// SetBarrierHook installs the callback CommitRound invokes at every window
+// barrier of a parallel run.
+func (e *Engine) SetBarrierHook(fn func()) { e.barrierHook = fn }
+
+// CommitRound runs the barrier hook. A parallel runner calls it after all
+// shards have parked at the horizon; with all processes quiescent, the
+// hook may commit staged cross-shard effects safely.
+func (e *Engine) CommitRound() {
+	if e.barrierHook != nil {
+		e.barrierHook()
+	}
+}
 
 // NumCPUs returns the total processor count.
 func (e *Engine) NumCPUs() int { return len(e.cpus) }
@@ -148,12 +283,27 @@ func (e *Engine) NumCPUs() int { return len(e.cpus) }
 // NodeOf returns the node index of a global CPU index.
 func (e *Engine) NodeOf(cpu int) int { return e.cpus[cpu].node }
 
-// Now returns the clock of the most recently scheduled process. It is a
-// global low-water mark useful for reporting.
-func (e *Engine) Now() Time { return e.now }
+// Now returns the clock of the most recently scheduled process (the
+// furthest shard clock on a sharded engine). It is a reporting aid, not a
+// causal bound.
+func (e *Engine) Now() Time {
+	var m Time
+	for _, sh := range e.shards {
+		if sh.now > m {
+			m = sh.now
+		}
+	}
+	return m
+}
 
 // ContextSwitches reports how many context switches the scheduler performed.
-func (e *Engine) ContextSwitches() int64 { return e.ctxSwitches }
+func (e *Engine) ContextSwitches() int64 {
+	var n int64
+	for _, sh := range e.shards {
+		n += sh.ctxSwitches
+	}
+	return n
+}
 
 // Procs returns all spawned processes.
 func (e *Engine) Procs() []*Proc { return e.procs }
@@ -171,6 +321,9 @@ func (e *Engine) SpawnAt(name string, cpu int, priority int, start Time, fn func
 	if cpu < 0 || cpu >= len(e.cpus) {
 		panic(fmt.Sprintf("sim: spawn %q on invalid cpu %d", name, cpu))
 	}
+	if e.inRounds {
+		panic(fmt.Sprintf("sim: spawn %q during a parallel run (dynamic process creation requires the sequential engine)", name))
+	}
 	p := &Proc{
 		ID:       len(e.procs),
 		Name:     name,
@@ -185,6 +338,7 @@ func (e *Engine) SpawnAt(name string, cpu int, priority int, start Time, fn func
 		window:   Forever,
 	}
 	e.procs = append(e.procs, p)
+	p.cpu.shard.procs = append(p.cpu.shard.procs, p)
 	p.cpu.queue = append(p.cpu.queue, p)
 	if e.tracer != nil {
 		e.tracer.Emit(trace.Event{T: start, Cat: "sched", Ev: "spawn", P: p.ID, O: cpu, S: name})
@@ -217,87 +371,202 @@ func (e *Engine) ExternalProc(name string, cpu int) *Proc {
 }
 
 // Run drives the simulation until every process has finished, a process
-// panics, deadlock is detected, or MaxTime is exceeded.
+// panics, deadlock is detected, or MaxTime is exceeded. With a Runner
+// installed, Run delegates the schedule to it (tear-down stays here).
 func (e *Engine) Run() error {
 	defer e.drain()
+	if e.runner != nil {
+		e.inRounds = true
+		err := e.runner.Run(e)
+		e.inRounds = false
+		return err
+	}
+	sh := e.shards[0]
+	switch sh.runWindow(Forever) {
+	case WindowErr:
+		return sh.err
+	case WindowStall:
+		return e.stallErrorAt(sh, sh.progressMark)
+	default: // WindowHorizon, WindowIdle: nothing left before Forever
+		if e.allDone() {
+			return nil
+		}
+		return e.DeadlockError()
+	}
+}
+
+// RunShardWindow runs one shard until nothing in it can act before the
+// horizon (or an error/stall interrupts it). A parallel runner calls it
+// for different shards concurrently; the sequential engine calls it once
+// with horizon Forever.
+func (e *Engine) RunShardWindow(i int, horizon Time) WindowStatus {
+	return e.shards[i].runWindow(horizon)
+}
+
+// ShardErr returns the error recorded by shard i, if any.
+func (e *Engine) ShardErr(i int) error { return e.shards[i].err }
+
+// FirstErr returns the recorded error of the lowest-indexed failed shard.
+// Shards run their windows independently, so when several fail in one
+// round the lowest index gives a deterministic winner.
+func (e *Engine) FirstErr() error {
+	for _, sh := range e.shards {
+		if sh.err != nil {
+			return sh.err
+		}
+	}
+	return nil
+}
+
+// ShardMinEffective returns the earliest effective time of any live
+// process in shard i (Forever if none).
+func (e *Engine) ShardMinEffective(i int) Time { return e.shards[i].minEffective() }
+
+// GlobalMinEffective returns the earliest effective time of any live
+// process: the next moment anything can happen.
+func (e *Engine) GlobalMinEffective() Time {
+	m := Forever
+	for _, p := range e.procs {
+		if p.state == stateDone {
+			continue
+		}
+		if t := p.effectiveTime(); t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// AllDone reports whether every process has finished.
+func (e *Engine) AllDone() bool { return e.allDone() }
+
+// DeadlockError builds the all-blocked diagnostic error.
+func (e *Engine) DeadlockError() error {
+	var stuck []string
+	for _, p := range e.procs {
+		if p.state != stateDone {
+			stuck = append(stuck, fmt.Sprintf("%s[%d] %s t=%d wake=%d", p.Name, p.ID, p.state, p.now, p.wakeAt))
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("sim: deadlock, %d processes stuck: %v", len(stuck), stuck)
+}
+
+// ConfirmStall resolves a WindowStall from shard i at a window barrier.
+// An iteration-budget trip is always genuine (a zero-time livelock cannot
+// span shards inside one window). A cycle-budget trip is re-checked
+// against global progress: another shard may have performed charged work
+// the tripping shard could not see, in which case the shard's watchdog
+// state is synchronized and the run continues. Returns the StallError to
+// fail with, or nil to continue.
+func (e *Engine) ConfirmStall(i int) error {
+	sh := e.shards[i]
+	if sh.stalled == nil {
+		return nil
+	}
+	var gm Time
+	for _, s := range e.shards {
+		if s.progressMark > gm {
+			gm = s.progressMark
+		}
+	}
+	if sh.stallIters || sh.stalled.now > gm+e.cfg.WatchdogCycles {
+		return e.stallErrorAt(sh, gm)
+	}
+	sh.progressMark = gm
+	sh.itersNoProgress = 0
+	sh.stalled = nil
+	return nil
+}
+
+// runWindow drives the shard's scheduling loop until nothing in the shard
+// can act before the horizon. It is re-entrant: a parallel runner calls it
+// once per round with an increasing horizon.
+func (sh *shard) runWindow(horizon Time) WindowStatus {
+	e := sh.eng
 	for {
-		if e.err != nil {
-			return e.err
+		if sh.err != nil {
+			return WindowErr
 		}
-		minEff := e.globalMinEffective()
-		for _, c := range e.cpus {
-			e.preemptIfStale(c, minEff)
-			e.preemptSleeper(c)
-			e.dispatch(c)
+		minEff := sh.minEffective()
+		if minEff >= horizon {
+			return WindowHorizon
 		}
-		p := e.pick()
+		for _, c := range sh.cpus {
+			sh.preemptIfStale(c, minEff)
+			preemptSleeper(c)
+			sh.dispatch(c)
+		}
+		p, st := sh.pick(horizon)
 		if p == nil {
-			if e.allDone() {
-				return nil
-			}
-			return e.deadlockError()
+			return st
 		}
 		if e.cfg.MaxTime > 0 && p.now > e.cfg.MaxTime {
-			return fmt.Errorf("sim: exceeded MaxTime %d at proc %s (t=%d)", e.cfg.MaxTime, p.Name, p.now)
+			sh.err = fmt.Errorf("sim: exceeded MaxTime %d at proc %s (t=%d)", e.cfg.MaxTime, p.Name, p.now)
+			return WindowErr
 		}
 		if e.cfg.WatchdogCycles > 0 {
-			e.itersNoProgress++
+			sh.itersNoProgress++
 			iters := e.cfg.WatchdogIters
 			if iters <= 0 {
 				iters = defaultWatchdogIters
 			}
-			if p.now > e.progressMark+e.cfg.WatchdogCycles || e.itersNoProgress > iters {
-				return e.stallError(p)
+			if p.now > sh.progressMark+e.cfg.WatchdogCycles || sh.itersNoProgress > iters {
+				sh.stalled = p
+				sh.stallIters = sh.itersNoProgress > iters && p.now <= sh.progressMark+e.cfg.WatchdogCycles
+				return WindowStall
 			}
 		}
-		e.now = p.now
-		window := e.windowFor(p)
+		sh.now = p.now
+		window := sh.windowFor(p, horizon)
 		if e.cfg.MaxTime > 0 && window > e.cfg.MaxTime+1 {
 			window = e.cfg.MaxTime + 1
 		}
 		p.state = stateRunning
-		e.running = p
+		sh.running = p
 		p.resume <- window
 		<-p.yield
-		e.running = nil
+		sh.running = nil
 		if p.state == stateRunning {
 			p.state = stateReady
 		}
-		if p.state == stateDone && e.tracer != nil {
-			e.tracer.Emit(trace.Event{T: p.now, Cat: "sched", Ev: "exit", P: p.ID, O: p.cpu.id, S: p.Name})
+		if p.state == stateDone && sh.tracer != nil {
+			sh.tracer.Emit(trace.Event{T: p.now, Cat: "sched", Ev: "exit", P: p.ID, O: p.cpu.id, S: p.Name})
 		}
-		e.reschedule(p)
+		sh.reschedule(p)
 	}
 }
 
 // preemptIfStale deschedules a current process that is waiting past its
 // quantum while others want the CPU (a spinning process being switched
-// out). The preemption may only be committed once global progress (minEff)
+// out). The preemption may only be committed once shard progress (minEff)
 // has actually reached the slice end: an earlier wake-up would mean the
 // spinner consumed its event mid-quantum and was never switched out.
-func (e *Engine) preemptIfStale(c *CPU, minEff Time) {
+// (Cross-shard events cannot wake it before the slice end either: they
+// arrive at or after the horizon, which bounds every in-window wake.)
+func (sh *shard) preemptIfStale(c *CPU, minEff Time) {
 	p := c.current
-	if p == nil || e.cfg.Quantum == 0 {
+	if p == nil || sh.eng.cfg.Quantum == 0 {
 		return
 	}
 	if p.state == stateWaiting && !p.sleeping && p.wakeAt > c.sliceEnd &&
-		minEff >= c.sliceEnd && e.anyoneElseWants(c) {
+		minEff >= c.sliceEnd && anyoneElseWants(c) {
 		p.now = maxTime(p.now, c.sliceEnd)
 		c.lastRan = p
 		c.freeAt = maxTime(c.freeAt, p.now)
 		c.current = nil
 		c.queue = append(c.queue, p)
-		if e.tracer != nil {
-			e.tracer.Emit(trace.Event{T: p.now, Cat: "sched", Ev: "preempt", P: p.ID, O: c.id})
+		if sh.tracer != nil {
+			sh.tracer.Emit(trace.Event{T: p.now, Cat: "sched", Ev: "preempt", P: p.ID, O: c.id})
 		}
 	}
 }
 
-// globalMinEffective returns the earliest effective time of any live
-// process: the next moment anything can happen.
-func (e *Engine) globalMinEffective() Time {
+// minEffective returns the earliest effective time of any live process in
+// the shard: the next moment anything can happen here.
+func (sh *shard) minEffective() Time {
 	m := Forever
-	for _, p := range e.procs {
+	for _, p := range sh.procs {
 		if p.state == stateDone {
 			continue
 		}
@@ -311,7 +580,7 @@ func (e *Engine) globalMinEffective() Time {
 // preemptSleeper displaces a dispatched sleeping process (it merely parks
 // on the CPU until its wake time) as soon as any other process could run
 // earlier: the CPU is semantically idle while its occupant sleeps.
-func (e *Engine) preemptSleeper(c *CPU) {
+func preemptSleeper(c *CPU) {
 	p := c.current
 	if p == nil || p.state != stateWaiting || !p.sleeping {
 		return
@@ -338,7 +607,7 @@ func (e *Engine) preemptSleeper(c *CPU) {
 // that can run earliest; ties go to the lowest priority value, then FIFO
 // order. Ordering by readiness (not priority alone) keeps a sleeping
 // process's future wake tick from starving an immediately-ready one.
-func (e *Engine) dispatch(c *CPU) {
+func (sh *shard) dispatch(c *CPU) {
 	if c.current != nil {
 		return
 	}
@@ -373,18 +642,23 @@ func (e *Engine) dispatch(c *CPU) {
 	c.queue = append(c.queue[:best], c.queue[best+1:]...)
 	start := maxTime(p.now, c.freeAt)
 	if c.lastRan != nil && c.lastRan != p {
-		start += e.cfg.CtxSwitch
-		e.ctxSwitches++
-		if e.tracer != nil {
-			e.tracer.Emit(trace.Event{T: start, Cat: "sched", Ev: "switch", P: p.ID, O: c.id})
+		start += sh.eng.cfg.CtxSwitch
+		sh.ctxSwitches++
+		if sh.tracer != nil {
+			sh.tracer.Emit(trace.Event{T: start, Cat: "sched", Ev: "switch", P: p.ID, O: c.id})
 		}
 	}
+	resumeAt := start
 	switch p.state {
 	case stateBlocked:
-		// Woken process: schedulable no earlier than its wake time.
-		p.now = maxTime(start, p.wakeAt)
-		p.wakeAt = Forever
-		p.state = stateReady
+		// Parked on the CPU until its wake time. The clock advance to the
+		// wake is committed at pick time, not here: a notification sent
+		// later in global order may still pull the wake earlier, and the
+		// window engine's cross-shard notifications always land after
+		// dispatch (at a window barrier). Committing eagerly would make
+		// the two engines resume such sleepers at different times.
+		p.now = start
+		resumeAt = maxTime(start, p.wakeAt)
 	case stateWaiting:
 		// Keeps waiting; pick will resume it at its wake time.
 		p.now = start
@@ -393,16 +667,20 @@ func (e *Engine) dispatch(c *CPU) {
 	}
 	c.current = p
 	c.sliceEnd = Forever
-	if e.cfg.Quantum > 0 {
-		c.sliceEnd = maxTime(p.now, start) + e.cfg.Quantum
+	if sh.eng.cfg.Quantum > 0 {
+		// For a parked sleeper the quantum starts at its (current) wake
+		// time; NotifyAt keeps sliceEnd in step if the wake moves earlier.
+		c.sliceEnd = resumeAt + sh.eng.cfg.Quantum
 	}
 }
 
-// pick returns the schedulable process with the smallest effective time.
-func (e *Engine) pick() *Proc {
+// pick returns the schedulable process with the smallest effective time
+// below the horizon. The nil status distinguishes "nothing before the
+// horizon" (WindowHorizon) from "nothing ever" (WindowIdle).
+func (sh *shard) pick(horizon Time) (*Proc, WindowStatus) {
 	var best *Proc
 	bestT := Forever
-	for _, c := range e.cpus {
+	for _, c := range sh.cpus {
 		p := c.current
 		if p == nil {
 			continue
@@ -416,21 +694,44 @@ func (e *Engine) pick() *Proc {
 			bestT = t
 		}
 	}
-	if best != nil && best.state == stateWaiting {
-		// Its event has arrived; advance its clock to the wake time.
+	if best == nil {
+		return nil, WindowIdle
+	}
+	if bestT >= horizon {
+		return nil, WindowHorizon
+	}
+	if best.state == stateWaiting || best.state == stateBlocked {
+		// Its event has arrived; advance its clock to the wake time. (A
+		// blocked process parked on its CPU commits the wake here — see
+		// dispatch. Its sleeping flag is deliberately left set, matching
+		// the historical dispatch-time transition.)
+		wasWaiting := best.state == stateWaiting
 		best.now = maxTime(best.now, best.wakeAt)
 		best.wakeAt = Forever
 		best.state = stateReady
-		best.sleeping = false
+		if wasWaiting {
+			best.sleeping = false
+		}
 	}
-	return best
+	if best.wakeAt <= best.now {
+		// A pending notification the process has already reached (it was
+		// delivered while the process was descheduled mid-run, clamped to
+		// its clock then). The process observes it now; left in place it
+		// would mask a later, larger re-arm (NotifyAt keeps the minimum)
+		// and force a spurious wake at the next park — at a wall-order-
+		// dependent point, since the two engines deliver cross-node
+		// notifications at different moments (put time vs window barrier).
+		best.wakeAt = Forever
+	}
+	return best, WindowHorizon
 }
 
 // windowFor computes how far p may run before yielding: the minimum
-// effective time of any other process that could become runnable.
-func (e *Engine) windowFor(p *Proc) Time {
-	w := Forever
-	for _, q := range e.procs {
+// effective time of any other process in the shard that could become
+// runnable, clamped to the shard's horizon.
+func (sh *shard) windowFor(p *Proc, horizon Time) Time {
+	w := horizon
+	for _, q := range sh.procs {
 		if q == p || q.state == stateDone {
 			continue
 		}
@@ -442,7 +743,7 @@ func (e *Engine) windowFor(p *Proc) Time {
 }
 
 // reschedule handles quantum expiry and blocking after p yields.
-func (e *Engine) reschedule(p *Proc) {
+func (sh *shard) reschedule(p *Proc) {
 	c := p.cpu
 	if c.current != p {
 		return
@@ -456,20 +757,20 @@ func (e *Engine) reschedule(p *Proc) {
 			c.queue = append(c.queue, p)
 		}
 	case stateReady, stateWaiting:
-		if p.now >= c.sliceEnd && e.anyoneElseWants(c) {
+		if p.now >= c.sliceEnd && anyoneElseWants(c) {
 			// Quantum expired and another process wants the CPU.
 			c.lastRan = p
 			c.freeAt = maxTime(c.freeAt, p.now)
 			c.current = nil
 			c.queue = append(c.queue, p)
-			if e.tracer != nil {
-				e.tracer.Emit(trace.Event{T: p.now, Cat: "sched", Ev: "preempt", P: p.ID, O: c.id})
+			if sh.tracer != nil {
+				sh.tracer.Emit(trace.Event{T: p.now, Cat: "sched", Ev: "preempt", P: p.ID, O: c.id})
 			}
 		}
 	}
 }
 
-func (e *Engine) anyoneElseWants(c *CPU) bool {
+func anyoneElseWants(c *CPU) bool {
 	for _, q := range c.queue {
 		if q.state == stateDone {
 			continue
@@ -489,17 +790,6 @@ func (e *Engine) allDone() bool {
 		}
 	}
 	return true
-}
-
-func (e *Engine) deadlockError() error {
-	var stuck []string
-	for _, p := range e.procs {
-		if p.state != stateDone {
-			stuck = append(stuck, fmt.Sprintf("%s[%d] %s t=%d wake=%d", p.Name, p.ID, p.state, p.now, p.wakeAt))
-		}
-	}
-	sort.Strings(stuck)
-	return fmt.Errorf("sim: deadlock, %d processes stuck: %v", len(stuck), stuck)
 }
 
 // StallError reports a watchdog-detected livelock: the engine kept
@@ -540,13 +830,16 @@ func (e *StallError) Error() string {
 	return b.String()
 }
 
-// stallError builds a StallError for the watchdog trigger at process p.
-func (e *Engine) stallError(p *Proc) error {
+// stallErrorAt builds a StallError for the watchdog trip recorded in sh.
+// On a parallel engine it runs only at a window barrier, when every shard
+// is parked, so the multi-process dump is a consistent snapshot.
+func (e *Engine) stallErrorAt(sh *shard, lastProgress Time) error {
+	p := sh.stalled
 	se := &StallError{
 		At:           p.now,
-		LastProgress: e.progressMark,
+		LastProgress: lastProgress,
 		Budget:       e.cfg.WatchdogCycles,
-		Iters:        e.itersNoProgress,
+		Iters:        sh.itersNoProgress,
 	}
 	for _, q := range e.procs {
 		if q.state == stateDone {
@@ -582,10 +875,11 @@ func (e *Engine) DescribeCPU(idx int) string {
 	return fmt.Sprintf("cpu%d sliceEnd=%d freeAt=%d cur={%s} queue=[%s]", idx, c.sliceEnd, c.freeAt, cur, q)
 }
 
-// fail records a guest panic; Run will return it.
-func (e *Engine) fail(err error) {
-	if e.err == nil {
-		e.err = err
+// fail records a guest failure against the shard; the scheduler's next
+// iteration (or the coordinator at the barrier) surfaces it.
+func (sh *shard) fail(err error) {
+	if sh.err == nil {
+		sh.err = err
 	}
 }
 

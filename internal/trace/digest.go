@@ -1,0 +1,68 @@
+package trace
+
+import "io"
+
+// MultisetDigest is an io.Writer that digests a JSONL stream as an
+// unordered multiset of lines: two streams containing the same lines with
+// the same multiplicities produce the same Sum64 regardless of line order.
+//
+// It exists for cross-engine equivalence checks. The sequential and
+// parallel simulation engines emit the same set of trace events with the
+// same timestamps and payloads, but interleave independent events (equal or
+// overlapping timestamps from different nodes) differently in the stream,
+// so a straight stream hash (e.g. experiments.ChaosTraceDigest) can only
+// compare runs of the same engine. Hashing each line independently and
+// combining with commutative operations makes the digest order-blind while
+// remaining sensitive to any changed, missing, or duplicated event.
+type MultisetDigest struct {
+	n    uint64 // line count
+	sum  uint64 // sum of per-line hashes
+	sum2 uint64 // sum of mixed per-line hashes (guards against cancellation)
+	line []byte // partial line carried between Write calls
+}
+
+// NewMultisetDigest returns an empty digest.
+func NewMultisetDigest() *MultisetDigest { return &MultisetDigest{} }
+
+var _ io.Writer = (*MultisetDigest)(nil)
+
+// Write consumes a chunk of the stream; lines may span chunks.
+func (d *MultisetDigest) Write(p []byte) (int, error) {
+	for _, c := range p {
+		if c == '\n' {
+			d.absorb(d.line)
+			d.line = d.line[:0]
+			continue
+		}
+		d.line = append(d.line, c)
+	}
+	return len(p), nil
+}
+
+// absorb folds one complete line into the multiset.
+func (d *MultisetDigest) absorb(line []byte) {
+	// FNV-1a over the line, then a splitmix64-style finalizer so that the
+	// commutative sums below see well-mixed values.
+	h := uint64(14695981039346656037)
+	for _, c := range line {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	d.n++
+	d.sum += h
+	d.sum2 += mix64(h)
+}
+
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Sum64 returns the digest of all complete lines absorbed so far (a
+// trailing unterminated line is not included).
+func (d *MultisetDigest) Sum64() uint64 {
+	return mix64(d.n ^ mix64(d.sum) ^ mix64(mix64(d.sum2)))
+}

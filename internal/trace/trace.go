@@ -60,12 +60,19 @@ type Event struct {
 }
 
 // Tracer records events. It is not safe for concurrent use; the simulation
-// engine guarantees only one process executes at a time, so no locking is
-// needed on the hot path.
+// engine guarantees only one process executes at a time within a scheduling
+// shard, and each shard of a parallel run owns a private buffering Tracer
+// (NewBuffer) whose events are merged into the main tracer at window
+// barriers, so no locking is needed on the hot path.
 type Tracer struct {
 	ring  []Event
 	next  int
 	total uint64
+
+	// buffering mode (NewBuffer): events accumulate in order until
+	// TakeBuffered; no ring, no stream.
+	buffering bool
+	buffered  []Event
 
 	w   *bufio.Writer
 	err error
@@ -88,8 +95,29 @@ func New(ringSize int, w io.Writer) *Tracer {
 	return t
 }
 
+// NewBuffer creates a tracer that simply accumulates events in emission
+// order until TakeBuffered is called. A parallel simulation gives each
+// scheduling shard one buffering tracer so in-window emits touch no shared
+// state; the coordinator drains them into the main tracer at each barrier.
+func NewBuffer() *Tracer {
+	return &Tracer{buffering: true}
+}
+
+// TakeBuffered returns the events emitted since the previous call and
+// resets the buffer. Only meaningful on a NewBuffer tracer.
+func (t *Tracer) TakeBuffered() []Event {
+	b := t.buffered
+	t.buffered = nil
+	return b
+}
+
 // Emit records one event.
 func (t *Tracer) Emit(e Event) {
+	if t.buffering {
+		t.total++
+		t.buffered = append(t.buffered, e)
+		return
+	}
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, e)
 	} else {

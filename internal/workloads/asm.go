@@ -180,7 +180,18 @@ type AsmResult struct {
 // RunAsm assembles, rewrites and executes one kernel on a default 4-node
 // system, one rank per node. sanitize enables the interpreter's
 // instrumentation sanitizer on every rank.
-func RunAsm(k AsmKernel, opt rewriter.Options, sanitize bool) (*AsmResult, error) {
+// AsmConfig returns the default system configuration RunAsm builds on:
+// a 4-node cluster with a heap and time budget sized for the kernels.
+// Callers overriding it (consistency model, faults, engine) should start
+// from this value so those floors are preserved.
+func AsmConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.SharedBytes = 64 << 10
+	cfg.MaxTime = sim.Cycles(400e6)
+	return cfg
+}
+
+func RunAsm(k AsmKernel, opt rewriter.Options, sanitize bool, opts ...core.Option) (*AsmResult, error) {
 	prog, err := isa.Assemble(k.Source)
 	if err != nil {
 		return nil, fmt.Errorf("kernel %s: %w", k.Name, err)
@@ -189,10 +200,12 @@ func RunAsm(k AsmKernel, opt rewriter.Options, sanitize bool) (*AsmResult, error
 	if err != nil {
 		return nil, fmt.Errorf("kernel %s: %w", k.Name, err)
 	}
-	cfg := core.DefaultConfig()
-	cfg.SharedBytes = 64 << 10
-	cfg.MaxTime = sim.Cycles(400e6)
-	s := core.NewSystem(cfg)
+	cfg := AsmConfig()
+	s := core.Build(append([]core.Option{core.WithConfig(cfg)}, opts...)...)
+	if c := s.Cfg; c.Nodes != cfg.Nodes || c.CPUsPerNode != cfg.CPUsPerNode {
+		return nil, fmt.Errorf("kernel %s: options changed the cluster topology (%d×%d)", k.Name, c.Nodes, c.CPUsPerNode)
+	}
+	cfg = s.Cfg
 	bar := dsmsync.NewMPBarrier(s, 0, k.Ranks)
 	var mu sync.Mutex
 	var errs []error
