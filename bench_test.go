@@ -52,7 +52,7 @@ func BenchmarkTable3Overheads(b *testing.B) {
 		for _, app := range workloads.All() {
 			cfg := core.DefaultConfig()
 			cfg.MaxTime = sim.Cycles(900e6)
-			if _, err := workloads.Run(core.NewSystem(cfg), app, workloads.RunConfig{Procs: 1}); err != nil {
+			if _, err := workloads.Run(core.Build(core.WithConfig(cfg)), app, workloads.RunConfig{Procs: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -87,7 +87,7 @@ func BenchmarkFigure4Consistency(b *testing.B) {
 			cfg.Consistency = model
 			cfg.MaxTime = sim.Cycles(900e6)
 			app, _ := workloads.Get("Water-Sp")
-			if _, err := workloads.Run(core.NewSystem(cfg), app, workloads.RunConfig{Procs: 16}); err != nil {
+			if _, err := workloads.Run(core.Build(core.WithConfig(cfg)), app, workloads.RunConfig{Procs: 16}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -102,7 +102,7 @@ func BenchmarkTable4OracleDSS(b *testing.B) {
 		cfg := core.DefaultConfig()
 		cfg.ProtocolProcs = true
 		cfg.MaxTime = sim.Cycles(900e6)
-		sys := core.NewSystem(cfg)
+		sys := core.Build(core.WithConfig(cfg))
 		osl := clusteros.New(sys, clusterfs.New(cfg.Nodes))
 		res, err := oracledb.Run(sys, osl, oracledb.DSS1(2, []int{1, 4}, 0))
 		if err != nil {
@@ -121,7 +121,7 @@ func BenchmarkProtocolRemoteMiss(b *testing.B) {
 		cfg := core.DefaultConfig()
 		cfg.SharedBytes = 256 << 10
 		cfg.MaxTime = sim.Cycles(600e6)
-		s := core.NewSystem(cfg)
+		s := core.Build(core.WithConfig(cfg))
 		var addr uint64
 		ready := false
 		s.Spawn("home", 0, func(p *core.Proc) {

@@ -9,6 +9,7 @@
 //	shasta-bench -run all
 //	shasta-bench -json BENCH_PR5.json          # engine benchmark suite
 //	shasta-bench -json out.json -bench-quick   # CI smoke variant
+//	shasta-bench -shootout BENCH_PR6.json      # protocol shootout (dirinval vs tardis)
 package main
 
 import (
@@ -19,9 +20,9 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/memchannel"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -57,14 +58,41 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment names, or 'all'")
 	traceOut := flag.String("trace", "", "write a structured event trace (JSONL) of every run to this file")
 	watchdog := flag.Int64("watchdog-cycles", 0, "stall watchdog budget in cycles (0 = default, negative = off)")
-	faultProfile := flag.String("fault-profile", "none",
-		fmt.Sprintf("network fault profile applied to every run: %v", memchannel.FaultProfiles()))
-	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
-	engine := flag.String("engine", "seq", "simulation engine for -run experiments: seq or parallel")
-	workers := flag.Int("workers", 0, "parallel engine worker-pool size (0 = one per host core)")
+	simFlags := cliflags.RegisterSim(flag.CommandLine)
 	jsonOut := flag.String("json", "", "run the engine benchmark suite and write the JSON report to this file")
-	benchQuick := flag.Bool("bench-quick", false, "with -json: run the cut-down CI smoke suite")
+	benchQuick := flag.Bool("bench-quick", false, "with -json/-shootout: run the cut-down CI smoke suite")
+	shootout := flag.String("shootout", "", "run the cross-protocol shootout and write the JSON report to this file")
 	flag.Parse()
+
+	if *shootout != "" {
+		cases := bench.DefaultProtocolCases()
+		if *benchQuick {
+			cases = bench.QuickProtocolCases()
+		}
+		report, err := bench.RunProtocolSuite(cases, core.ProtocolNames())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*shootout, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, c := range report.Cases {
+			fmt.Printf("%-12s %-14s mem_equal=%v", c.Name, c.Profile, c.MemEqual)
+			for _, p := range report.Protocols[1:] {
+				fmt.Printf(" sim_speedup[%s]=%.3fx", p, c.SimSpeedup[p])
+			}
+			fmt.Println()
+		}
+		fmt.Printf("protocol shootout (%s baseline) → %s\n", report.Baseline, *shootout)
+		return
+	}
 
 	if *jsonOut != "" {
 		cases := bench.DefaultCases()
@@ -99,12 +127,11 @@ func main() {
 		return
 	}
 
-	engineWorkers, err := experiments.ParseEngine(*engine, *workers)
+	opts, err := simFlags.Options()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	opts := experiments.EngineOptions(engineWorkers)
 	if *watchdog != 0 {
 		opts = append(opts, core.WithWatchdog(sim.Time(*watchdog)))
 	}
@@ -116,14 +143,6 @@ func main() {
 		}
 		defer f.Close()
 		opts = append(opts, core.WithTrace(trace.New(trace.DefaultRingSize, f)))
-	}
-	fc, err := memchannel.FaultProfile(*faultProfile, *faultSeed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if fc.Enabled() {
-		opts = append(opts, core.WithFaults(fc))
 	}
 	experiments.SetBuildOptions(opts...)
 

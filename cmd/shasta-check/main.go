@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/modelcheck"
 )
@@ -45,15 +46,15 @@ func printHuman(w io.Writer, r *modelcheck.Result) {
 		status = "truncated"
 	}
 	if r.Violation == nil {
-		fmt.Fprintf(w, "%s/%s: ok (%s, %d states, %d transitions, depth %d)\n",
-			r.Model, r.Consistency, status, r.States, r.Transitions, r.Depth)
+		fmt.Fprintf(w, "%s/%s/%s: ok (%s, %d states, %d transitions, depth %d)\n",
+			r.Model, r.Consistency, r.Protocol, status, r.States, r.Transitions, r.Depth)
 		for _, o := range r.Outcomes {
 			fmt.Fprintf(w, "  outcome: %s\n", o)
 		}
 		return
 	}
-	fmt.Fprintf(w, "%s/%s: VIOLATION of %s after %d states: %s\n",
-		r.Model, r.Consistency, r.Violation.Invariant, r.States, r.Violation.Detail)
+	fmt.Fprintf(w, "%s/%s/%s: VIOLATION of %s after %d states: %s\n",
+		r.Model, r.Consistency, r.Protocol, r.Violation.Invariant, r.States, r.Violation.Detail)
 	for i, step := range r.Violation.Path {
 		fmt.Fprintf(w, "  %2d. %s\n", i+1, step)
 	}
@@ -65,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	model := fs.String("model", "all", "model to check, or \"all\" for the full catalogue (minus broken variants)")
 	cons := fs.String("consistency", "both", "consistency model: rc, sc, or both")
+	protocol := cliflags.RegisterProtocolSweep(fs)
 	depth := fs.Int("depth", 0, "depth bound on the exploration (0 = unbounded)")
 	maxStates := fs.Int("max-states", 0, "bound on distinct canonical states (0 = package default)")
 	liveness := fs.Bool("liveness", false, "also verify every reachable state can reach a clean terminal")
@@ -105,6 +107,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "shasta-check: %v\n", err)
 		return 2
 	}
+	protocols, err := cliflags.ParseProtocolList(*protocol)
+	if err != nil {
+		fmt.Fprintf(stderr, "shasta-check: %v\n", err)
+		return 2
+	}
 	var selected []modelcheck.Model
 	if *model == "all" {
 		for _, m := range modelcheck.Models() {
@@ -126,17 +133,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	failed := false
 	for _, m := range selected {
 		for _, c := range models {
-			r := modelcheck.Check(m.WithConsistency(c), opts)
-			results = append(results, r)
-			// Truncation only fails the run when no bound was requested:
-			// with an explicit -depth or -max-states, a clean bounded
-			// sweep is the expected outcome.
-			bounded := *depth > 0 || *maxStates > 0
-			if r.Violation != nil || (!r.Converged && !bounded) {
-				failed = true
-			}
-			if !*jsonOut {
-				printHuman(stdout, r)
+			for _, p := range protocols {
+				r := modelcheck.Check(m.WithConsistency(c).WithProtocol(p), opts)
+				results = append(results, r)
+				// Truncation only fails the run when no bound was requested:
+				// with an explicit -depth or -max-states, a clean bounded
+				// sweep is the expected outcome.
+				bounded := *depth > 0 || *maxStates > 0
+				if r.Violation != nil || (!r.Converged && !bounded) {
+					failed = true
+				}
+				if !*jsonOut {
+					printHuman(stdout, r)
+				}
 			}
 		}
 	}

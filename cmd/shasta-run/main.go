@@ -11,9 +11,8 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
-	"repro/internal/experiments"
-	"repro/internal/memchannel"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -28,11 +27,7 @@ func main() {
 	sc := flag.Bool("sc", false, "sequential consistency (default: release consistency)")
 	traceOut := flag.String("trace", "", "write a structured event trace (JSONL) to this file")
 	watchdog := flag.Int64("watchdog-cycles", 0, "stall watchdog budget in cycles (0 = default, negative = off)")
-	faultProfile := flag.String("fault-profile", "none",
-		fmt.Sprintf("network fault profile: %v", memchannel.FaultProfiles()))
-	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
-	engine := flag.String("engine", "seq", "simulation engine: seq or parallel (conservative PDES, identical output)")
-	workers := flag.Int("workers", 0, "parallel engine worker-pool size (0 = one per host core)")
+	simFlags := cliflags.RegisterSim(flag.CommandLine)
 	listApps := flag.Bool("listapps", false, "list workloads")
 	flag.Parse()
 
@@ -57,20 +52,12 @@ func main() {
 			}
 		}),
 	}
-	engineWorkers, err := experiments.ParseEngine(*engine, *workers)
+	simOpts, err := simFlags.Options()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	opts = append(opts, experiments.EngineOptions(engineWorkers)...)
-	fc, err := memchannel.FaultProfile(*faultProfile, *faultSeed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if fc.Enabled() {
-		opts = append(opts, core.WithFaults(fc))
-	}
+	opts = append(opts, simOpts...)
 	if *traceOut != "" {
 		// The tracer buffers internally; System.Run flushes it on both the
 		// success and error paths, so the file is complete even on a stall.
@@ -96,7 +83,8 @@ func main() {
 	}
 	cfg := sys.Cfg
 	st := res.Stats
-	fmt.Printf("%s: procs=%d sync=%v smp=%v model=%v\n", app.Name, *procs, sync, *smp, cfg.Consistency)
+	fmt.Printf("%s: procs=%d sync=%v smp=%v model=%v protocol=%s\n",
+		app.Name, *procs, sync, *smp, cfg.Consistency, cfg.Protocol)
 	fmt.Printf("  elapsed             %10.2f ms (simulated)\n", sim.Microseconds(res.Elapsed)/1000)
 	fmt.Printf("  loads/stores        %10d / %d\n", st.Loads(), st.Stores())
 	fmt.Printf("  remote misses       %10d read, %d write\n", st.ReadMisses(), st.WriteMisses())
@@ -106,10 +94,10 @@ func main() {
 	fmt.Printf("  downgrades          %10d explicit, %d direct\n", st.DowngradesSent(), st.DowngradesDirect())
 	fmt.Printf("  LL/SC               %10d/%d (%d hw, %d failed)\n", st.LLs(), st.SCs(), st.SCHardware(), st.SCFailures())
 	fmt.Printf("  locks/barriers      %10d / %d\n", st.LockAcquires(), st.BarrierWaits())
-	if fc.Enabled() {
+	if cfg.Faults.Enabled() {
 		net := sys.Net.Stats()
 		fmt.Printf("  faults (%s, seed %d): %d dropped, %d duplicated on the wire\n",
-			*faultProfile, *faultSeed, net.Drops, net.Dups)
+			simFlags.FaultProfile, simFlags.FaultSeed, net.Drops, net.Dups)
 		fmt.Printf("  reliability         %10d retransmits, %d acks, %d dups suppressed, %d held for reorder\n",
 			st.Retransmits(), st.NetAcksSent(), st.DupsSuppressed(), st.HeldArrivals())
 	}

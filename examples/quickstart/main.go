@@ -15,7 +15,7 @@ func main() {
 	// with the functional-options API.
 	sys := core.Build(
 		core.WithProcs(4, 4),
-		core.WithProtocol(core.SMPShasta()),
+		core.WithVariant(core.SMPShasta()),
 		core.WithMaxTime(sim.Cycles(60e6)),
 	)
 	cfg := sys.Cfg

@@ -1,0 +1,173 @@
+// Protocol shootout: the same workloads on every registered coherence
+// backend, comparing the SIMULATED cost model — elapsed cycles, misses,
+// protocol messages, invalidations — alongside host wall-clock. The
+// committed report (BENCH_PR6.json at the repo root) pairs sharing-heavy
+// workloads, where dirinval pays invalidation multicasts and tardis pays
+// lease expiries, with read-mostly workloads, where tardis's
+// self-expiring leases should eliminate sharer bookkeeping outright.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// ProtocolCase is one workload in the cross-protocol shootout, tagged
+// with its sharing profile so the report reads as an experiment and not
+// a grab bag.
+type ProtocolCase struct {
+	Name    string `json:"name"`
+	App     string `json:"app"`
+	Procs   int    `json:"procs"`
+	Scale   int    `json:"scale"`
+	Profile string `json:"profile"` // "sharing-heavy" or "read-mostly"
+}
+
+// ProtocolRun is one backend's cost on one case.
+type ProtocolRun struct {
+	Protocol         string   `json:"protocol"`
+	WallMS           float64  `json:"wall_ms"`
+	SimElapsedCycles sim.Time `json:"sim_elapsed_cycles"`
+	ReadMisses       int64    `json:"read_misses"`
+	WriteMisses      int64    `json:"write_misses"`
+	MessagesSent     int64    `json:"messages_sent"`
+	Invalidations    int64    `json:"invalidations"`
+	DowngradesSent   int64    `json:"downgrades_sent"`
+	Polls            int64    `json:"polls"`
+}
+
+// ProtocolCaseResult holds every backend's run on one case plus the
+// cross-backend verdicts.
+type ProtocolCaseResult struct {
+	ProtocolCase
+	// MemEqual: every backend produced the identical final shared-memory
+	// image. A false here is a coherence bug, not a performance result.
+	MemEqual bool          `json:"mem_equal"`
+	Runs     []ProtocolRun `json:"runs"`
+	// SimSpeedup maps each non-baseline backend to baseline simulated
+	// cycles / its simulated cycles (>1 means fewer cycles than dirinval).
+	SimSpeedup map[string]float64 `json:"sim_speedup"`
+}
+
+// ProtocolReport is the shootout output.
+type ProtocolReport struct {
+	Suite     string               `json:"suite"`
+	Baseline  string               `json:"baseline"`
+	Protocols []string             `json:"protocols"`
+	Cases     []ProtocolCaseResult `json:"cases"`
+}
+
+// DefaultProtocolCases pairs two sharing-heavy workloads (lock-dense
+// molecular dynamics, nearest-neighbor grid exchange) with two
+// read-mostly ones (shared read-only scene, blocked factorization).
+func DefaultProtocolCases() []ProtocolCase {
+	return []ProtocolCase{
+		{Name: "water-nsq", App: "Water-Nsq", Procs: 8, Scale: 4, Profile: "sharing-heavy"},
+		{Name: "ocean", App: "Ocean", Procs: 8, Scale: 4, Profile: "sharing-heavy"},
+		{Name: "raytrace", App: "Raytrace", Procs: 8, Scale: 4, Profile: "read-mostly"},
+		{Name: "lu", App: "LU", Procs: 8, Scale: 4, Profile: "read-mostly"},
+	}
+}
+
+// QuickProtocolCases is a cut-down pair for CI smoke runs: one workload
+// per sharing profile.
+func QuickProtocolCases() []ProtocolCase {
+	return []ProtocolCase{
+		{Name: "water-nsq", App: "Water-Nsq", Procs: 8, Scale: 2, Profile: "sharing-heavy"},
+		{Name: "lu", App: "LU", Procs: 8, Scale: 2, Profile: "read-mostly"},
+	}
+}
+
+func runProtocolOnce(c ProtocolCase, protocol string) (ProtocolRun, []uint64, error) {
+	app, ok := workloads.Get(c.App)
+	if !ok {
+		return ProtocolRun{}, nil, fmt.Errorf("bench: unknown workload %q", c.App)
+	}
+	cfg := core.DefaultConfig()
+	cfg.SharedBytes = 4 << 20
+	cfg.MaxTime = sim.Cycles(900e6)
+	cfg.Protocol = protocol
+	start := time.Now()
+	sys := core.Build(core.WithConfig(cfg))
+	res, err := workloads.Run(sys, app, workloads.RunConfig{Procs: c.Procs, Scale: c.Scale})
+	if err != nil {
+		return ProtocolRun{}, nil, fmt.Errorf("bench %s (%s): %w", c.Name, protocol, err)
+	}
+	wall := time.Since(start)
+	if err := sys.CheckInvariants(); err != nil {
+		return ProtocolRun{}, nil, fmt.Errorf("bench %s (%s): %w", c.Name, protocol, err)
+	}
+	agg := sys.AggregateStats()
+	return ProtocolRun{
+		Protocol:         protocol,
+		WallMS:           ms(wall),
+		SimElapsedCycles: res.Elapsed,
+		ReadMisses:       agg.ReadMisses(),
+		WriteMisses:      agg.WriteMisses(),
+		MessagesSent:     agg.MessagesSent(),
+		Invalidations:    agg.Invalidations(),
+		DowngradesSent:   agg.DowngradesSent() + agg.DowngradesDirect(),
+		Polls:            agg.Polls(),
+	}, sys.SnapshotShared(), nil
+}
+
+// RunProtocolCase runs one case on every backend, with the first
+// protocol in the list as the speedup baseline.
+func RunProtocolCase(c ProtocolCase, protocols []string) (ProtocolCaseResult, error) {
+	out := ProtocolCaseResult{ProtocolCase: c, MemEqual: true, SimSpeedup: map[string]float64{}}
+	var baseSnap []uint64
+	var baseElapsed sim.Time
+	for i, p := range protocols {
+		run, snap, err := runProtocolOnce(c, p)
+		if err != nil {
+			return out, err
+		}
+		out.Runs = append(out.Runs, run)
+		if i == 0 {
+			baseSnap, baseElapsed = snap, run.SimElapsedCycles
+			continue
+		}
+		if !equalSnapshots(baseSnap, snap) {
+			out.MemEqual = false
+		}
+		if run.SimElapsedCycles > 0 {
+			out.SimSpeedup[p] = float64(baseElapsed) / float64(run.SimElapsedCycles)
+		}
+	}
+	return out, nil
+}
+
+// RunProtocolSuite runs the shootout over every case and assembles the
+// report. The protocol list must be non-empty; its first entry is the
+// baseline (pass core.ProtocolNames() for the full registry — dirinval
+// sorts first).
+func RunProtocolSuite(cases []ProtocolCase, protocols []string) (*ProtocolReport, error) {
+	if len(protocols) == 0 {
+		return nil, fmt.Errorf("bench: no protocols to compare")
+	}
+	r := &ProtocolReport{Suite: "protocol-shootout", Baseline: protocols[0], Protocols: protocols}
+	for _, c := range cases {
+		cr, err := RunProtocolCase(c, protocols)
+		if err != nil {
+			return nil, err
+		}
+		r.Cases = append(r.Cases, cr)
+	}
+	return r, nil
+}
+
+func equalSnapshots(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

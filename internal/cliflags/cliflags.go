@@ -1,0 +1,113 @@
+// Package cliflags registers the simulation flags shared by the Shasta
+// command-line tools (shasta-run, shasta-bench, shasta-check), so that
+// -engine, -workers, -fault-profile, -fault-seed, and -protocol are
+// spelled, documented, and validated identically everywhere. Each tool
+// registers the subset that applies to it and resolves the values into
+// core build options through one code path.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/memchannel"
+)
+
+// Sim holds the shared simulation flag values.
+type Sim struct {
+	Engine       string
+	Workers      int
+	FaultProfile string
+	FaultSeed    int64
+	Protocol     string
+}
+
+// RegisterSim registers the full shared flag set on fs: -engine,
+// -workers, -fault-profile, -fault-seed, and -protocol. Pass
+// flag.CommandLine for tools that use the global flag set.
+func RegisterSim(fs *flag.FlagSet) *Sim {
+	s := &Sim{}
+	fs.StringVar(&s.Engine, "engine", "seq",
+		"simulation engine: seq or parallel (conservative PDES, identical output)")
+	fs.IntVar(&s.Workers, "workers", 0,
+		"parallel engine worker-pool size (0 = one per host core)")
+	fs.StringVar(&s.FaultProfile, "fault-profile", "none",
+		fmt.Sprintf("network fault profile: %v", memchannel.FaultProfiles()))
+	fs.Int64Var(&s.FaultSeed, "fault-seed", 1,
+		"seed for the deterministic fault schedule")
+	RegisterProtocol(fs, &s.Protocol)
+	return s
+}
+
+// RegisterProtocol registers just -protocol on fs, for tools (the model
+// checker) that have no engine or network surface.
+func RegisterProtocol(fs *flag.FlagSet, p *string) {
+	fs.StringVar(p, "protocol", "dirinval",
+		fmt.Sprintf("coherence protocol backend: %v", core.ProtocolNames()))
+}
+
+// RegisterProtocolSweep registers -protocol in its sweep form — a
+// comma-separated backend list, or "all" — for tools that check every
+// requested backend in one invocation (shasta-check).
+func RegisterProtocolSweep(fs *flag.FlagSet) *string {
+	return fs.String("protocol", "dirinval",
+		fmt.Sprintf("comma-separated coherence backends to sweep, or \"all\": %v", core.ProtocolNames()))
+}
+
+// ParseProtocolList expands a sweep-form -protocol value into backend
+// names, validating each against the registry.
+func ParseProtocolList(s string) ([]string, error) {
+	if s == "all" {
+		return core.ProtocolNames(), nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if err := ValidateProtocol(p); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ValidateProtocol rejects names absent from the backend registry.
+func ValidateProtocol(p string) error {
+	if p == "" {
+		return nil
+	}
+	for _, n := range core.ProtocolNames() {
+		if n == p {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown protocol %q (have %v)", p, core.ProtocolNames())
+}
+
+// Options resolves the flag values into core build options: engine
+// selection, fault injection (when a profile is enabled), and the
+// coherence backend.
+func (s *Sim) Options() ([]core.Option, error) {
+	workers, err := experiments.ParseEngine(s.Engine, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	opts := experiments.EngineOptions(workers)
+	fc, err := memchannel.FaultProfile(s.FaultProfile, s.FaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	if fc.Enabled() {
+		opts = append(opts, core.WithFaults(fc))
+	}
+	if err := ValidateProtocol(s.Protocol); err != nil {
+		return nil, err
+	}
+	if s.Protocol != "" {
+		opts = append(opts, core.WithProtocol(s.Protocol))
+	}
+	return opts, nil
+}

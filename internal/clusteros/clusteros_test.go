@@ -14,7 +14,7 @@ func newOS(t *testing.T) (*core.System, *OS) {
 	cfg.SharedBytes = 512 << 10
 	cfg.MaxTime = sim.Cycles(120e6)
 	cfg.ProtocolProcs = true // daemons block in syscalls; someone must serve
-	sys := core.NewSystem(cfg)
+	sys := core.Build(core.WithConfig(cfg))
 	return sys, New(sys, clusterfs.New(cfg.Nodes))
 }
 
@@ -199,7 +199,7 @@ func TestValidationCostShape(t *testing.T) {
 		cfg.SMP = smp
 		cfg.SharedBytes = 512 << 10
 		cfg.MaxTime = sim.Cycles(120e6)
-		sys := core.NewSystem(cfg)
+		sys := core.Build(core.WithConfig(cfg))
 		os := New(sys, clusterfs.New(cfg.Nodes))
 		os.FS().Create("/t")
 		var avg float64

@@ -69,8 +69,9 @@ func BaseShasta() ProtocolVariant {
 	}
 }
 
-// WithProtocol selects the protocol variant.
-func WithProtocol(v ProtocolVariant) Option {
+// WithVariant selects the protocol variant (SMP vs. Base, consistency
+// model, check optimizations).
+func WithVariant(v ProtocolVariant) Option {
 	return func(b *builder) {
 		b.cfg.SMP = v.SMP
 		b.cfg.Consistency = v.Consistency
@@ -80,6 +81,13 @@ func WithProtocol(v ProtocolVariant) Option {
 		b.cfg.SharedQueues = v.SharedQueues
 		b.cfg.ProtocolProcs = v.ProtocolProcs
 	}
+}
+
+// WithProtocol selects the coherence protocol backend by registry name:
+// "dirinval" (the paper's directory-invalidation protocol, the default)
+// or "tardis" (timestamp-ordered coherence). See ProtocolNames.
+func WithProtocol(name string) Option {
+	return func(b *builder) { b.cfg.Protocol = name }
 }
 
 // WithTrace attaches a structured event tracer to every layer of the built
@@ -135,8 +143,7 @@ var osFactory func(*System) any
 func RegisterOSFactory(f func(*System) any) { osFactory = f }
 
 // Build constructs a fully wired Shasta system from DefaultConfig plus the
-// given options. It is the single supported construction path; NewSystem
-// remains only as a thin compatibility wrapper.
+// given options. It is the single construction path.
 func Build(opts ...Option) *System {
 	b := builder{cfg: DefaultConfig()}
 	for _, o := range opts {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/memchannel"
 	"repro/internal/sim"
 )
@@ -168,6 +170,11 @@ type Config struct {
 	// fails the run with NodeUnreachableError. 0 selects the default (8).
 	RetxMaxRetries int
 
+	// Protocol names the coherence backend ("dirinval", "tardis"); empty
+	// selects "dirinval", the paper's directory-invalidation protocol.
+	// See ProtocolNames for the registered set.
+	Protocol string
+
 	// MaxTime aborts runs that exceed this simulated time (safety net).
 	MaxTime sim.Time
 
@@ -240,6 +247,12 @@ func (c *Config) validate() {
 		// ~12.8M cycles — under the default 15M-cycle watchdog budget, so
 		// an unreachable node reports as such, not as a stall.
 		c.RetxMaxRetries = 8
+	}
+	if c.Protocol == "" {
+		c.Protocol = "dirinval"
+	}
+	if protocolFactories[c.Protocol] == nil {
+		panic(fmt.Sprintf("core: unknown protocol %q (have %v)", c.Protocol, ProtocolNames()))
 	}
 	if c.WatchdogCycles == 0 {
 		// Default budget: far above any legitimate no-progress gap (protocol

@@ -24,7 +24,7 @@ func baseConfig() Config {
 // completion.
 func run(t *testing.T, cfg Config, bodies ...func(p *Proc)) *System {
 	t.Helper()
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	ncpu := s.Eng.NumCPUs()
 	for i, b := range bodies {
 		s.Spawn("w", i%ncpu, b)
@@ -39,7 +39,7 @@ func TestSingleProcessReadWrite(t *testing.T) {
 	for _, smp := range []bool{true, false} {
 		cfg := testConfig()
 		cfg.SMP = smp
-		s := NewSystem(cfg)
+		s := Build(WithConfig(cfg))
 		var got uint64
 		p0 := s.Spawn("w", 0, func(p *Proc) {
 			addr := p.sys.Alloc(4096, AllocOptions{Home: 0})
@@ -61,7 +61,7 @@ func TestRemoteReadMiss(t *testing.T) {
 	for _, smp := range []bool{true, false} {
 		cfg := testConfig()
 		cfg.SMP = smp
-		s := NewSystem(cfg)
+		s := Build(WithConfig(cfg))
 		var addr uint64
 		var got uint64
 		ready := false
@@ -96,7 +96,7 @@ func TestRemoteReadMiss(t *testing.T) {
 
 func TestInvalidationPropagatesNewValue(t *testing.T) {
 	cfg := testConfig()
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	var addr uint64
 	var got1, got2 uint64
 	phase := 0
@@ -141,7 +141,7 @@ func TestThreeHopDirtyForwarding(t *testing.T) {
 	cfg := testConfig()
 	cfg.Nodes = 4
 	cfg.CPUsPerNode = 1
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	var addr uint64
 	var got uint64
 	phase := 0
@@ -190,7 +190,7 @@ func TestLLSCAtomicIncrement(t *testing.T) {
 			cfg.Consistency = model
 			const nproc = 8
 			const incs = 50
-			s := NewSystem(cfg)
+			s := Build(WithConfig(cfg))
 			var addr uint64
 			bodies := make([]func(*Proc), nproc)
 			for i := range bodies {
@@ -250,7 +250,7 @@ func TestMPLockMutualExclusion(t *testing.T) {
 	cfg := testConfig()
 	const nproc = 6
 	const incs = 40
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	var addr uint64
 	lock := s.NewLock(0)
 	bar := s.NewBarrier(0, nproc)
@@ -285,7 +285,7 @@ func TestMPLockMutualExclusion(t *testing.T) {
 func TestBarrierRendezvous(t *testing.T) {
 	cfg := testConfig()
 	const nproc = 8
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	bar := s.NewBarrier(0, nproc)
 	arrived := 0
 	for i := 0; i < nproc; i++ {
@@ -307,7 +307,7 @@ func TestBarrierRendezvous(t *testing.T) {
 
 func TestFalseMissOnFlagValue(t *testing.T) {
 	cfg := testConfig()
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	s.Spawn("w", 0, func(p *Proc) {
 		addr := s.Alloc(64, AllocOptions{Home: 0})
 		p.Store(addr, FlagWord) // application data equal to the flag
@@ -325,7 +325,7 @@ func TestFalseMissOnFlagValue(t *testing.T) {
 
 func TestSMPLocalFillAvoidsRemoteMiss(t *testing.T) {
 	cfg := testConfig()
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	var addr uint64
 	phase := 0
 	// Both processes on node 1; home on node 0.
@@ -370,7 +370,7 @@ func TestSMPLocalFillAvoidsRemoteMiss(t *testing.T) {
 func TestRCNonblockingStoreAndMB(t *testing.T) {
 	cfg := testConfig()
 	cfg.Consistency = ReleaseConsistent
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	var addr uint64
 	phase := 0
 	s.Spawn("a", 0, func(p *Proc) {
@@ -410,7 +410,7 @@ func TestRCNonblockingStoreAndMB(t *testing.T) {
 func TestSCBlockingStore(t *testing.T) {
 	cfg := testConfig()
 	cfg.Consistency = SequentiallyConsistent
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	var addr uint64
 	phase := 0
 	s.Spawn("a", 0, func(p *Proc) {
@@ -437,7 +437,7 @@ func TestSCBlockingStore(t *testing.T) {
 
 func TestVariableBlockSizeFetchesWholeBlock(t *testing.T) {
 	cfg := testConfig()
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	var addr uint64
 	phase := 0
 	s.Spawn("a", 0, func(p *Proc) {
@@ -476,7 +476,7 @@ func TestRemoteMissLatencyNearPaper(t *testing.T) {
 	// §6.1: minimum latency to fetch a 64-byte block from a remote node
 	// (two hops) is about 20 microseconds.
 	cfg := testConfig()
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	var addr uint64
 	var lat sim.Time
 	phase := 0
@@ -509,7 +509,7 @@ func TestRemoteMissLatencyNearPaper(t *testing.T) {
 
 func TestBatchValidationAndAccess(t *testing.T) {
 	cfg := testConfig()
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	var src, dst uint64
 	phase := 0
 	s.Spawn("a", 0, func(p *Proc) {
@@ -560,7 +560,7 @@ func TestDeterministicRuns(t *testing.T) {
 	runOnce := func() (Stats, sim.Time) {
 		cfg := testConfig()
 		const nproc = 8
-		s := NewSystem(cfg)
+		s := Build(WithConfig(cfg))
 		var addr uint64
 		bar := s.NewBarrier(0, nproc)
 		for i := 0; i < nproc; i++ {
@@ -600,7 +600,7 @@ func TestFlagInvariant(t *testing.T) {
 		cfg := testConfig()
 		cfg.SMP = smp
 		const nproc = 8
-		s := NewSystem(cfg)
+		s := Build(WithConfig(cfg))
 		var addr uint64
 		const words = 512
 		bar := s.NewBarrier(0, nproc)
@@ -658,7 +658,7 @@ func TestCoherenceStress(t *testing.T) {
 		cfg.SMP = smp
 		const nproc = 8
 		const rounds = 120
-		s := NewSystem(cfg)
+		s := Build(WithConfig(cfg))
 		var addr uint64
 		bar := s.NewBarrier(0, nproc)
 		lock := s.NewLock(0)
@@ -699,7 +699,7 @@ func TestCoherenceStress(t *testing.T) {
 func TestReadOwnWriteForwarding(t *testing.T) {
 	cfg := testConfig()
 	cfg.Consistency = ReleaseConsistent
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	var addr uint64
 	phase := 0
 	s.Spawn("a", 0, func(p *Proc) {

@@ -92,6 +92,9 @@ type ExpConfig struct {
 	WordsPerLine int // default 2
 	Consistency  ConsistencyModel
 	Broken       bool
+	// Protocol names the coherence backend to explore ("dirinval",
+	// "tardis"); empty selects "dirinval".
+	Protocol string
 	// Disabled names invariants to skip ("swmr", "data-value",
 	// "dir-agreement", "bounded", "fwd-owner", "llsc").
 	Disabled map[string]bool
@@ -154,11 +157,11 @@ type expAwait struct {
 }
 
 type expProc struct {
-	p    *Proc
-	prog []ExpOp
-	pc   int
+	p     *Proc
+	prog  []ExpOp
+	pc    int
 	await *expAwait
-	regs []uint64 // observed values (reads, LLs) and SC results (1/0)
+	regs  []uint64 // observed values (reads, LLs) and SC results (1/0)
 
 	// Ghost LL reservation: others' write count to llWord at the LL.
 	llGhostValid bool
@@ -168,14 +171,14 @@ type expProc struct {
 
 // Explorer drives the protocol as an explicit-state transition system.
 type Explorer struct {
-	cfg   ExpConfig
-	sys   *System
-	eps   []*expProc
-	chans map[[2]int][]msg
-	ghost []ghostWord
+	cfg    ExpConfig
+	sys    *System
+	eps    []*expProc
+	chans  map[[2]int][]msg
+	ghost  []ghostWord
 	events []trace.Event
-	viol  *ExpViolation
-	perms [][]int // proc-ID permutations for symmetry reduction
+	viol   *ExpViolation
+	perms  [][]int // proc-ID permutations for symmetry reduction
 }
 
 // NewExplorer builds the initial state of a model. The same config always
@@ -205,6 +208,7 @@ func NewExplorer(c ExpConfig) *Explorer {
 		Consistency:       c.Consistency,
 		FlagCheck:         true,
 		Checks:            true,
+		Protocol:          c.Protocol,
 		Cost:              DefaultCostModel(),
 		Net:               memchannel.DefaultConfig(),
 		Seed:              1,
@@ -277,10 +281,12 @@ func (e *Explorer) blkOf(word int) *blockInfo {
 }
 
 func (e *Explorer) ghostStore(pid int, addr, val uint64) {
-	g := &e.ghost[e.sys.wordOf(addr)]
+	word := e.sys.wordOf(addr)
+	g := &e.ghost[word]
 	g.val = val
 	g.version++
 	g.writes[pid]++
+	e.sys.proto.noteGhostStore(e, pid, word, val)
 }
 
 // isReplyClass mirrors the queue selection in System.sendWire: these
@@ -531,12 +537,8 @@ func (e *Explorer) completeRead(ep *expProc, op ExpOp, v uint64, forwarded, ll b
 	e.events = append(e.events, trace.Event{
 		Cat: "mc", Ev: "value", P: p.ID, A: int64(v), S: fmt.Sprintf("%s -> %d", op, v),
 	})
-	if !forwarded && !e.cfg.Disabled["data-value"] {
-		if g := e.ghost[op.Word]; v != g.val {
-			e.fail("data-value", fmt.Sprintf(
-				"p%d %s read %#x, last performed store was %#x (version %d)",
-				p.ID, op, v, g.val, g.version))
-		}
+	if !forwarded {
+		e.sys.proto.expCheckRead(e, ep, op, v)
 	}
 }
 
@@ -719,7 +721,7 @@ func (e *Explorer) Terminal() bool {
 		}
 	}
 	for _, blk := range e.sys.blocks {
-		if blk.dir.state == dirBusy || len(blk.dir.queue) > 0 {
+		if !e.sys.proto.blockQuiet(blk) {
 			return false
 		}
 	}

@@ -141,8 +141,9 @@ func (e *Explorer) encodeWith(perm []int) string {
 		}
 		for _, dm := range p.deferredReqs {
 			b.WriteString(" q")
-			b.WriteString(encodeMsg(dm, perm))
+			b.WriteString(e.encMsg(dm, perm))
 		}
+		e.sys.proto.encodeProcExtra(e, &b, p, perm)
 		b.WriteString(" t")
 		for line := 0; line < e.sys.numLines; line++ {
 			fmt.Fprintf(&b, "%d", p.priv[line])
@@ -150,14 +151,7 @@ func (e *Explorer) encodeWith(perm []int) string {
 		fmt.Fprintf(&b, " d%v}", p.mem.data)
 	}
 	for _, blk := range e.sys.blocks {
-		d := blk.dir
-		fmt.Fprintf(&b, "B%d{%d o%d po%d sh%x", blk.id, d.state,
-			perm[d.owner], perm[d.pendingOwner], remapMask(d.sharers, perm))
-		for _, qm := range d.queue {
-			b.WriteString(" q")
-			b.WriteString(encodeMsg(qm, perm))
-		}
-		b.WriteByte('}')
+		e.sys.proto.encodeBlock(e, &b, blk, perm)
 	}
 	type link struct {
 		src, dst int
@@ -179,7 +173,7 @@ func (e *Explorer) encodeWith(perm []int) string {
 		fmt.Fprintf(&b, "C%d>%d{", l.src, l.dst)
 		for _, m := range l.q {
 			b.WriteByte(' ')
-			b.WriteString(encodeMsg(m, perm))
+			b.WriteString(e.encMsg(m, perm))
 		}
 		b.WriteByte('}')
 	}
@@ -198,9 +192,13 @@ func (e *Explorer) encodeWith(perm []int) string {
 	return b.String()
 }
 
-func encodeMsg(m msg, perm []int) string {
+// encMsg encodes one message, appending whatever extra fields the
+// protocol backend carries (empty for dirinval, so its encodings are
+// unchanged byte for byte).
+func (e *Explorer) encMsg(m msg, perm []int) string {
 	return fmt.Sprintf("k%d.b%d.f%d.q%d.i%d.dt%d.id%d.d%v",
-		m.kind, m.block, perm[m.from], perm[m.reqProc], m.invals, m.downTo, m.id, m.data)
+		m.kind, m.block, perm[m.from], perm[m.reqProc], m.invals, m.downTo, m.id, m.data) +
+		e.sys.proto.encodeMsgExtra(m)
 }
 
 func remapMask(mask uint64, perm []int) uint64 {
@@ -225,165 +223,15 @@ func remapMask(mask uint64, perm []int) uint64 {
 //	               in-flight traffic are bounded
 //	fwd-owner     I5: forwarded requests target a live owner
 //	llsc          I6: a successful SC pairs atomically with its LL
+//
+// The catalogue itself is the protocol backend's (dir-agreement becomes
+// timestamp agreement under tardis); data-value and llsc violations are
+// recorded eagerly during Apply and returned here.
 func (e *Explorer) Check() *ExpViolation {
 	if e.viol != nil {
 		return e.viol
 	}
-	dis := e.cfg.Disabled
-	s := e.sys
-	n := len(s.procs)
-	if !dis["swmr"] {
-		for line := 0; line < s.numLines; line++ {
-			excl, shared := -1, -1
-			for a, am := range s.agents {
-				switch am.table[line] {
-				case Exclusive:
-					if excl >= 0 {
-						return e.record("swmr", fmt.Sprintf(
-							"line %d exclusive at both p%d and p%d", line, excl, a))
-					}
-					excl = a
-				case Shared:
-					shared = a
-				}
-			}
-			if excl >= 0 && shared >= 0 {
-				return e.record("swmr", fmt.Sprintf(
-					"line %d exclusive at p%d while p%d holds a shared copy",
-					line, excl, shared))
-			}
-		}
-	}
-	if !dis["data-value"] {
-		for _, blk := range s.blocks {
-			line := blk.firstLine
-			for a, am := range s.agents {
-				if st := am.table[line]; st != Shared && st != Exclusive {
-					continue
-				}
-				for w := 0; w < s.wordsPerLine; w++ {
-					word := line*s.wordsPerLine + w
-					if am.data[word] != e.ghost[word].val {
-						return e.record("data-value", fmt.Sprintf(
-							"p%d holds %#x for w%d, last performed store was %#x",
-							a, am.data[word], word, e.ghost[word].val))
-					}
-				}
-			}
-		}
-	}
-	if !dis["dir-agreement"] {
-		for _, blk := range s.blocks {
-			if v := e.checkDir(blk); v != nil {
-				return v
-			}
-		}
-	}
-	if !dis["bounded"] {
-		for _, ep := range e.eps {
-			p := ep.p
-			if p.outstanding != len(p.mshr) {
-				return e.record("bounded", fmt.Sprintf(
-					"p%d outstanding=%d but %d MSHRs", p.ID, p.outstanding, len(p.mshr)))
-			}
-			if len(p.deferredReqs) > n {
-				return e.record("bounded", fmt.Sprintf(
-					"p%d has %d deferred requests (max %d)", p.ID, len(p.deferredReqs), n))
-			}
-		}
-		for _, blk := range s.blocks {
-			if len(blk.dir.queue) > n {
-				return e.record("bounded", fmt.Sprintf(
-					"block %d directory queue holds %d requests (max %d)",
-					blk.id, len(blk.dir.queue), n))
-			}
-		}
-		limit := 4*len(s.blocks)*n + 4
-		for k, q := range e.chans {
-			if len(q) > limit {
-				return e.record("bounded", fmt.Sprintf(
-					"link %d->%d holds %d messages (limit %d)", k[0], k[1], len(q), limit))
-			}
-		}
-	}
-	if !dis["fwd-owner"] {
-		for k, q := range e.chans {
-			for _, m := range q {
-				if m.kind != msgFwdRead && m.kind != msgFwdReadExcl {
-					continue
-				}
-				dst := k[1]
-				blk := s.blocks[m.block]
-				st := s.agents[dst].table[blk.firstLine]
-				if st != Exclusive && s.procs[dst].mshr[m.block] == nil {
-					return e.record("fwd-owner", fmt.Sprintf(
-						"%s for block %d in flight to p%d, which holds state %d with no miss outstanding",
-						m.kind, m.block, dst, st))
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// checkDir verifies directory/state-table agreement for one block,
-// tolerating exactly the transients the protocol creates (pending
-// requesters already counted as sharers or owner, invalidations still in
-// flight to stale sharers).
-func (e *Explorer) checkDir(blk *blockInfo) *ExpViolation {
-	s := e.sys
-	d := blk.dir
-	line := blk.firstLine
-	switch d.state {
-	case dirShared:
-		for a, am := range s.agents {
-			st := am.table[line]
-			if st == Exclusive {
-				return e.record("dir-agreement", fmt.Sprintf(
-					"block %d is dirShared but p%d holds it exclusive", blk.id, a))
-			}
-			if (st == Shared) && d.sharers&(1<<uint(a)) == 0 {
-				return e.record("dir-agreement", fmt.Sprintf(
-					"block %d: p%d holds a shared copy but is not in the sharer set %x",
-					blk.id, a, d.sharers))
-			}
-		}
-		if st := s.agents[blk.home].table[line]; st != Shared {
-			return e.record("dir-agreement", fmt.Sprintf(
-				"block %d is dirShared but its home p%d holds state %d", blk.id, blk.home, st))
-		}
-	case dirExclusive:
-		st := s.agents[d.owner].table[line]
-		if st != Exclusive && st != Pending {
-			return e.record("dir-agreement", fmt.Sprintf(
-				"block %d owner p%d holds state %d (want exclusive or pending)",
-				blk.id, d.owner, st))
-		}
-		for a, am := range s.agents {
-			if a == d.owner {
-				continue
-			}
-			ast := am.table[line]
-			if ast != Shared && ast != Exclusive {
-				continue
-			}
-			// A non-owner valid copy is legal only while its
-			// invalidation is still in flight (or deferred behind the
-			// holder's own fill).
-			if !e.invalPending(blk.id, a) {
-				return e.record("dir-agreement", fmt.Sprintf(
-					"block %d owned by p%d but p%d holds a stale valid copy with no invalidation in flight",
-					blk.id, d.owner, a))
-			}
-		}
-	case dirBusy:
-		if !e.busyJustified(blk.id) {
-			return e.record("dir-agreement", fmt.Sprintf(
-				"block %d is dirBusy with no forward, writeback, or ownership transfer in flight",
-				blk.id))
-		}
-	}
-	return nil
+	return e.sys.proto.expCheck(e)
 }
 
 // invalPending reports whether an msgInvalReq for the block is in flight

@@ -41,42 +41,18 @@ func (s *System) CheckInvariants() error {
 	return nil
 }
 
-// checkInvariantsLight runs the always-true invariants: single writer
-// (at most one exclusive agent copy per line, never alongside shared
-// copies), MSHR accounting, and directory queue boundedness. O(lines ×
-// agents); safe at any point, including mid-transition.
+// checkInvariantsLight runs the always-true invariants: the backend's
+// own (single writer over agent tables, home-queue boundedness) plus
+// MSHR accounting. O(lines × agents); safe at any point, including
+// mid-transition.
 func (s *System) checkInvariantsLight() error {
-	for line := 0; line < s.allocCursor; line++ {
-		excl, shared := -1, -1
-		for a, am := range s.agents {
-			switch am.table[line] {
-			case Exclusive:
-				if excl >= 0 {
-					return &InvariantError{"swmr", fmt.Sprintf(
-						"line %d exclusive at agents %d and %d", line, excl, a)}
-				}
-				excl = a
-			case Shared:
-				shared = a
-			}
-		}
-		if excl >= 0 && shared >= 0 {
-			return &InvariantError{"swmr", fmt.Sprintf(
-				"line %d exclusive at agent %d while agent %d holds a shared copy",
-				line, excl, shared)}
-		}
+	if err := s.proto.checkLight(s); err != nil {
+		return err
 	}
 	for _, p := range s.procs {
 		if p.outstanding != len(p.mshr) {
 			return &InvariantError{"bounded", fmt.Sprintf(
 				"%s outstanding=%d but %d MSHRs", p.Name, p.outstanding, len(p.mshr))}
-		}
-	}
-	for _, blk := range s.blocks {
-		if len(blk.dir.queue) > len(s.procs) {
-			return &InvariantError{"bounded", fmt.Sprintf(
-				"block %d directory queue holds %d requests (max %d)",
-				blk.id, len(blk.dir.queue), len(s.procs))}
 		}
 	}
 	return nil
@@ -114,7 +90,7 @@ func (s *System) fullyQuiescent() bool {
 		}
 	}
 	for _, blk := range s.blocks {
-		if blk.dir.state == dirBusy || len(blk.dir.queue) > 0 {
+		if !s.proto.blockQuiet(blk) {
 			return false
 		}
 	}
@@ -122,57 +98,11 @@ func (s *System) fullyQuiescent() bool {
 }
 
 // checkQuiescent verifies the invariants that hold exactly when nothing
-// is in flight: the directory agrees with the agent tables copy for
-// copy, all valid copies of a line hold identical data, and invalid
-// lines are filled with the flag value (modulo fills still deferred
-// behind an open batch).
+// is in flight; the exact catalogue is the backend's (for dirinval:
+// directory/state-table agreement copy for copy, identical data among
+// valid copies, flag-filled invalid lines modulo deferred fills).
 func (s *System) checkQuiescent() error {
-	for _, blk := range s.blocks {
-		d := blk.dir
-		for line := blk.firstLine; line < blk.firstLine+blk.lines; line++ {
-			switch d.state {
-			case dirExclusive:
-				for a, am := range s.agents {
-					st := am.table[line]
-					if a == d.owner {
-						if st != Exclusive {
-							return &InvariantError{"dir-agreement", fmt.Sprintf(
-								"block %d quiescent owner agent %d holds state %v on line %d",
-								blk.id, d.owner, st, line)}
-						}
-					} else if st != Invalid {
-						return &InvariantError{"dir-agreement", fmt.Sprintf(
-							"block %d owned by agent %d but agent %d holds state %v on line %d",
-							blk.id, d.owner, a, st, line)}
-					}
-				}
-			case dirShared:
-				for a, am := range s.agents {
-					st := am.table[line]
-					inSet := d.sharers&(1<<uint(a)) != 0
-					if st == Shared && !inSet {
-						return &InvariantError{"dir-agreement", fmt.Sprintf(
-							"block %d line %d: agent %d holds a shared copy but is not in sharer set %x",
-							blk.id, line, a, d.sharers)}
-					}
-					if st == Exclusive {
-						return &InvariantError{"dir-agreement", fmt.Sprintf(
-							"block %d line %d: dirShared but agent %d holds it exclusive",
-							blk.id, line, a)}
-					}
-					if inSet && st != Shared {
-						return &InvariantError{"dir-agreement", fmt.Sprintf(
-							"block %d line %d: agent %d in sharer set %x but holds state %v",
-							blk.id, line, a, d.sharers, st)}
-					}
-				}
-			}
-			if err := s.checkLineData(blk, line); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return s.proto.checkQuiescent(s)
 }
 
 // checkLineData verifies that all valid copies of a line agree word for

@@ -22,6 +22,10 @@ func (p *Proc) LoadLocked(addr uint64) uint64 {
 		return p.mem.data[w]
 	}
 	line := s.lineOf(addr)
+	// A backend whose read copies can silently go stale (tardis leases)
+	// drops them here, so the LL below observes current data and the SC's
+	// currency check can succeed; a no-op for dirinval.
+	s.proto.refreshLL(p, line)
 	if s.Cfg.EmulateLLSC {
 		// Conservative emulation of the lock-flag and lock-address
 		// (§3.1.2): save the address and set the flag on every LL.
@@ -78,6 +82,7 @@ func (p *Proc) StoreCond(addr uint64, v uint64) bool {
 			p.stats.N[CntSCHardware]++
 			p.mem.data[w] = v
 			p.resetLocalLLs(line)
+			s.proto.noteStoreHit(p, line)
 			return true
 		}
 		p.stats.N[CntSCFailures]++
@@ -119,6 +124,7 @@ func (p *Proc) StoreCond(addr uint64, v uint64) bool {
 			if ok {
 				p.mem.data[w] = v
 				p.resetLocalLLs(line)
+				s.proto.noteStoreHit(p, line)
 				return true
 			}
 			p.stats.N[CntSCFailures]++
@@ -154,6 +160,7 @@ func (p *Proc) StoreCond(addr uint64, v uint64) bool {
 	}
 	p.mem.data[p.sys.wordOf(addr)] = v
 	p.resetLocalLLs(line)
+	s.proto.noteStoreHit(p, line)
 	if debugSC != nil {
 		debugSC(p, addr, v)
 	}
@@ -201,6 +208,7 @@ func (p *Proc) storeCondEmulated(addr, v uint64, line int) bool {
 	}
 	p.mem.data[s.wordOf(addr)] = v
 	p.resetLocalLLs(line)
+	s.proto.noteStoreHit(p, line)
 	return true
 }
 

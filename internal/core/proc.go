@@ -81,6 +81,13 @@ type Proc struct {
 
 	// OSData is used by the cluster OS layer for per-process state.
 	OSData any
+
+	// protoData holds the coherence backend's per-process state (tardis:
+	// the process timestamp and poll clock). Keeping it on the Proc — not
+	// in a backend-global map — preserves the shard-locality discipline
+	// the parallel PDES engine relies on: a process's state is touched
+	// only by code running on its own node's shard.
+	protoData any
 }
 
 // Node returns the node this process runs on.
@@ -150,6 +157,7 @@ func (p *Proc) Compute(c sim.Time) {
 func (p *Proc) Poll() {
 	p.stats.N[CntPolls]++
 	p.charge(CatPoll, p.sys.Cfg.Cost.Poll)
+	p.sys.proto.pollTick(p)
 	for p.serviceReady(CatMessage) {
 	}
 }
@@ -388,6 +396,7 @@ func (p *Proc) Store(addr uint64, v uint64) {
 	if p.priv[line] == Exclusive {
 		p.mem.data[w] = v
 		p.resetLocalLLs(line)
+		s.proto.noteStoreHit(p, line)
 		return
 	}
 	p.storeMiss(addr, v, line)
@@ -421,6 +430,7 @@ func (p *Proc) storeMissLocked(addr, v uint64, line int) {
 		if p.priv[line] == Exclusive { // resolved while stalled
 			p.mem.data[s.wordOf(addr)] = v
 			p.resetLocalLLs(line)
+			s.proto.noteStoreHit(p, line)
 			return
 		}
 		if s.Cfg.SMP {
@@ -429,6 +439,7 @@ func (p *Proc) storeMissLocked(addr, v uint64, line int) {
 				if p.localFill(line) && p.priv[line] == Exclusive {
 					p.mem.data[s.wordOf(addr)] = v
 					p.resetLocalLLs(line)
+					s.proto.noteStoreHit(p, line)
 					return
 				}
 				continue

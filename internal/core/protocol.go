@@ -2,15 +2,20 @@ package core
 
 import (
 	"fmt"
-	"math/bits"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
+// This file is the protocol-independent half of the coherence machinery:
+// miss issue and completion (MSHRs), message dispatch, and the intra-node
+// downgrade path shared by every backend. The protocol proper — home-side
+// state, request servicing, reply semantics — lives behind the Protocol
+// interface (coherence.go) in the backend files (dirinval.go, tardis.go).
+
 // issueMiss allocates an MSHR for the block and sends the appropriate
 // request to the home (§2.1: read, read-exclusive, or exclusive/upgrade).
-// scMode marks a store-conditional upgrade, which the directory may refuse.
+// scMode marks a store-conditional upgrade, which the home may refuse.
 func (p *Proc) issueMiss(blk *blockInfo, wantExcl bool, stores []pendingStore) *mshrEntry {
 	return p.issueMissKind(blk, wantExcl, stores, false)
 }
@@ -24,20 +29,7 @@ func (p *Proc) issueMissKind(blk *blockInfo, wantExcl bool, stores []pendingStor
 	p.mshr[blk.id] = m
 	p.outstanding++
 
-	// Decide between upgrade (agent already shares the data) and a full
-	// data fetch, then mark the lines pending.
-	agentState := p.mem.table[blk.firstLine]
-	kind := msgReadReq
-	if wantExcl {
-		switch {
-		case scMode:
-			kind = msgSCUpgradeReq
-		case agentState == Shared:
-			kind = msgUpgradeReq
-		default:
-			kind = msgReadExclReq
-		}
-	}
+	kind := s.proto.missKind(p, blk, wantExcl, scMode)
 	for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
 		p.priv[l] = Pending
 		if s.Cfg.SMP {
@@ -46,6 +38,7 @@ func (p *Proc) issueMissKind(blk *blockInfo, wantExcl bool, stores []pendingStor
 	}
 	traceEvent(p, blk, "issue:"+kind.String())
 	req := msg{kind: kind, block: blk.id, from: p.ID, reqProc: p.ID}
+	s.proto.stampRequest(p, blk, &req)
 	home := s.procs[blk.home]
 	if home == p {
 		p.handleMessage(req, CatMessage)
@@ -88,33 +81,24 @@ func (p *Proc) handleMessage(m msg, cat TimeCategory) {
 			return
 		}
 		// Strip the wire sequence number: handlers may re-dispatch the
-		// message internally (directory-busy queues, deferred requests),
-		// and those replays must not look like duplicate deliveries.
+		// message internally (home-side queues, deferred requests), and
+		// those replays must not look like duplicate deliveries.
 		m.seq = 0
 	}
 	p.dispatch(m, cat)
 }
 
-// dispatch routes an in-order, deduplicated message to its handler.
+// dispatch routes an in-order, deduplicated message to its handler:
+// coherence traffic goes to the protocol backend, everything else
+// (downgrades, locks, barriers, user messages, net acks) is shared.
 func (p *Proc) dispatch(m msg, cat TimeCategory) {
 	s := p.sys
 	switch m.kind {
-	case msgReadReq, msgReadExclReq, msgUpgradeReq, msgSCUpgradeReq:
-		p.handleHome(m)
-	case msgFwdRead:
-		p.handleFwdRead(m)
-	case msgFwdReadExcl:
-		p.handleFwdReadExcl(m)
-	case msgInvalReq:
-		p.handleInval(m)
-	case msgReadReply, msgReadExclReply, msgUpgradeAck, msgSCFail:
-		p.handleReply(m)
-	case msgInvalAck:
-		p.handleInvalAck(m)
-	case msgShareWB:
-		p.handleShareWB(m)
-	case msgOwnerTransfer:
-		p.handleOwnerTransfer(m)
+	case msgReadReq, msgReadExclReq, msgUpgradeReq, msgSCUpgradeReq,
+		msgFwdRead, msgFwdReadExcl, msgInvalReq,
+		msgReadReply, msgReadExclReply, msgUpgradeAck, msgSCFail, msgInvalAck,
+		msgShareWB, msgOwnerTransfer:
+		s.proto.handle(p, m)
 	case msgDowngradeReq:
 		p.handleDowngradeReq(m)
 	case msgDowngradeAck:
@@ -122,12 +106,14 @@ func (p *Proc) dispatch(m msg, cat TimeCategory) {
 	case msgLockReq:
 		p.handleLockReq(m)
 	case msgLockGrant:
+		s.proto.observeTs(p, m.ts)
 		p.grantedLock(m.id)
 	case msgLockRelease:
 		p.handleLockRelease(m)
 	case msgBarrierEnter:
 		p.handleBarrierEnter(m)
 	case msgBarrierRelease:
+		s.proto.observeTs(p, m.ts)
 		p.barrierSeen[m.id]++
 	case msgNetAck:
 		p.handleNetAck(m)
@@ -143,136 +129,14 @@ func (p *Proc) dispatch(m msg, cat TimeCategory) {
 	}
 }
 
-// handleHome services a request at the block's home.
-func (p *Proc) handleHome(m msg) {
-	s := p.sys
-	blk := s.blocks[m.block]
-	d := &blk.dir
-	if d.state == dirBusy {
-		d.queue = append(d.queue, m)
-		return
-	}
-	reqProc := s.procs[m.reqProc]
-	reqAgent := s.agentOf(reqProc)
-	homeAgent := s.agentOf(s.procs[blk.home])
-	homeMem := s.agents[homeAgent]
-
-	switch m.kind {
-	case msgReadReq:
-		switch d.state {
-		case dirShared:
-			d.sharers |= 1 << uint(reqAgent)
-			p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID, data: s.blockData(homeMem, blk)})
-		case dirExclusive:
-			switch d.owner {
-			case reqAgent:
-				// Another process on the requester's agent took
-				// ownership while this request was in flight; the data
-				// is already local and the grant is exclusive.
-				p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID, downTo: Exclusive})
-			case homeAgent:
-				// Home agent owns it: downgrade locally and reply — but
-				// defer if the home's own exclusive fill is incomplete,
-				// exactly as a forwarded request would be.
-				if p.deferIfPending(m, blk) {
-					return
-				}
-				p.downgradeAgent(blk, Shared, false)
-				d.state = dirShared
-				d.sharers = 1<<uint(homeAgent) | 1<<uint(reqAgent)
-				p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID, data: s.blockData(homeMem, blk)})
-			default:
-				d.state = dirBusy
-				owner := s.agentLeader(d.owner)
-				s.deliver(p, owner, msg{kind: msgFwdRead, block: blk.id, from: p.ID, reqProc: m.reqProc}, CatMessage)
-			}
-		}
-
-	case msgReadExclReq, msgUpgradeReq, msgSCUpgradeReq:
-		isUpgrade := m.kind == msgUpgradeReq || m.kind == msgSCUpgradeReq
-		if isUpgrade && !(d.state == dirShared && d.sharers&(1<<uint(reqAgent)) != 0) {
-			if m.kind == msgSCUpgradeReq {
-				// The requester lost its shared copy: the SC fails
-				// (§3.1.2); crucially no invalidations are sent, which
-				// avoids livelock.
-				p.reply(reqProc, msg{kind: msgSCFail, block: blk.id, from: p.ID})
-				return
-			}
-			// A plain upgrade whose copy was invalidated in flight is
-			// converted to a full read-exclusive.
-			isUpgrade = false
-		}
-		if m.kind == msgSCUpgradeReq && d.state == dirExclusive {
-			// Exclusivity moved (possibly to the requester's own agent
-			// via another local process) — some write serialized ahead
-			// of this SC, so it must fail.
-			p.reply(reqProc, msg{kind: msgSCFail, block: blk.id, from: p.ID})
-			return
-		}
-		switch d.state {
-		case dirShared:
-			others := d.sharers &^ (1 << uint(reqAgent))
-			homeIsSharer := others&(1<<uint(homeAgent)) != 0
-			remote := others &^ (1 << uint(homeAgent))
-			nacks := bits.OnesCount64(others)
-			var data []uint64
-			if !isUpgrade {
-				data = s.blockData(homeMem, blk)
-			}
-			d.state = dirExclusive
-			d.owner = reqAgent
-			d.sharers = 0
-			// Send remote invalidations; acks flow to the requester.
-			for a := 0; remote != 0; a++ {
-				if remote&(1<<uint(a)) != 0 {
-					remote &^= 1 << uint(a)
-					s.deliver(p, s.agentLeader(a), msg{kind: msgInvalReq, block: blk.id, from: p.ID, reqProc: m.reqProc}, CatMessage)
-				}
-			}
-			// Reply before doing the (possibly slow) local invalidation.
-			k := msgReadExclReply
-			if isUpgrade {
-				k = msgUpgradeAck
-			}
-			p.reply(reqProc, msg{kind: k, block: blk.id, from: p.ID, invals: nacks, data: data})
-			if homeIsSharer && homeAgent != reqAgent {
-				p.downgradeAgent(blk, Invalid, false)
-				p.reply(reqProc, msg{kind: msgInvalAck, block: blk.id, from: p.ID})
-			}
-		case dirExclusive:
-			switch d.owner {
-			case reqAgent:
-				p.reply(reqProc, msg{kind: msgUpgradeAck, block: blk.id, from: p.ID})
-			case homeAgent:
-				if p.deferIfPending(m, blk) {
-					return
-				}
-				data := p.downgradeAgent(blk, Invalid, true)
-				d.owner = reqAgent
-				p.reply(reqProc, msg{kind: msgReadExclReply, block: blk.id, from: p.ID, data: data})
-			default:
-				d.state = dirBusy
-				d.pendingOwner = reqAgent
-				owner := s.agentLeader(d.owner)
-				s.deliver(p, owner, msg{kind: msgFwdReadExcl, block: blk.id, from: p.ID, reqProc: m.reqProc}, CatMessage)
-			}
-		}
-	}
-}
-
 // reply routes a response to the requesting process, short-circuiting when
 // the servicer is the requester (home-local miss).
 func (p *Proc) reply(to *Proc, m msg) {
 	if to == p {
-		p.handleReplyLocal(m)
+		p.sys.proto.handle(p, m)
 		return
 	}
 	p.sys.deliver(p, to, m, CatMessage)
-}
-
-// handleReplyLocal applies a reply generated on the requester itself.
-func (p *Proc) handleReplyLocal(m msg) {
-	p.handleReply(m)
 }
 
 // blockData copies the block's contents out of an agent's memory.
@@ -288,48 +152,6 @@ func (s *System) blockData(mem *agentMem, blk *blockInfo) []uint64 {
 func (s *System) setAgentState(mem *agentMem, blk *blockInfo, st LineState) {
 	for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
 		mem.table[l] = st
-	}
-}
-
-// handleFwdRead services a forwarded read at the owning agent: downgrade to
-// shared, send the data to the requester, and write it back to the home.
-func (p *Proc) handleFwdRead(m msg) {
-	s := p.sys
-	blk := s.blocks[m.block]
-	if p.deferIfPending(m, blk) {
-		return
-	}
-	p.downgradeAgent(blk, Shared, false)
-	data := s.blockData(p.mem, blk)
-	reqProc := s.procs[m.reqProc]
-	p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID, data: data})
-	home := s.procs[blk.home]
-	wb := msg{kind: msgShareWB, block: blk.id, from: p.ID, reqProc: m.reqProc, data: data}
-	if home == p {
-		p.handleShareWB(wb)
-	} else {
-		s.deliver(p, home, wb, CatMessage)
-	}
-}
-
-// handleFwdReadExcl services a forwarded read-exclusive at the owning
-// agent: invalidate the local copy, ship the data to the requester, and
-// notify the home of the ownership transfer.
-func (p *Proc) handleFwdReadExcl(m msg) {
-	s := p.sys
-	blk := s.blocks[m.block]
-	if p.deferIfPending(m, blk) {
-		return
-	}
-	data := p.downgradeAgent(blk, Invalid, true)
-	reqProc := s.procs[m.reqProc]
-	p.reply(reqProc, msg{kind: msgReadExclReply, block: blk.id, from: p.ID, data: data})
-	home := s.procs[blk.home]
-	ot := msg{kind: msgOwnerTransfer, block: blk.id, from: p.ID}
-	if home == p {
-		p.handleOwnerTransfer(ot)
-	} else {
-		s.deliver(p, home, ot, CatMessage)
 	}
 }
 
@@ -405,46 +227,6 @@ func (p *Proc) fillAgentInvalid(blk *blockInfo) {
 		}
 	}
 	p.invalidateLocalLLs(blk.firstLine)
-}
-
-// handleInval invalidates this agent's copy and acks the requester (§2.1).
-func (p *Proc) handleInval(m msg) {
-	s := p.sys
-	blk := s.blocks[m.block]
-	p.stats.N[CntInvalidations]++
-	missInFlight := false
-	holder := p
-	if p.sys.Cfg.SMP {
-		if h := p.mem.busy[blk.id]; h != nil && h.mshr[blk.id] != nil {
-			missInFlight = true
-			holder = h
-		}
-	} else {
-		missInFlight = p.mshr[blk.id] != nil
-	}
-	if missInFlight {
-		// A miss by a local process is in flight. Local private copies
-		// are dropped either way, but what the pending fill will install
-		// depends on the miss kind. An upgrade serializes after this
-		// invalidation at the home and installs fresh data, so absorbing
-		// the inval is enough. A read fill, however, may predate the
-		// invalidating writer (its reply can trail this inval on another
-		// link), so the invalidation is remembered and re-applied the
-		// moment the fill installs — otherwise a stale shared copy the
-		// directory no longer tracks would survive.
-		p.waitDowngrades(blk, Invalid)
-		if mshr := holder.mshr[blk.id]; mshr != nil && !mshr.wantExcl {
-			mshr.invalAfterFill = true
-		}
-	} else if p.mem.table[blk.firstLine] != Invalid {
-		p.downgradeAgent(blk, Invalid, false)
-	}
-	reqProc := s.procs[m.reqProc]
-	if reqProc == p {
-		p.handleInvalAck(msg{kind: msgInvalAck, block: blk.id, from: p.ID})
-		return
-	}
-	s.deliver(p, reqProc, msg{kind: msgInvalAck, block: blk.id, from: p.ID}, CatMessage)
 }
 
 // waitDowngrades brings every local process's private state table down to
@@ -544,93 +326,6 @@ func (p *Proc) handleDowngradeReq(m msg) {
 	s.deliver(p, s.procs[m.from], msg{kind: msgDowngradeAck, block: blk.id, from: p.ID}, CatMessage)
 }
 
-// handleShareWB installs written-back data at the home and reopens the
-// directory entry as shared.
-func (p *Proc) handleShareWB(m msg) {
-	s := p.sys
-	blk := s.blocks[m.block]
-	d := &blk.dir
-	homeAgent := s.agentOf(s.procs[blk.home])
-	homeMem := s.agents[homeAgent]
-	base := blk.firstLine * s.wordsPerLine
-	copy(homeMem.data[base:base+len(m.data)], m.data)
-	// The home memory is valid again; the home agent becomes a sharer so
-	// the state table and flag invariants hold.
-	if homeMem.table[blk.firstLine] == Invalid {
-		s.setAgentState(homeMem, blk, Shared)
-	}
-	traceEvent(p, blk, "shareWB")
-	fromAgent := s.agentOf(s.procs[m.from])
-	reqAgent := s.agentOf(s.procs[m.reqProc])
-	d.state = dirShared
-	d.sharers = 1<<uint(homeAgent) | 1<<uint(fromAgent) | 1<<uint(reqAgent)
-	p.drainDirQueue(blk)
-}
-
-// handleOwnerTransfer completes a 3-hop exclusive transfer at the home.
-func (p *Proc) handleOwnerTransfer(m msg) {
-	s := p.sys
-	blk := s.blocks[m.block]
-	d := &blk.dir
-	d.state = dirExclusive
-	d.owner = d.pendingOwner
-	p.drainDirQueue(blk)
-}
-
-// drainDirQueue re-services requests that queued while the entry was busy.
-func (p *Proc) drainDirQueue(blk *blockInfo) {
-	d := &blk.dir
-	for len(d.queue) > 0 && d.state != dirBusy {
-		m := d.queue[0]
-		d.queue = d.queue[1:]
-		p.handleHome(m)
-	}
-}
-
-// handleReply completes (part of) an outstanding miss at the requester.
-func (p *Proc) handleReply(m msg) {
-	mshr := p.mshr[m.block]
-	if mshr == nil {
-		panic(fmt.Sprintf("core: %s got %s for block %d with no MSHR", p, m.kind, m.block))
-	}
-	mshr.haveReply = true
-	mshr.acksWanted = m.invals
-	if p.sys.brokenSkipInvalAck && m.invals > 1 {
-		// Broken variant for counterexample tests: forget one expected
-		// invalidation ack, so the miss can complete while a stale
-		// sharer still holds a valid copy (single-writer violation).
-		mshr.acksWanted = m.invals - 1
-	}
-	mshr.grant = Shared
-	if m.kind == msgReadExclReply || m.kind == msgUpgradeAck || m.downTo == Exclusive {
-		mshr.grant = Exclusive
-	}
-	if m.kind == msgSCFail {
-		mshr.scFailed = true
-	}
-	if m.data != nil {
-		s := p.sys
-		blk := s.blocks[m.block]
-		base := blk.firstLine * s.wordsPerLine
-		copy(p.mem.data[base:base+len(m.data)], m.data)
-	}
-	if mshr.complete() {
-		p.finishMiss(mshr)
-	}
-}
-
-// handleInvalAck counts one invalidation acknowledgment.
-func (p *Proc) handleInvalAck(m msg) {
-	mshr := p.mshr[m.block]
-	if mshr == nil {
-		panic(fmt.Sprintf("core: %s got inval-ack for block %d with no MSHR", p, m.block))
-	}
-	mshr.acksGot++
-	if mshr.complete() {
-		p.finishMiss(mshr)
-	}
-}
-
 // finishMiss installs the final line states, performs buffered stores, and
 // re-executes any requests deferred while the fill was in flight.
 func (p *Proc) finishMiss(m *mshrEntry) {
@@ -638,15 +333,25 @@ func (p *Proc) finishMiss(m *mshrEntry) {
 	blk := s.blocks[m.block]
 	if m.scFailed {
 		traceEvent(p, blk, "finish:scfail")
-		// The SC upgrade was refused: the line reverts to invalid.
+		// The SC upgrade was refused. Normally the line reverts to
+		// invalid; a backend whose copy here is still authoritative
+		// (the tardis home master) keeps it readable instead.
+		retain := s.proto.scFailRetains(p, blk)
 		for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
 			if p.priv[l] == Pending {
 				p.priv[l] = Invalid
+				if retain {
+					p.priv[l] = Shared
+				}
 			}
 			if s.Cfg.SMP {
 				if p.mem.table[l] == Pending {
-					p.mem.table[l] = Invalid
-					fillFlag(p.mem, l, s.wordsPerLine)
+					if retain {
+						p.mem.table[l] = Shared
+					} else {
+						p.mem.table[l] = Invalid
+						fillFlag(p.mem, l, s.wordsPerLine)
+					}
 				}
 			} else if p.priv[l] == Invalid {
 				fillFlag(p.mem, l, s.wordsPerLine)
@@ -670,6 +375,7 @@ func (p *Proc) finishMiss(m *mshrEntry) {
 				s.onStorePerform(p, st.addr, st.val)
 			}
 			p.resetLocalLLs(s.lineOf(st.addr))
+			s.proto.noteStoreHit(p, s.lineOf(st.addr))
 		}
 		if debugTrace != nil || p.sys.tracer != nil {
 			traceEvent(p, blk, fmt.Sprintf("finish:grant-%v-data%v-acks%d", st, m.grant != 0 && len(m.stores) >= 0, m.acksWanted))

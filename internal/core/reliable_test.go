@@ -27,7 +27,7 @@ func reliableConfig() Config {
 // Returns the final shared snapshot and a digest of per-agent line states.
 func runMixWorkload(t *testing.T, cfg Config) (*System, []uint64) {
 	t.Helper()
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	const words = 64
 	var arr uint64
 	var lk, bar [4]int
@@ -206,7 +206,7 @@ func TestLossyFaultsConverge(t *testing.T) {
 // sequence order with nondecreasing arrival times, and duplicates of
 // released seqs are enqueued dup-tagged so the handler re-acks them.
 func TestLinkResequencer(t *testing.T) {
-	s := NewSystem(reliableConfig())
+	s := Build(WithConfig(reliableConfig()))
 	dst := &Proc{node: 0}
 	box := newQueueBox()
 	enq := func(seq int64, arrive sim.Time) {
@@ -275,7 +275,7 @@ func TestUnreachablePeerFailsStructured(t *testing.T) {
 	cfg.Faults = memchannel.FaultConfig{Seed: 1, DropProb: 1}
 	cfg.RetxTimeout = 2000
 	cfg.RetxMaxRetries = 3
-	s := NewSystem(cfg)
+	s := Build(WithConfig(cfg))
 	var arr uint64
 	s.Spawn("reader", 0, func(p *Proc) {
 		p.Load(arr) // remote miss; request is dropped forever

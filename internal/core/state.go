@@ -43,44 +43,15 @@ func (s LineState) String() string {
 // causes a (counted, harmless) false miss.
 const FlagWord uint64 = 0x8badf00d8badf00d
 
-// dirState is the directory's view of a block at its home (§2.1).
-type dirState uint8
-
-const (
-	dirShared    dirState = iota // home memory valid; sharers hold copies
-	dirExclusive                 // one agent (owner) holds the only copy
-	dirBusy                      // a forwarded request is in flight
-)
-
-func (s dirState) String() string {
-	switch s {
-	case dirShared:
-		return "shared"
-	case dirExclusive:
-		return "exclusive"
-	case dirBusy:
-		return "busy"
-	}
-	return "bad-dir-state"
-}
-
-// dirEntry is the per-block directory record kept at the block's home.
-type dirEntry struct {
-	state        dirState
-	owner        int    // owning agent when state == dirExclusive
-	pendingOwner int    // next owner during a busy ownership transfer
-	sharers      uint64 // bitmask of agents holding shared copies
-	queue        []msg  // requests queued while state == dirBusy
-}
-
 // blockInfo describes one variable-granularity coherence block (§2.1):
-// a range of lines fetched and kept coherent as a unit.
+// a range of lines fetched and kept coherent as a unit. The per-block
+// home-side protocol state (directory entry, timestamp entry) lives in
+// the protocol backend, indexed by block ID (see Protocol.initBlock).
 type blockInfo struct {
 	id        int
 	home      int // home process ID
 	firstLine int
 	lines     int
-	dir       dirEntry
 }
 
 // msgKind enumerates protocol and synchronization message types.
@@ -175,6 +146,11 @@ type msg struct {
 	id      int // user message tag / sync object index
 	payload any // user message body
 	arrive  int64
+	// Timestamp fields (tardis backend; also piggybacked on lock grants
+	// and barrier releases for release-consistency ordering). Always zero
+	// under dirinval, so wire sizes and encodings are unchanged there.
+	ts  int64 // requests: requester's pts; replies: the copy's wts
+	rts int64 // replies: lease end; SC requests: the LL copy's data wts
 	// Reliability sublayer (ReliableDelivery only; zero otherwise).
 	seq int64 // per-link (node pair) sequence number, 1-based
 	ack int64 // msgNetAck: the sequence number being acknowledged
@@ -239,6 +215,11 @@ type agentMem struct {
 	// state tables hold the line in a valid state; downgrades are sent
 	// only to these (§2.3). Only used in SMP mode.
 	sharerProcs []uint64
+	// protoData holds the coherence backend's per-agent state (tardis:
+	// lease records and tenure timestamps). On the agent — not in a
+	// backend-global map — for the same shard-locality reason as
+	// Proc.protoData.
+	protoData any
 }
 
 func newAgentMem(agent, words, lines int, smp bool) *agentMem {

@@ -57,11 +57,14 @@ func (p *Proc) LockRelease(id int) {
 	p.charge(CatTask, s.Cfg.Cost.ProtocolEntry)
 	if lk.home == p.ID {
 		p.charge(CatTask, s.Cfg.Cost.SyncLocal)
+		if ts := s.proto.syncTs(p); ts > lk.relTs {
+			lk.relTs = ts
+		}
 		p.releaseLock(lk)
 		return
 	}
 	home := s.procs[lk.home]
-	s.deliver(p, home, msg{kind: msgLockRelease, id: id, from: p.ID}, CatTask)
+	s.deliver(p, home, msg{kind: msgLockRelease, id: id, from: p.ID, ts: s.proto.syncTs(p)}, CatTask)
 }
 
 func (p *Proc) releaseLock(lk *lockState) {
@@ -79,11 +82,16 @@ func (p *Proc) releaseLock(lk *lockState) {
 func (p *Proc) grantLock(lk *lockState, to int) {
 	dst := p.sys.procs[to]
 	id := p.lockIndex(lk)
+	// The grant carries the maximum timestamp of prior releases, so an
+	// acquiring process observes everything the releaser's critical
+	// section produced (release-consistency ordering under tardis; relTs
+	// stays zero under dirinval).
 	if dst == p {
+		p.sys.proto.observeTs(p, lk.relTs)
 		p.grantedLock(id)
 		return
 	}
-	p.sys.deliver(p, dst, msg{kind: msgLockGrant, id: id, from: p.ID}, CatMessage)
+	p.sys.deliver(p, dst, msg{kind: msgLockGrant, id: id, from: p.ID, ts: lk.relTs}, CatMessage)
 }
 
 func (p *Proc) lockIndex(lk *lockState) int {
@@ -114,7 +122,11 @@ func (p *Proc) handleLockReq(m msg) {
 }
 
 func (p *Proc) handleLockRelease(m msg) {
-	p.releaseLock(p.sys.locks[m.id])
+	lk := p.sys.locks[m.id]
+	if m.ts > lk.relTs {
+		lk.relTs = m.ts
+	}
+	p.releaseLock(lk)
 }
 
 // BarrierWait enters the message-passing barrier and blocks until every
@@ -137,10 +149,10 @@ func (p *Proc) BarrierWait(id int) {
 	p.barrierWaits[id] = target
 	if b.home == p.ID {
 		p.charge(CatSyncStall, s.Cfg.Cost.SyncLocal)
-		p.barrierArrive(b, p.ID)
+		p.barrierArrive(b, p.ID, s.proto.syncTs(p))
 	} else {
 		home := s.procs[b.home]
-		s.deliver(p, home, msg{kind: msgBarrierEnter, id: id, from: p.ID, reqProc: p.ID}, CatSyncStall)
+		s.deliver(p, home, msg{kind: msgBarrierEnter, id: id, from: p.ID, reqProc: p.ID, ts: s.proto.syncTs(p)}, CatSyncStall)
 	}
 	p.stallWhile(CatSyncStall, func() bool { return p.barrierSeen[id] < target })
 	p.emitSync("barrier-leave", id)
@@ -154,11 +166,14 @@ func (p *Proc) emitSync(ev string, id int) {
 }
 
 func (p *Proc) handleBarrierEnter(m msg) {
-	p.barrierArrive(p.sys.barriers[m.id], m.reqProc)
+	p.barrierArrive(p.sys.barriers[m.id], m.reqProc, m.ts)
 }
 
-func (p *Proc) barrierArrive(b *barrierState, who int) {
+func (p *Proc) barrierArrive(b *barrierState, who int, ts int64) {
 	b.arrived = append(b.arrived, who)
+	if ts > b.maxTs {
+		b.maxTs = ts
+	}
 	if len(b.arrived) < b.needed {
 		return
 	}
@@ -166,6 +181,11 @@ func (p *Proc) barrierArrive(b *barrierState, who int) {
 	arrived := b.arrived
 	b.arrived = nil
 	b.epoch++
+	// The release broadcasts the maximum arrival timestamp: after the
+	// barrier every participant observes every pre-barrier store (tardis;
+	// zero and inert under dirinval).
+	maxTs := b.maxTs
+	b.maxTs = 0
 	if p.sys.Cfg.InvariantChecks && p.sys.Cfg.Checks && !p.sys.parActive() {
 		// Barrier release is a natural quiesce point: every participant
 		// has drained its outstanding misses before arriving. (Skipped
@@ -179,10 +199,11 @@ func (p *Proc) barrierArrive(b *barrierState, who int) {
 	for _, proc := range arrived {
 		dst := p.sys.procs[proc]
 		if dst == p {
+			p.sys.proto.observeTs(p, maxTs)
 			p.barrierSeen[id]++
 			continue
 		}
-		p.sys.deliver(p, dst, msg{kind: msgBarrierRelease, id: id, from: p.ID}, CatMessage)
+		p.sys.deliver(p, dst, msg{kind: msgBarrierRelease, id: id, from: p.ID, ts: maxTs}, CatMessage)
 	}
 }
 

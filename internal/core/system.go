@@ -76,6 +76,10 @@ type System struct {
 	allocCursor  int // next free line
 	homeRR       int
 
+	// proto is the coherence backend selected by Cfg.Protocol; it owns
+	// all per-block home-side protocol state (see coherence.go).
+	proto Protocol
+
 	locks    []*lockState
 	barriers []*barrierState
 
@@ -121,6 +125,7 @@ type lockState struct {
 	held    bool
 	holder  int
 	waiters []int // process IDs queued for the lock
+	relTs   int64 // max protocol timestamp carried by releases (tardis)
 }
 
 type barrierState struct {
@@ -128,15 +133,7 @@ type barrierState struct {
 	needed  int
 	arrived []int
 	epoch   int
-}
-
-// NewSystem builds a cluster from cfg.
-//
-// Deprecated: use Build (or clusteros.Build for a system with the cluster
-// OS layer attached); NewSystem remains as a compatibility wrapper and does
-// not wire tracing.
-func NewSystem(cfg Config) *System {
-	return newSystem(cfg)
+	maxTs   int64 // max protocol timestamp over arrivals this epoch (tardis)
 }
 
 func newSystem(cfg Config) *System {
@@ -181,6 +178,8 @@ func newSystem(cfg Config) *System {
 		s.reseq[i] = &linkReseq{}
 	}
 	s.Eng.SetDumpHook(s.dumpProtocolState)
+	s.proto = newProtocol(cfg.Protocol)
+	s.proto.attach(s)
 	return s
 }
 
@@ -418,8 +417,8 @@ func (s *System) Alloc(bytes int, opts AllocOptions) uint64 {
 			lines:     blockLines,
 		}
 		homeAgent := s.agentOf(s.procs[home])
-		blk.dir = dirEntry{state: dirExclusive, owner: homeAgent}
 		s.blocks = append(s.blocks, blk)
+		s.proto.initBlock(blk)
 		mem := s.agents[homeAgent]
 		for l := blk.firstLine; l < blk.firstLine+blk.lines; l++ {
 			s.lineBlock[l] = int32(blk.id)
@@ -462,40 +461,22 @@ func (s *System) NewBarrier(home, n int) int {
 	return len(s.barriers) - 1
 }
 
-// Peek reads a shared word from any agent holding a valid copy; it is a
-// host-side debugging/verification aid, not a guest operation.
+// Peek reads a shared word from the backend's authoritative copy of its
+// line; it is a host-side debugging/verification aid, not a guest
+// operation.
 func (s *System) Peek(addr uint64) uint64 {
 	line := s.lineOf(addr)
-	w := s.wordOf(addr)
-	for _, a := range s.agents {
-		if a.table[line] != Invalid {
-			return a.data[w]
-		}
-	}
-	// All copies invalid can only happen mid-transition; fall back to the
-	// home copy.
-	blk := s.blockOf(line)
-	return s.agents[s.agentOf(s.procs[blk.home])].data[w]
+	return s.agents[s.proto.snapshotSource(line)].data[s.wordOf(addr)]
 }
 
 // SnapshotShared returns the final contents of every allocated shared
-// word, each resolved through the agent tables like Peek: any valid copy,
-// falling back to the home. It is the chaos harness's equivalence check —
-// two runs of the same workload must produce identical snapshots.
+// word, each resolved like Peek through the backend's notion of the
+// authoritative copy. It is the chaos harness's equivalence check — two
+// runs of the same workload must produce identical snapshots.
 func (s *System) SnapshotShared() []uint64 {
 	out := make([]uint64, s.allocCursor*s.wordsPerLine)
 	for line := 0; line < s.allocCursor; line++ {
-		src := -1
-		for i, a := range s.agents {
-			if a.table[line] != Invalid {
-				src = i
-				break
-			}
-		}
-		if src < 0 {
-			blk := s.blockOf(line)
-			src = s.agentOf(s.procs[blk.home])
-		}
+		src := s.proto.snapshotSource(line)
 		base := line * s.wordsPerLine
 		copy(out[base:base+s.wordsPerLine], s.agents[src].data[base:base+s.wordsPerLine])
 	}

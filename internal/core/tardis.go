@@ -1,0 +1,1092 @@
+package core
+
+// The Tardis timestamp-coherence backend, after Yu & Devadas, "Tardis:
+// Time Traveling Coherence Algorithm for Distributed Shared Memory"
+// (PACT'15), adapted to Shasta's home-based block protocol. Instead of
+// tracking sharers and multicasting invalidations, every block carries a
+// write timestamp (wts, the logical time of its current version) and a
+// read timestamp (rts, the end of the latest read lease); every process
+// carries a program timestamp (pts). A read obtains the current version
+// together with a lease [wts, rts]; the copy may silently go stale when
+// a later write is granted, but the staleness is bounded in *logical*
+// time: a write is serialized at max(wts, rts, writer pts)+1, after
+// every outstanding lease, so reading a leased copy is always a correct
+// read of some legal serialization point. No invalidation or sharer
+// multicast ever happens — writes are a home round-trip regardless of
+// how many readers cached the block.
+//
+// Mapping onto the Shasta machinery:
+//
+//   - The home entry holds {wts, rts, owner} where owner is an agent
+//     index or -1 ("home master copy valid"). Exclusive ownership works
+//     like dirinval's dirExclusive including 3-hop forwards (busy +
+//     queue); a remote read RECALLS ownership (FwdRead demotes the owner
+//     to a leaseholder and writes back), which keeps the LL/SC and
+//     upgrade paths sound without owner-side timestamp bookkeeping.
+//   - Leaseholders drop their own copies: eagerly whenever pts advances
+//     past a lease (expire), on every LoadLocked (refreshLL, so the SC
+//     currency check can succeed), and every tardisPollPeriod inline
+//     polls (pollTick, so spin-waits on a leased copy stay live).
+//   - Synchronization carries timestamps: lock grants and barrier
+//     releases piggyback the releasers' pts (msg.ts), and observeTs
+//     advances the acquirer past them — release consistency in logical
+//     time, which is what makes lock/barrier programs read their
+//     predecessors' writes.
+//   - The home agent's copies are always master copies (current by
+//     construction) and never carry lease records, so they are exempt
+//     from expiry and the home can always serve reads from memory.
+//
+// Shard locality (parallel PDES): per-process state lives on
+// Proc.protoData, per-agent state on agentMem.protoData, and the home
+// entries are touched only by home-side handlers — the same discipline
+// as dirinval, so both engines run Tardis unchanged.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func init() {
+	registerProtocol("tardis", func() Protocol { return &tardis{} })
+}
+
+// tardisLeaseLen is the length of a read lease in logical time: a read
+// at pts P extends the block's rts to at least P+tardisLeaseLen. Longer
+// leases mean fewer re-fetches on read-mostly data but push write
+// timestamps (and therefore lease churn after synchronization) further
+// ahead.
+const tardisLeaseLen = 8
+
+// tardisPollPeriod bounds how long a spin-wait can observe a stale
+// leased copy: every tardisPollPeriod inline polls the process advances
+// its pts by one and re-checks leases, so a leased copy is eventually
+// dropped and re-fetched even if the process never misses or
+// synchronizes. Runtime liveness only — the model checker never polls.
+const tardisPollPeriod = 64
+
+// tardisEntry is the per-block home record.
+type tardisEntry struct {
+	wts          int64 // write ts of the current version
+	rts          int64 // end of the latest read lease
+	owner        int   // owning agent; -1 = home master copy valid
+	pendingOwner int   // next owner during a busy ownership transfer
+	busy         bool  // a forwarded recall/transfer is in flight
+	queue        []msg // requests queued while busy
+}
+
+// tardisLease is one agent's record of a leased read copy.
+type tardisLease struct {
+	dataWts  int64 // wts of the version the copy holds
+	leaseEnd int64 // the copy may be read at timestamps <= leaseEnd
+}
+
+// tardisProcState lives on Proc.protoData.
+type tardisProcState struct {
+	pts   int64 // program timestamp
+	polls int64 // inline polls since start (drives pollTick expiry)
+}
+
+// tardisAgentState lives on agentMem.protoData.
+type tardisAgentState struct {
+	// leases records, per block, the lease under which this agent's
+	// Shared copy was obtained. Master copies at the home have no record.
+	leases map[int]tardisLease
+	// tenure records, per block, the grant timestamp of this agent's
+	// current (or most recent) exclusive tenure; all stores the agent
+	// performs while owning the block belong to that version. Used by
+	// the explorer's version history and the SC stamp.
+	tenure map[int]int64
+	// dirty records, per owned block, the highest pts any local process
+	// had when it last stored into the block through the in-line hit
+	// path (noteStoreHit). The owner's stores never enter protocol code,
+	// so this is how their serialization point survives until the
+	// version leaves the agent: a recall, a yield, or a home serve
+	// stamps the departing version with max(grant, dirty) — a write that
+	// program-order-followed a high-timestamped read is never handed out
+	// below that read. Cleared when the stamp is taken.
+	dirty map[int]int64
+}
+
+// tardisVersion is one entry of the explorer's per-word history.
+type tardisVersion struct {
+	ts  int64
+	val uint64
+}
+
+type tardis struct {
+	s       *System
+	entries []tardisEntry
+	// hist is the explorer-only per-word version history: the last store
+	// of every write tenure, keyed by the tenure's grant timestamp. A
+	// leased copy is valid iff it holds the latest version at or before
+	// its dataWts.
+	hist map[int][]tardisVersion
+}
+
+func (t *tardis) name() string { return "tardis" }
+
+func (t *tardis) attach(s *System) {
+	t.s = s
+	t.hist = make(map[int][]tardisVersion)
+}
+
+func (t *tardis) initBlock(blk *blockInfo) {
+	s := t.s
+	homeAgent := s.agentOf(s.procs[blk.home])
+	if blk.id != len(t.entries) {
+		panic(fmt.Sprintf("core: tardis initBlock out of order (block %d, have %d)", blk.id, len(t.entries)))
+	}
+	t.entries = append(t.entries, tardisEntry{owner: homeAgent, pendingOwner: -1})
+}
+
+func (t *tardis) pstate(p *Proc) *tardisProcState {
+	st, ok := p.protoData.(*tardisProcState)
+	if !ok {
+		st = &tardisProcState{}
+		p.protoData = st
+	}
+	return st
+}
+
+func (t *tardis) astate(mem *agentMem) *tardisAgentState {
+	st, ok := mem.protoData.(*tardisAgentState)
+	if !ok {
+		st = &tardisAgentState{
+			leases: make(map[int]tardisLease),
+			tenure: make(map[int]int64),
+			dirty:  make(map[int]int64),
+		}
+		mem.protoData = st
+	}
+	return st
+}
+
+func (t *tardis) homeAgent(blk *blockInfo) int {
+	return t.s.agentOf(t.s.procs[blk.home])
+}
+
+// grantTs is the serialization timestamp of a write grant: after the
+// current version and every outstanding lease, and after the writer.
+func grantTs(e *tardisEntry, reqPts int64) int64 {
+	g := e.wts
+	if e.rts > g {
+		g = e.rts
+	}
+	if reqPts > g {
+		g = reqPts
+	}
+	return g + 1
+}
+
+// noteStoreHit records the writer's pts on every in-line exclusive
+// store hit (see tardisAgentState.dirty). Simulated cost: none — this
+// models state the real inline sequence already touches (the line it
+// writes), not extra work.
+func (t *tardis) noteStoreHit(p *Proc, line int) {
+	blk := t.s.blockOf(line)
+	as := t.astate(p.mem)
+	if pts := t.pstate(p).pts; pts > as.dirty[blk.id] {
+		as.dirty[blk.id] = pts
+	}
+}
+
+// takeDirty consumes the agent's dirty stamp for the block: the highest
+// pts any of its processes had when storing into it. Called exactly
+// when the version leaves the agent, which is also when the record
+// stops mattering.
+func (t *tardis) takeDirty(mem *agentMem, blkID int) int64 {
+	as := t.astate(mem)
+	d, ok := as.dirty[blkID]
+	if ok {
+		delete(as.dirty, blkID)
+	}
+	return d
+}
+
+// missKind: Tardis has no upgrades — a writing sharer's copy may be
+// stale, so every exclusive miss is a full fetch. SC upgrades keep their
+// own kind so the home can apply the currency check and fail them
+// without livelock.
+func (t *tardis) missKind(p *Proc, blk *blockInfo, wantExcl, scMode bool) msgKind {
+	switch {
+	case scMode:
+		return msgSCUpgradeReq
+	case wantExcl:
+		return msgReadExclReq
+	default:
+		return msgReadReq
+	}
+}
+
+// stampRequest: every request carries the requester's pts; an SC upgrade
+// additionally carries the wts of the copy the LL read, which the home
+// compares against the current version.
+func (t *tardis) stampRequest(p *Proc, blk *blockInfo, m *msg) {
+	m.ts = t.pstate(p).pts
+	if m.kind != msgSCUpgradeReq {
+		return
+	}
+	if l, ok := t.astate(p.mem).leases[blk.id]; ok {
+		m.rts = l.dataWts
+	} else if p.agent == t.homeAgent(blk) {
+		// Master copy: current by construction.
+		m.rts = t.entries[blk.id].wts
+	} else {
+		m.rts = -1 // no identifiable read copy; the SC will fail
+	}
+}
+
+func (t *tardis) handle(p *Proc, m msg) {
+	switch m.kind {
+	case msgReadReq, msgReadExclReq, msgSCUpgradeReq:
+		t.handleHome(p, m)
+	case msgFwdRead:
+		t.handleFwdRead(p, m)
+	case msgFwdReadExcl:
+		t.handleFwdReadExcl(p, m)
+	case msgReadReply, msgReadExclReply, msgUpgradeAck, msgSCFail:
+		t.handleReply(p, m)
+	case msgShareWB:
+		t.handleShareWB(p, m)
+	case msgOwnerTransfer:
+		t.handleOwnerTransfer(p, m)
+	default:
+		// msgUpgradeReq, msgInvalReq, and msgInvalAck are never issued
+		// under Tardis.
+		panic(fmt.Sprintf("core: tardis cannot handle %s", m.kind))
+	}
+}
+
+// deferLocalFill parks a home request behind a fill another local
+// process has in flight on the same block. An exclusive grant from the
+// home calls downgradeAgent on the home agent's own copy, which blocks
+// on that fill's transition lock — and the fill can in turn depend on
+// this handler's reply: once the grant names the requester as owner, a
+// recall of the block defers behind the requester's open miss, closing
+// a three-way cycle (grant waits on fill, fill waits on recall, recall
+// waits on grant). Deferring the request onto the fill's holder breaks
+// the cycle: finishMiss replays it once the local transition is over.
+// The requester's own miss must not defer behind itself — when the
+// requester is local it IS the holder, and the guards below skip the
+// downgrade for that case anyway.
+func (t *tardis) deferLocalFill(p *Proc, m msg, blk *blockInfo) bool {
+	req := t.s.procs[m.reqProc]
+	if !t.s.Cfg.SMP {
+		if p != req && p.mshr[blk.id] != nil {
+			p.deferredReqs = append(p.deferredReqs, m)
+			return true
+		}
+		return false
+	}
+	holder := p.mem.busy[blk.id]
+	if holder != nil && holder != req && holder.mshr[blk.id] != nil {
+		holder.deferredReqs = append(holder.deferredReqs, m)
+		return true
+	}
+	return false
+}
+
+// extendLease bumps rts for a read at the requester's pts and returns
+// the lease end.
+func extendLease(e *tardisEntry, reqPts int64) int64 {
+	end := reqPts + tardisLeaseLen
+	if end < e.rts {
+		end = e.rts
+	}
+	e.rts = end
+	return end
+}
+
+// handleHome services a request at the block's home.
+func (t *tardis) handleHome(p *Proc, m msg) {
+	s := t.s
+	blk := s.blocks[m.block]
+	e := &t.entries[blk.id]
+	if e.busy {
+		e.queue = append(e.queue, m)
+		return
+	}
+	reqProc := s.procs[m.reqProc]
+	reqAgent := s.agentOf(reqProc)
+	homeAgent := t.homeAgent(blk)
+	homeMem := s.agents[homeAgent]
+
+	switch m.kind {
+	case msgReadReq:
+		switch {
+		case e.owner == -1:
+			// Master copy valid: lease the current version from memory.
+			end := extendLease(e, m.ts)
+			p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID,
+				data: s.blockData(homeMem, blk), ts: e.wts, rts: end})
+		case e.owner == reqAgent:
+			// Another process on the requester's agent took ownership
+			// while this request was in flight; the data is already
+			// local and the grant is exclusive.
+			p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID,
+				downTo: Exclusive, ts: e.wts})
+		case e.owner == homeAgent:
+			// Home agent owns it: demote locally to master and reply —
+			// but defer if the home's own exclusive fill is incomplete,
+			// exactly as a forwarded request would be. The version leaves
+			// its owning agent here, so it is stamped with the dirty
+			// record (see tardisAgentState.dirty): the owner's stores were
+			// inline hits that never touched e.wts.
+			if p.deferIfPending(m, blk) {
+				return
+			}
+			p.downgradeAgent(blk, Shared, false)
+			e.owner = -1
+			if d := t.takeDirty(homeMem, blk.id); d > e.wts {
+				e.wts = d
+			}
+			if e.rts < e.wts {
+				e.rts = e.wts
+			}
+			end := extendLease(e, m.ts)
+			p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID,
+				data: s.blockData(homeMem, blk), ts: e.wts, rts: end})
+		default:
+			// Remote owner: recall ownership. The owner demotes to a
+			// leaseholder of the version it wrote, the data comes back
+			// via ShareWB, and the home is master again — so LL/SC and
+			// SC upgrades never have to reason about remote owners.
+			end := extendLease(e, m.ts)
+			e.busy = true
+			owner := s.agentLeader(e.owner)
+			s.deliver(p, owner, msg{kind: msgFwdRead, block: blk.id, from: p.ID,
+				reqProc: m.reqProc, ts: e.wts, rts: end}, CatMessage)
+		}
+
+	case msgReadExclReq:
+		switch {
+		case e.owner == reqAgent:
+			p.reply(reqProc, msg{kind: msgUpgradeAck, block: blk.id, from: p.ID, ts: e.wts})
+		case e.owner == -1:
+			if t.deferLocalFill(p, m, blk) {
+				return
+			}
+			grant := grantTs(e, m.ts)
+			e.wts, e.rts = grant, grant
+			e.owner = reqAgent
+			data := s.blockData(homeMem, blk)
+			// Local master copy becomes stale and has no lease record to
+			// bound it — drop it. Remote leaseholders keep their copies:
+			// that is the whole point of Tardis.
+			if homeAgent != reqAgent && homeMem.table[blk.firstLine] != Invalid {
+				p.downgradeAgent(blk, Invalid, false)
+			}
+			p.reply(reqProc, msg{kind: msgReadExclReply, block: blk.id, from: p.ID,
+				data: data, ts: grant})
+		case e.owner == homeAgent:
+			if p.deferIfPending(m, blk) {
+				return
+			}
+			grant := grantTs(e, m.ts)
+			// The yielded version leaves its owning agent: serialize the
+			// new grant after every store the home's processes performed.
+			if d := t.takeDirty(homeMem, blk.id) + 1; d > grant {
+				grant = d
+			}
+			data := p.downgradeAgent(blk, Invalid, true)
+			e.wts, e.rts = grant, grant
+			e.owner = reqAgent
+			p.reply(reqProc, msg{kind: msgReadExclReply, block: blk.id, from: p.ID,
+				data: data, ts: grant})
+		default:
+			// 3-hop ownership transfer. The grant timestamp is fixed
+			// here, before the forward: requests that queue behind the
+			// busy entry serialize after it.
+			grant := grantTs(e, m.ts)
+			e.wts, e.rts = grant, grant
+			e.busy = true
+			e.pendingOwner = reqAgent
+			owner := s.agentLeader(e.owner)
+			s.deliver(p, owner, msg{kind: msgFwdReadExcl, block: blk.id, from: p.ID,
+				reqProc: m.reqProc, ts: grant}, CatMessage)
+		}
+
+	case msgSCUpgradeReq:
+		// The currency check replaces dirinval's sharer-set membership:
+		// the SC succeeds only if the LL read the current version and no
+		// ownership moved. Crucially no third party is disturbed on
+		// failure, which avoids livelock (§3.1.2).
+		if e.owner != -1 || e.wts != m.rts {
+			p.reply(reqProc, msg{kind: msgSCFail, block: blk.id, from: p.ID})
+			return
+		}
+		if t.deferLocalFill(p, m, blk) {
+			return
+		}
+		grant := grantTs(e, m.ts)
+		e.wts, e.rts = grant, grant
+		e.owner = reqAgent
+		if homeAgent != reqAgent && homeMem.table[blk.firstLine] != Invalid {
+			p.downgradeAgent(blk, Invalid, false)
+		}
+		p.reply(reqProc, msg{kind: msgUpgradeAck, block: blk.id, from: p.ID, ts: grant})
+	}
+}
+
+// handleFwdRead recalls ownership at the owning agent: demote to a
+// leaseholder of the written-back version, send the data to the
+// requester, and write it back to the home.
+func (t *tardis) handleFwdRead(p *Proc, m msg) {
+	s := t.s
+	blk := s.blocks[m.block]
+	if p.deferIfPending(m, blk) {
+		return
+	}
+	p.downgradeAgent(blk, Shared, false)
+	// The version leaves its owning agent: stamp it with the dirty
+	// record (the owner's stores were inline hits that never advanced
+	// the home's e.wts) and keep the lease end past the stamp.
+	wts := m.ts
+	if d := t.takeDirty(p.mem, blk.id); d > wts {
+		wts = d
+	}
+	rts := m.rts
+	if end := wts + tardisLeaseLen; end > rts {
+		rts = end
+	}
+	// The demoted owner keeps its copy under the same lease the
+	// requester gets: it holds the version it just wrote back.
+	t.astate(p.mem).leases[blk.id] = tardisLease{dataWts: wts, leaseEnd: rts}
+	data := s.blockData(p.mem, blk)
+	reqProc := s.procs[m.reqProc]
+	p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID,
+		data: data, ts: wts, rts: rts})
+	home := s.procs[blk.home]
+	wb := msg{kind: msgShareWB, block: blk.id, from: p.ID, reqProc: m.reqProc,
+		data: data, ts: wts, rts: rts}
+	if home == p {
+		t.handleShareWB(p, wb)
+	} else {
+		s.deliver(p, home, wb, CatMessage)
+	}
+}
+
+// handleFwdReadExcl yields ownership at the owning agent: invalidate the
+// local copy, ship the data to the requester, and notify the home.
+func (t *tardis) handleFwdReadExcl(p *Proc, m msg) {
+	s := t.s
+	blk := s.blocks[m.block]
+	if p.deferIfPending(m, blk) {
+		return
+	}
+	data := p.downgradeAgent(blk, Invalid, true)
+	delete(t.astate(p.mem).leases, blk.id)
+	// Serialize the new grant after every store the yielding agent's
+	// processes performed (their stores never advanced the home's e.wts).
+	ts := m.ts
+	if d := t.takeDirty(p.mem, blk.id) + 1; d > ts {
+		ts = d
+	}
+	reqProc := s.procs[m.reqProc]
+	p.reply(reqProc, msg{kind: msgReadExclReply, block: blk.id, from: p.ID,
+		data: data, ts: ts})
+	home := s.procs[blk.home]
+	ot := msg{kind: msgOwnerTransfer, block: blk.id, from: p.ID, ts: ts}
+	if home == p {
+		t.handleOwnerTransfer(p, ot)
+	} else {
+		s.deliver(p, home, ot, CatMessage)
+	}
+}
+
+// handleShareWB installs written-back data at the home; the home is
+// master again.
+func (t *tardis) handleShareWB(p *Proc, m msg) {
+	s := t.s
+	blk := s.blocks[m.block]
+	e := &t.entries[blk.id]
+	homeMem := s.agents[t.homeAgent(blk)]
+	base := blk.firstLine * s.wordsPerLine
+	copy(homeMem.data[base:base+len(m.data)], m.data)
+	if homeMem.table[blk.firstLine] == Invalid {
+		s.setAgentState(homeMem, blk, Shared)
+	}
+	traceEvent(p, blk, "shareWB")
+	// Adopt the stamped timestamps from the recall (the recalled owner
+	// may have raised them past what the home recorded at forward time).
+	if m.ts > e.wts {
+		e.wts = m.ts
+	}
+	if m.rts > e.rts {
+		e.rts = m.rts
+	}
+	e.owner = -1
+	e.busy = false
+	t.drainQueue(p, blk)
+}
+
+// handleOwnerTransfer completes a 3-hop exclusive transfer at the home.
+func (t *tardis) handleOwnerTransfer(p *Proc, m msg) {
+	blk := t.s.blocks[m.block]
+	e := &t.entries[blk.id]
+	// Adopt the stamped grant from the yield (the yielding owner may have
+	// raised it past the grant the home fixed at forward time).
+	if m.ts > e.wts {
+		e.wts = m.ts
+	}
+	if e.rts < e.wts {
+		e.rts = e.wts
+	}
+	e.owner = e.pendingOwner
+	e.pendingOwner = -1
+	e.busy = false
+	t.drainQueue(p, blk)
+}
+
+// drainQueue re-services requests that queued while the entry was busy.
+func (t *tardis) drainQueue(p *Proc, blk *blockInfo) {
+	e := &t.entries[blk.id]
+	for len(e.queue) > 0 && !e.busy {
+		m := e.queue[0]
+		e.queue = e.queue[1:]
+		t.handleHome(p, m)
+	}
+}
+
+// handleReply completes an outstanding miss at the requester and does
+// the lease bookkeeping for the installed copy.
+func (t *tardis) handleReply(p *Proc, m msg) {
+	mshr := p.mshr[m.block]
+	if mshr == nil {
+		panic(fmt.Sprintf("core: %s got %s for block %d with no MSHR", p, m.kind, m.block))
+	}
+	mshr.haveReply = true
+	mshr.acksWanted = m.invals // always 0: Tardis collects no acks
+	mshr.grant = Shared
+	if m.kind == msgReadExclReply || m.kind == msgUpgradeAck || m.downTo == Exclusive {
+		mshr.grant = Exclusive
+	}
+	if m.kind == msgSCFail {
+		mshr.scFailed = true
+	}
+	if m.data != nil {
+		s := t.s
+		blk := s.blocks[m.block]
+		base := blk.firstLine * s.wordsPerLine
+		copy(p.mem.data[base:base+len(m.data)], m.data)
+	}
+	as := t.astate(p.mem)
+	switch {
+	case mshr.scFailed:
+		// finishMiss drops the line; the lease record goes with it.
+		delete(as.leases, m.block)
+	case mshr.grant == Exclusive:
+		delete(as.leases, m.block)
+		as.tenure[m.block] = m.ts
+		t.advancePts(p, m.ts)
+	default:
+		// Shared fill: record the lease — except at the block's home,
+		// whose copies are master copies (current by construction, kept
+		// in step by ShareWB) and must never be expired.
+		blk := t.s.blocks[m.block]
+		if p.agent != t.homeAgent(blk) {
+			as.leases[m.block] = tardisLease{dataWts: m.ts, leaseEnd: m.rts}
+		}
+		t.advancePts(p, m.ts)
+	}
+	if mshr.complete() {
+		p.finishMiss(mshr)
+		t.expire(p)
+	}
+}
+
+func (t *tardis) advancePts(p *Proc, ts int64) {
+	if ps := t.pstate(p); ts > ps.pts {
+		ps.pts = ts
+	}
+}
+
+// expire drops this agent's leased copies whose leases ended before the
+// process's pts: reading them would serialize the read before a write
+// the process already observed. Runs after every fill, pts advance, and
+// periodically from pollTick.
+func (t *tardis) expire(p *Proc) {
+	as := t.astate(p.mem)
+	if len(as.leases) == 0 {
+		return
+	}
+	pts := t.pstate(p).pts
+	var ids []int
+	for id, l := range as.leases {
+		if l.leaseEnd < pts {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	sort.Ints(ids)
+	wasIn := p.inProtocol
+	p.inProtocol = true
+	defer func() { p.inProtocol = wasIn }()
+	for _, id := range ids {
+		old, ok := as.leases[id]
+		if !ok || old.leaseEnd >= t.pstate(p).pts {
+			continue // refreshed while an earlier drop stalled
+		}
+		blk := t.s.blocks[id]
+		if p.mem.table[blk.firstLine] == Shared {
+			p.downgradeAgent(blk, Invalid, false)
+		}
+		// A miss in flight installs a fresh copy with a fresh lease (the
+		// record is overwritten at the reply); just forget this one.
+		if l, still := as.leases[id]; still && l == old {
+			delete(as.leases, id)
+		}
+	}
+}
+
+// refreshLL drops a leased copy before the LL reads it, so the LL
+// observes the current version and the SC currency check can succeed —
+// otherwise an LL over a stale lease would fail its SC forever. Master
+// and owned copies are already current and stay put.
+func (t *tardis) refreshLL(p *Proc, line int) {
+	blk := t.s.blockOf(line)
+	as := t.astate(p.mem)
+	if _, ok := as.leases[blk.id]; !ok {
+		return
+	}
+	wasIn := p.inProtocol
+	p.inProtocol = true
+	defer func() { p.inProtocol = wasIn }()
+	if p.mem.table[blk.firstLine] == Shared {
+		p.downgradeAgent(blk, Invalid, false)
+	}
+	delete(as.leases, blk.id)
+}
+
+// pollTick advances logical time with real time: every tardisPollPeriod
+// inline polls the process's pts jumps past its agent's stalest lease,
+// which bounds how long a spin-wait can read a stale leased copy — by
+// the poll period, independent of how large the lease timestamps are
+// (they track other processes' pts and can be far ahead of a spinner's).
+func (t *tardis) pollTick(p *Proc) {
+	ps := t.pstate(p)
+	ps.polls++
+	if ps.polls%tardisPollPeriod != 0 {
+		return
+	}
+	oldest := int64(-1)
+	for _, l := range t.astate(p.mem).leases {
+		if oldest < 0 || l.leaseEnd < oldest {
+			oldest = l.leaseEnd
+		}
+	}
+	if oldest >= ps.pts {
+		ps.pts = oldest + 1
+	} else {
+		ps.pts++
+	}
+	t.expire(p)
+}
+
+// scFailRetains: the home agent's copy is the master copy while the
+// home entry says owner == -1 — it is current by construction (ShareWB
+// and recalls keep it in step), so a failed SC upgrade must not poison
+// it: that would destroy the only current copy in the system while the
+// home keeps serving reads from it. Everywhere else the failed SC's
+// copy was a (possibly stale) lease and reverts to invalid as usual.
+func (t *tardis) scFailRetains(p *Proc, blk *blockInfo) bool {
+	return p.agent == t.homeAgent(blk) && t.entries[blk.id].owner == -1
+}
+
+func (t *tardis) syncTs(p *Proc) int64 { return t.pstate(p).pts }
+
+func (t *tardis) observeTs(p *Proc, ts int64) {
+	ps := t.pstate(p)
+	if ts > ps.pts {
+		ps.pts = ts
+		t.expire(p)
+	}
+}
+
+// checkLight: at most one exclusive copy per line. Exclusive alongside
+// remote Shared copies is legal here — those are bounded-stale leases —
+// which is exactly why this check is the backend's and not the core's.
+func (t *tardis) checkLight(s *System) error {
+	for line := 0; line < s.allocCursor; line++ {
+		excl := -1
+		for a, am := range s.agents {
+			if am.table[line] == Exclusive {
+				if excl >= 0 {
+					return &InvariantError{"swmr", fmt.Sprintf(
+						"line %d exclusive at agents %d and %d", line, excl, a)}
+				}
+				excl = a
+			}
+		}
+	}
+	for _, blk := range s.blocks {
+		if len(t.entries[blk.id].queue) > len(s.procs) {
+			return &InvariantError{"bounded", fmt.Sprintf(
+				"block %d timestamp queue holds %d requests (max %d)",
+				blk.id, len(t.entries[blk.id].queue), len(s.procs))}
+		}
+	}
+	return nil
+}
+
+func (t *tardis) blockQuiet(blk *blockInfo) bool {
+	e := &t.entries[blk.id]
+	return !e.busy && len(e.queue) == 0
+}
+
+// checkQuiescent verifies home-entry/state-table agreement when nothing
+// is in flight. Stale leased copies are legal at quiescence (leases
+// expire lazily), so data agreement is NOT checked across copies; what
+// is checked is the structure that bounds the staleness: wts <= rts,
+// every non-master Shared copy has a lease record, and every lease lies
+// within the home's timestamps.
+func (t *tardis) checkQuiescent(s *System) error {
+	for _, blk := range s.blocks {
+		e := t.entries[blk.id]
+		if e.wts > e.rts {
+			return &InvariantError{"ts-agreement", fmt.Sprintf(
+				"block %d has wts %d > rts %d", blk.id, e.wts, e.rts)}
+		}
+		homeAgent := t.homeAgent(blk)
+		for line := blk.firstLine; line < blk.firstLine+blk.lines; line++ {
+			for a, am := range s.agents {
+				st := am.table[line]
+				switch {
+				case e.owner == a:
+					if st != Exclusive {
+						return &InvariantError{"ts-agreement", fmt.Sprintf(
+							"block %d quiescent owner agent %d holds state %v on line %d",
+							blk.id, e.owner, st, line)}
+					}
+				case st == Exclusive:
+					return &InvariantError{"ts-agreement", fmt.Sprintf(
+						"block %d line %d: agent %d exclusive but the home names agent %d owner",
+						blk.id, line, a, e.owner)}
+				case a == homeAgent && e.owner == -1:
+					if st != Shared {
+						return &InvariantError{"ts-agreement", fmt.Sprintf(
+							"block %d line %d: home master copy holds state %v", blk.id, line, st)}
+					}
+				case st == Shared:
+					l, ok := t.astate(am).leases[blk.id]
+					if !ok {
+						return &InvariantError{"ts-agreement", fmt.Sprintf(
+							"block %d line %d: agent %d holds a shared copy with no lease record",
+							blk.id, line, a)}
+					}
+					if l.dataWts > e.wts || l.leaseEnd > e.rts {
+						return &InvariantError{"ts-agreement", fmt.Sprintf(
+							"block %d line %d: agent %d lease (wts %d, end %d) outside home timestamps (wts %d, rts %d)",
+							blk.id, line, a, l.dataWts, l.leaseEnd, e.wts, e.rts)}
+					}
+				}
+			}
+			if err := t.checkFlagFill(s, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkFlagFill verifies invalid copies are flag-filled (the valid-copy
+// half of System.checkLineData does not apply: leased copies are allowed
+// to disagree with the master).
+func (t *tardis) checkFlagFill(s *System, line int) error {
+	if !s.Cfg.FlagCheck || s.fillDeferred(line) {
+		return nil
+	}
+	for a, am := range s.agents {
+		if am.table[line] != Invalid {
+			continue
+		}
+		for w := 0; w < s.wordsPerLine; w++ {
+			word := line*s.wordsPerLine + w
+			if am.data[word] != FlagWord {
+				return &InvariantError{"flag-fill", fmt.Sprintf(
+					"line %d word %d: invalid copy at agent %d holds %#x instead of the flag value",
+					line, w, a, am.data[word])}
+			}
+		}
+	}
+	return nil
+}
+
+// snapshotSource: the owner's copy is authoritative while owned, the
+// home master otherwise. Leaseholders are never authoritative.
+func (t *tardis) snapshotSource(line int) int {
+	s := t.s
+	blk := s.blockOf(line)
+	e := t.entries[blk.id]
+	if e.owner >= 0 && s.agents[e.owner].table[blk.firstLine] == Exclusive {
+		return e.owner
+	}
+	return t.homeAgent(blk)
+}
+
+func tardisPermAgent(a int, perm []int) int {
+	if a < 0 {
+		return a
+	}
+	return perm[a]
+}
+
+func (t *tardis) encodeBlock(e *Explorer, b *strings.Builder, blk *blockInfo, perm []int) {
+	te := t.entries[blk.id]
+	fmt.Fprintf(b, "B%d{w%d r%d o%d po%d", blk.id, te.wts, te.rts,
+		tardisPermAgent(te.owner, perm), tardisPermAgent(te.pendingOwner, perm))
+	if te.busy {
+		b.WriteString(" busy")
+	}
+	for _, qm := range te.queue {
+		b.WriteString(" q")
+		b.WriteString(e.encMsg(qm, perm))
+	}
+	b.WriteByte('}')
+}
+
+func (t *tardis) encodeProcExtra(e *Explorer, b *strings.Builder, p *Proc, perm []int) {
+	fmt.Fprintf(b, " pts%d", t.pstate(p).pts)
+	as := t.astate(p.mem)
+	ids := make([]int, 0, len(as.leases))
+	for id := range as.leases {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		l := as.leases[id]
+		fmt.Fprintf(b, " L%d:%d.%d", id, l.dataWts, l.leaseEnd)
+	}
+	// The dirty records decide how future departures are stamped, so two
+	// states differing only in them are distinct.
+	ids = ids[:0]
+	for id := range as.dirty {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(b, " D%d:%d", id, as.dirty[id])
+	}
+}
+
+func (t *tardis) encodeMsgExtra(m msg) string {
+	return fmt.Sprintf(".t%d.r%d", m.ts, m.rts)
+}
+
+// histAt returns the word's value in the latest version at or before
+// wts. Allocated shared memory starts zeroed, so the implicit initial
+// version is (ts 0, value 0).
+func (t *tardis) histAt(word int, wts int64) uint64 {
+	var v uint64
+	for _, ver := range t.hist[word] {
+		if ver.ts > wts {
+			break
+		}
+		v = ver.val
+	}
+	return v
+}
+
+// noteGhostStore keys each performed store by the writer's tenure grant
+// timestamp: all stores of one exclusive tenure collapse into one
+// version, exactly as a leaseholder that read the block between tenures
+// would see them.
+func (t *tardis) noteGhostStore(e *Explorer, pid, word int, val uint64) {
+	s := e.sys
+	p := s.procs[pid]
+	blk := s.blockOf(word / s.wordsPerLine)
+	ts := t.astate(p.mem).tenure[blk.id]
+	h := t.hist[word]
+	if n := len(h); n > 0 && h[n-1].ts == ts {
+		h[n-1].val = val
+	} else {
+		t.hist[word] = append(h, tardisVersion{ts: ts, val: val})
+	}
+	if n := len(t.hist[word]); n > 1 && t.hist[word][n-1].ts < t.hist[word][n-2].ts {
+		panic(fmt.Sprintf("core: tardis version history out of order for w%d", word))
+	}
+}
+
+// expectedValue is what a valid copy at the agent must hold: the last
+// performed store for owners, pending owners, and master copies, and the
+// leased version for leaseholders.
+func (t *tardis) expectedValue(e *Explorer, a int, blk *blockInfo, word int) (uint64, string) {
+	te := t.entries[blk.id]
+	home := t.homeAgent(blk)
+	if a == te.owner || (te.busy && te.pendingOwner == a) || a == home {
+		return e.ghost[word].val, "last performed store"
+	}
+	if l, ok := t.astate(e.sys.agents[a]).leases[blk.id]; ok {
+		return t.histAt(word, l.dataWts), fmt.Sprintf("the version at wts %d", l.dataWts)
+	}
+	// Unleased non-master copy: ts-agreement reports it; against the
+	// current value here.
+	return e.ghost[word].val, "last performed store"
+}
+
+// expCheck evaluates the Tardis safety catalogue. The invariant names
+// match the directory backend's so ExpConfig.Disabled applies uniformly;
+// "dir-agreement" here means timestamp/lease agreement.
+func (t *tardis) expCheck(e *Explorer) *ExpViolation {
+	dis := e.cfg.Disabled
+	s := e.sys
+	n := len(s.procs)
+	if !dis["swmr"] {
+		for line := 0; line < s.numLines; line++ {
+			excl := -1
+			for a, am := range s.agents {
+				if am.table[line] == Exclusive {
+					if excl >= 0 {
+						return e.record("swmr", fmt.Sprintf(
+							"line %d exclusive at both p%d and p%d", line, excl, a))
+					}
+					excl = a
+				}
+			}
+			if excl >= 0 {
+				te := t.entries[s.blockOf(line).id]
+				if te.owner != excl && !(te.busy && te.pendingOwner == excl) {
+					return e.record("swmr", fmt.Sprintf(
+						"line %d exclusive at p%d but the home names agent %d owner",
+						line, excl, te.owner))
+				}
+			}
+		}
+	}
+	if !dis["data-value"] {
+		for _, blk := range s.blocks {
+			line := blk.firstLine
+			for a, am := range s.agents {
+				if st := am.table[line]; st != Shared && st != Exclusive {
+					continue
+				}
+				for w := 0; w < s.wordsPerLine; w++ {
+					word := line*s.wordsPerLine + w
+					want, desc := t.expectedValue(e, a, blk, word)
+					if am.data[word] != want {
+						return e.record("data-value", fmt.Sprintf(
+							"p%d holds %#x for w%d, %s is %#x",
+							a, am.data[word], word, desc, want))
+					}
+				}
+			}
+		}
+	}
+	if !dis["dir-agreement"] {
+		for _, blk := range s.blocks {
+			if v := t.checkTs(e, blk); v != nil {
+				return v
+			}
+		}
+	}
+	if !dis["bounded"] {
+		for _, ep := range e.eps {
+			p := ep.p
+			if p.outstanding != len(p.mshr) {
+				return e.record("bounded", fmt.Sprintf(
+					"p%d outstanding=%d but %d MSHRs", p.ID, p.outstanding, len(p.mshr)))
+			}
+			if len(p.deferredReqs) > n {
+				return e.record("bounded", fmt.Sprintf(
+					"p%d has %d deferred requests (max %d)", p.ID, len(p.deferredReqs), n))
+			}
+		}
+		for _, blk := range s.blocks {
+			if len(t.entries[blk.id].queue) > n {
+				return e.record("bounded", fmt.Sprintf(
+					"block %d timestamp queue holds %d requests (max %d)",
+					blk.id, len(t.entries[blk.id].queue), n))
+			}
+		}
+		limit := 4*len(s.blocks)*n + 4
+		for k, q := range e.chans {
+			if len(q) > limit {
+				return e.record("bounded", fmt.Sprintf(
+					"link %d->%d holds %d messages (limit %d)", k[0], k[1], len(q), limit))
+			}
+		}
+	}
+	if !dis["fwd-owner"] {
+		for k, q := range e.chans {
+			for _, m := range q {
+				if m.kind != msgFwdRead && m.kind != msgFwdReadExcl {
+					continue
+				}
+				dst := k[1]
+				blk := s.blocks[m.block]
+				st := s.agents[dst].table[blk.firstLine]
+				if st != Exclusive && s.procs[dst].mshr[m.block] == nil {
+					return e.record("fwd-owner", fmt.Sprintf(
+						"%s for block %d in flight to p%d, which holds state %d with no miss outstanding",
+						m.kind, m.block, dst, st))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkTs verifies timestamp/lease agreement for one block, tolerating
+// exactly the transients the protocol creates (a busy recall or transfer
+// with its resolving message in flight, a pending home fill).
+func (t *tardis) checkTs(e *Explorer, blk *blockInfo) *ExpViolation {
+	s := e.sys
+	te := t.entries[blk.id]
+	line := blk.firstLine
+	home := t.homeAgent(blk)
+	if te.wts > te.rts {
+		return e.record("dir-agreement", fmt.Sprintf(
+			"block %d has wts %d > rts %d", blk.id, te.wts, te.rts))
+	}
+	if te.busy && !e.busyJustified(blk.id) {
+		return e.record("dir-agreement", fmt.Sprintf(
+			"block %d is busy with no forward, writeback, or ownership transfer in flight",
+			blk.id))
+	}
+	if te.owner == -1 {
+		if st := s.agents[home].table[line]; st != Shared && st != Pending {
+			return e.record("dir-agreement", fmt.Sprintf(
+				"block %d has no owner but its home master copy holds state %d", blk.id, st))
+		}
+	}
+	for a, am := range s.agents {
+		if am.table[line] != Shared || a == home {
+			continue
+		}
+		l, ok := t.astate(am).leases[blk.id]
+		if !ok {
+			return e.record("dir-agreement", fmt.Sprintf(
+				"p%d holds a shared copy of block %d with no lease record", a, blk.id))
+		}
+		// While a recall is busy the recalled owner (and the requester)
+		// may already hold the stamped lease, ahead of the home adopting
+		// the stamped timestamps from the ShareWB still in flight.
+		if te.busy {
+			continue
+		}
+		if l.dataWts > te.wts || l.leaseEnd > te.rts {
+			return e.record("dir-agreement", fmt.Sprintf(
+				"p%d lease on block %d (wts %d, end %d) outside home timestamps (wts %d, rts %d)",
+				a, blk.id, l.dataWts, l.leaseEnd, te.wts, te.rts))
+		}
+	}
+	return nil
+}
+
+// expCheckRead: the eager check at read completion. A Tardis read may
+// legally return a stale value — but only the exact version its lease
+// names.
+func (t *tardis) expCheckRead(e *Explorer, ep *expProc, op ExpOp, v uint64) {
+	if e.cfg.Disabled["data-value"] {
+		return
+	}
+	blk := e.blkOf(op.Word)
+	want, desc := t.expectedValue(e, ep.p.agent, blk, op.Word)
+	if v != want {
+		e.fail("data-value", fmt.Sprintf(
+			"p%d %s read %#x, %s is %#x", ep.p.ID, op, v, desc, want))
+	}
+}

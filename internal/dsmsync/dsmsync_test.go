@@ -13,7 +13,7 @@ func testSystem(t *testing.T, smp bool) *core.System {
 	cfg.SharedBytes = 256 << 10
 	cfg.SMP = smp
 	cfg.MaxTime = sim.Cycles(60e6)
-	return core.NewSystem(cfg)
+	return core.Build(core.WithConfig(cfg))
 }
 
 // exerciseLock hammers a counter under the given lock and checks the total.
@@ -77,7 +77,7 @@ func TestSMLockWithPrefetch(t *testing.T) {
 	cfg.SharedBytes = 256 << 10
 	cfg.PrefetchExclusive = true
 	cfg.MaxTime = sim.Cycles(60e6)
-	s := core.NewSystem(cfg)
+	s := core.Build(core.WithConfig(cfg))
 	exerciseLock(t, s,
 		func() Lock { return NewSMLock(s, core.AllocOptions{Home: 0}) },
 		func(n int) Barrier { return NewMPBarrier(s, 0, n) })
@@ -162,7 +162,7 @@ func TestTable1Shape(t *testing.T) {
 		cfg := core.DefaultConfig()
 		cfg.SharedBytes = 64 << 10
 		cfg.MaxTime = sim.Cycles(120e6)
-		s := core.NewSystem(cfg)
+		s := core.Build(core.WithConfig(cfg))
 		var total sim.Time
 		const reps = 20
 		var turnAddr uint64

@@ -27,6 +27,7 @@ type ChaosBaseline struct {
 	App      string
 	Procs    int
 	Scale    int
+	Protocol string // coherence backend; "" = the config default
 	Snapshot []uint64
 	Elapsed  sim.Time
 }
@@ -48,8 +49,9 @@ type ChaosOutcome struct {
 	Suppressed  int64
 }
 
-func chaosConfig(profile string, seed int64) (core.Config, error) {
+func chaosConfig(profile string, seed int64, protocol string) (core.Config, error) {
 	cfg := baseConfig()
+	cfg.Protocol = protocol
 	fc, err := memchannel.FaultProfile(profile, seed)
 	if err != nil {
 		return cfg, err
@@ -77,12 +79,22 @@ func chaosRun(app string, procs, scale int, cfg core.Config) (*core.System, *wor
 
 // NewChaosBaseline runs the workload fault-free and records its outcome.
 func NewChaosBaseline(app string, procs, scale int) (*ChaosBaseline, error) {
-	sys, res, err := chaosRun(app, procs, scale, baseConfig())
+	return NewChaosBaselineOn("", app, procs, scale)
+}
+
+// NewChaosBaselineOn is NewChaosBaseline pinned to the named coherence
+// backend; faulty runs against the baseline use the same backend, so the
+// memory-equality check compares each protocol's faulty runs against its
+// own fault-free outcome. Backs the cross-protocol chaos matrix.
+func NewChaosBaselineOn(protocol, app string, procs, scale int) (*ChaosBaseline, error) {
+	cfg := baseConfig()
+	cfg.Protocol = protocol
+	sys, res, err := chaosRun(app, procs, scale, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: fault-free %s run failed: %w", app, err)
 	}
 	return &ChaosBaseline{
-		App: app, Procs: procs, Scale: scale,
+		App: app, Procs: procs, Scale: scale, Protocol: protocol,
 		Snapshot: sys.SnapshotShared(), Elapsed: res.Elapsed,
 	}, nil
 }
@@ -91,7 +103,7 @@ func NewChaosBaseline(app string, procs, scale int) (*ChaosBaseline, error) {
 // seed and compares the outcome. A NodeUnreachableError is reported in
 // the outcome, not as an error; any other failure is an error.
 func (b *ChaosBaseline) Run(profile string, seed int64) (*ChaosOutcome, error) {
-	cfg, err := chaosConfig(profile, seed)
+	cfg, err := chaosConfig(profile, seed, b.Protocol)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +141,7 @@ func (b *ChaosBaseline) Run(profile string, seed int64) (*ChaosOutcome, error) {
 // with identical arguments must return identical digests — the fault
 // schedule and the simulation are both deterministic.
 func ChaosTraceDigest(app string, procs, scale int, profile string, seed int64) (uint64, error) {
-	cfg, err := chaosConfig(profile, seed)
+	cfg, err := chaosConfig(profile, seed, "")
 	if err != nil {
 		return 0, err
 	}

@@ -28,7 +28,7 @@ func testSystem(t *testing.T) *core.System {
 	cfg := core.DefaultConfig()
 	cfg.SharedBytes = 64 << 10
 	cfg.MaxTime = sim.Cycles(60e6)
-	return core.NewSystem(cfg)
+	return core.Build(core.WithConfig(cfg))
 }
 
 func TestAssembleAndRunPrivate(t *testing.T) {

@@ -56,6 +56,7 @@ type Violation struct {
 type Result struct {
 	Model       string     `json:"model"`
 	Consistency string     `json:"consistency"`
+	Protocol    string     `json:"protocol"`
 	States      int        `json:"states"`
 	Transitions int        `json:"transitions"`
 	Depth       int        `json:"depth"`
@@ -108,7 +109,11 @@ func Check(m Model, opts Options) *Result {
 	if maxStates <= 0 {
 		maxStates = 1_000_000
 	}
-	res := &Result{Model: m.Name, Consistency: cfg.Consistency.String()}
+	protocol := cfg.Protocol
+	if protocol == "" {
+		protocol = "dirinval"
+	}
+	res := &Result{Model: m.Name, Consistency: cfg.Consistency.String(), Protocol: protocol}
 	replay := func(n *node) (ex *core.Explorer, v *Violation) {
 		acts := n.path()
 		defer func() {

@@ -22,6 +22,13 @@ func (m Model) WithConsistency(c core.ConsistencyModel) Model {
 	return m
 }
 
+// WithProtocol returns a copy of the model running on the named
+// coherence backend (see core.ProtocolNames).
+func (m Model) WithProtocol(p string) Model {
+	m.Cfg.Protocol = p
+	return m
+}
+
 // Models returns the built-in model catalogue. Every model uses
 // one-line blocks of two words; Homes[i] is the home process of block
 // i, and words 2i, 2i+1 live on block i.

@@ -16,7 +16,7 @@ func newDBSystem(t *testing.T, checks bool) (*core.System, *clusteros.OS) {
 	cfg.MaxTime = sim.Cycles(600e6)
 	cfg.ProtocolProcs = true
 	cfg.Checks = checks
-	sys := core.NewSystem(cfg)
+	sys := core.Build(core.WithConfig(cfg))
 	return sys, clusteros.New(sys, clusterfs.New(cfg.Nodes))
 }
 

@@ -97,7 +97,7 @@ func TestCheckElimDynamicEquivalence(t *testing.T) {
 		cfg := core.DefaultConfig()
 		cfg.SharedBytes = 64 << 10
 		cfg.MaxTime = sim.Cycles(60e6)
-		s := core.NewSystem(cfg)
+		s := core.Build(core.WithConfig(cfg))
 		m := isa.NewInterp(prog)
 		m.Sanitize = true
 		s.Spawn("cpu", 0, func(p *core.Proc) {

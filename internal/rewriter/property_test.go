@@ -121,7 +121,7 @@ func execProgram(t *testing.T, prog *isa.Program, sanitize bool) execResult {
 	cfg := core.DefaultConfig()
 	cfg.SharedBytes = 64 << 10
 	cfg.MaxTime = sim.Cycles(60e6)
-	s := core.NewSystem(cfg)
+	s := core.Build(core.WithConfig(cfg))
 	m := isa.NewInterp(prog)
 	m.Sanitize = sanitize
 	s.Spawn("cpu", 0, func(p *core.Proc) {

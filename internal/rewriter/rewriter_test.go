@@ -118,7 +118,7 @@ func TestRewrittenProgramRunsCorrectly(t *testing.T) {
 		cfg := core.DefaultConfig()
 		cfg.SharedBytes = 64 << 10
 		cfg.MaxTime = sim.Cycles(60e6)
-		s := core.NewSystem(cfg)
+		s := core.Build(core.WithConfig(cfg))
 		m := isa.NewInterp(prog)
 		var got uint64
 		s.Spawn("cpu", 0, func(p *core.Proc) {
@@ -158,7 +158,7 @@ endproc
 	cfg := core.DefaultConfig()
 	cfg.SharedBytes = 64 << 10
 	cfg.MaxTime = sim.Cycles(120e6)
-	s := core.NewSystem(cfg)
+	s := core.Build(core.WithConfig(cfg))
 	const n = 4
 	for i := 0; i < n; i++ {
 		i := i

@@ -256,6 +256,12 @@ func LitmusKernelByName(name string) (LitmusKernel, error) {
 // outcome. Batching is disabled so every access keeps its own inline
 // check: litmus tests measure per-access ordering.
 func RunLitmus(k LitmusKernel, cons core.ConsistencyModel, d15, d14 int64) (string, error) {
+	return RunLitmusOn(k, cons, "", d15, d14)
+}
+
+// RunLitmusOn is RunLitmus pinned to the named coherence backend (""
+// selects the config default).
+func RunLitmusOn(k LitmusKernel, cons core.ConsistencyModel, protocol string, d15, d14 int64) (string, error) {
 	prog, err := isa.Assemble(k.Source)
 	if err != nil {
 		return "", fmt.Errorf("litmus %s: %w", k.Name, err)
@@ -267,8 +273,9 @@ func RunLitmus(k LitmusKernel, cons core.ConsistencyModel, d15, d14 int64) (stri
 	cfg := core.DefaultConfig()
 	cfg.SharedBytes = 16 << 10
 	cfg.Consistency = cons
+	cfg.Protocol = protocol
 	cfg.MaxTime = sim.Cycles(100e6)
-	s := core.NewSystem(cfg)
+	s := core.Build(core.WithConfig(cfg))
 	bar := dsmsync.NewMPBarrier(s, 0, k.Ranks)
 	var mu sync.Mutex
 	var errs []error
@@ -324,9 +331,14 @@ func litmusDelayPairs() [][2]int64 {
 // LitmusSweep runs the kernel across the delay grid and returns the
 // sorted set of distinct outcomes observed.
 func LitmusSweep(k LitmusKernel, cons core.ConsistencyModel) ([]string, error) {
+	return LitmusSweepOn(k, cons, "")
+}
+
+// LitmusSweepOn is LitmusSweep pinned to the named coherence backend.
+func LitmusSweepOn(k LitmusKernel, cons core.ConsistencyModel, protocol string) ([]string, error) {
 	seen := make(map[string]bool)
 	for _, d := range litmusDelayPairs() {
-		out, err := RunLitmus(k, cons, d[0], d[1])
+		out, err := RunLitmusOn(k, cons, protocol, d[0], d[1])
 		if err != nil {
 			return nil, err
 		}

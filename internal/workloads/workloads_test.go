@@ -11,7 +11,7 @@ func system(t *testing.T) *core.System {
 	t.Helper()
 	cfg := core.DefaultConfig()
 	cfg.MaxTime = sim.Cycles(10e6) // 10 simulated seconds
-	return core.NewSystem(cfg)
+	return core.Build(core.WithConfig(cfg))
 }
 
 func TestAllAppsRunSingleProcess(t *testing.T) {
@@ -77,13 +77,13 @@ func TestCheckingOverheadBounded(t *testing.T) {
 		t.Run(app.Name, func(t *testing.T) {
 			cfgOn := core.DefaultConfig()
 			cfgOn.MaxTime = sim.Cycles(10e6)
-			on, err := Run(core.NewSystem(cfgOn), app, RunConfig{Procs: 1, Sync: MPSync})
+			on, err := Run(core.Build(core.WithConfig(cfgOn)), app, RunConfig{Procs: 1, Sync: MPSync})
 			if err != nil {
 				t.Fatal(err)
 			}
 			cfgOff := cfgOn
 			cfgOff.Checks = false
-			off, err := Run(core.NewSystem(cfgOff), app, RunConfig{Procs: 1, Sync: MPSync})
+			off, err := Run(core.Build(core.WithConfig(cfgOff)), app, RunConfig{Procs: 1, Sync: MPSync})
 			if err != nil {
 				t.Fatal(err)
 			}
