@@ -10,6 +10,7 @@
 //	shasta-bench -json BENCH_PR5.json          # engine benchmark suite
 //	shasta-bench -json out.json -bench-quick   # CI smoke variant
 //	shasta-bench -shootout BENCH_PR6.json      # protocol shootout (dirinval vs tardis)
+//	shasta-bench -checks BENCH_PR8.json        # static-overhead shootout (noopt/elim/hoist)
 package main
 
 import (
@@ -50,6 +51,7 @@ var registry = []struct {
 	{"abl-queues", "ablation: shared message queues", experiments.AblationSharedQueues},
 	{"abl-llsc", "ablation: optimized vs emulated LL/SC", experiments.AblationEmulatedLLSC},
 	{"abl-checkelim", "ablation: CFG-based load-check elimination", experiments.AblationCheckElim},
+	{"abl-checkhoist", "ablation: loop-aware check hoisting", experiments.AblationCheckHoist},
 	{"chaos", "chaos harness: workloads under injected network faults", experiments.ChaosTable},
 }
 
@@ -62,7 +64,34 @@ func main() {
 	jsonOut := flag.String("json", "", "run the engine benchmark suite and write the JSON report to this file")
 	benchQuick := flag.Bool("bench-quick", false, "with -json/-shootout: run the cut-down CI smoke suite")
 	shootout := flag.String("shootout", "", "run the cross-protocol shootout and write the JSON report to this file")
+	checks := flag.String("checks", "", "run the static-overhead shootout and write the JSON report to this file")
 	flag.Parse()
+
+	if *checks != "" {
+		report, err := bench.RunCheckSuite(core.ProtocolNames())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*checks, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, c := range report.Cases {
+			top := c.Runs[len(c.Runs)-1]
+			fmt.Printf("%-12s mem_equal=%v elim_cut=%.1f%% hoist_cut=%.1f%% loop_batches=%d hoisted=%d widened=%d\n",
+				c.Kernel, c.MemEqual, c.ElimReductionPct, c.HoistReductionPct,
+				top.LoopBatches, top.HoistedChecks, top.WidenedBatches)
+		}
+		fmt.Printf("check-overhead shootout (%s ladder; protocols %s) → %s\n",
+			strings.Join(report.Configs, "/"), strings.Join(report.Protocols, ","), *checks)
+		return
+	}
 
 	if *shootout != "" {
 		cases := bench.DefaultProtocolCases()

@@ -11,13 +11,16 @@
 //
 // -builtin lints the nine built-in assembly workload kernels in addition
 // to any source files given. -json emits one report object per program
-// on stdout instead of the human text. Exit status: 0 all programs
-// clean, 1 any program fails to assemble, rewrite, or verify, 2 usage
-// error.
+// on stdout instead of the human text; each report carries a per-config
+// breakdown with the verifier's violation counts by kind and whether any
+// dataflow analysis fell back to conservative instrumentation. Exit
+// status: 0 all programs clean, 1 any program fails to assemble,
+// rewrite, or verify, 2 usage error.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,18 +37,43 @@ var optionMatrix = []struct {
 	opt  rewriter.Options
 }{
 	{"default", rewriter.DefaultOptions()},
+	{"no-hoist", rewriter.Options{Batching: true, Polls: true, CheckElim: true}},
 	{"no-batch", rewriter.Options{Polls: true, CheckElim: true}},
 	{"no-elim", rewriter.Options{Batching: true, Polls: true}},
 	{"no-poll", rewriter.Options{Batching: true, CheckElim: true}},
 	{"prefetch", rewriter.Options{Batching: true, Polls: true, CheckElim: true, PrefetchExclusive: true}},
 }
 
+// configReport is the outcome of one option configuration on one program:
+// which verifier rules fired (by violation kind) and whether any dataflow
+// analysis failed to converge, forcing the conservative fallback.
+type configReport struct {
+	Config           string         `json:"config"`
+	ViolationKinds   map[string]int `json:"violation_kinds,omitempty"`
+	AnalysisFallback bool           `json:"analysis_fallback,omitempty"`
+}
+
 // lintReport is one program's outcome across the option matrix.
 type lintReport struct {
-	Program        string   `json:"program"`
-	Configurations int      `json:"configurations"`
-	Failures       []string `json:"failures,omitempty"` // "config: error"
-	Warnings       []string `json:"warnings,omitempty"`
+	Program        string         `json:"program"`
+	Configurations int            `json:"configurations"`
+	Configs        []configReport `json:"configs,omitempty"`
+	Failures       []string       `json:"failures,omitempty"` // "config: error"
+	Warnings       []string       `json:"warnings,omitempty"`
+}
+
+// kindCounts tallies the verifier's violations by kind, or nil when the
+// error is not a VerifyError.
+func kindCounts(err error) map[string]int {
+	var ve *rewriter.VerifyError
+	if !errors.As(err, &ve) {
+		return nil
+	}
+	m := make(map[string]int, len(ve.Violations))
+	for _, v := range ve.Violations {
+		m[v.Kind]++
+	}
+	return m
 }
 
 func lint(name, src string) lintReport {
@@ -55,26 +83,34 @@ func lint(name, src string) lintReport {
 		return rep
 	}
 	for _, m := range optionMatrix {
+		cr := configReport{Config: m.name}
 		// Each rewrite needs a pristine program.
 		p, err := isa.Assemble(src)
 		if err != nil {
 			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: assemble: %v", m.name, err))
+			rep.Configs = append(rep.Configs, cr)
 			continue
 		}
 		out, st, err := rewriter.Rewrite(p, m.opt)
 		if err != nil {
 			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: rewrite: %v", m.name, err))
+			cr.ViolationKinds = kindCounts(err)
+			rep.Configs = append(rep.Configs, cr)
 			continue
 		}
+		cr.AnalysisFallback = st.AnalysisFallback
 		// Rewrite verifies internally; verify again here so the lint also
 		// covers any future path that skips the internal pass.
 		if err := rewriter.Verify(out, rewriter.VerifyOptions{Polls: m.opt.Polls, LineBytes: m.opt.LineBytes}); err != nil {
 			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: verify: %v", m.name, err))
+			cr.ViolationKinds = kindCounts(err)
+			rep.Configs = append(rep.Configs, cr)
 			continue
 		}
 		if st.AnalysisFallback {
 			rep.Warnings = append(rep.Warnings, fmt.Sprintf("%s: analysis fallback (conservative instrumentation)", m.name))
 		}
+		rep.Configs = append(rep.Configs, cr)
 	}
 	return rep
 }

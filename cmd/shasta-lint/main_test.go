@@ -6,13 +6,22 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/rewriter"
 )
 
+type configJSON struct {
+	Config           string         `json:"config"`
+	ViolationKinds   map[string]int `json:"violation_kinds"`
+	AnalysisFallback bool           `json:"analysis_fallback"`
+}
+
 type reportJSON struct {
-	Program        string   `json:"program"`
-	Configurations int      `json:"configurations"`
-	Failures       []string `json:"failures"`
-	Warnings       []string `json:"warnings"`
+	Program        string       `json:"program"`
+	Configurations int          `json:"configurations"`
+	Configs        []configJSON `json:"configs"`
+	Failures       []string     `json:"failures"`
+	Warnings       []string     `json:"warnings"`
 }
 
 func TestBuiltinKernelsCleanJSON(t *testing.T) {
@@ -35,8 +44,45 @@ func TestBuiltinKernelsCleanJSON(t *testing.T) {
 		if r.Configurations == 0 {
 			t.Errorf("%s: zero configurations linted", r.Program)
 		}
+		if len(r.Configs) != r.Configurations {
+			t.Errorf("%s: %d per-config reports for %d configurations", r.Program, len(r.Configs), r.Configurations)
+		}
+		seen := map[string]bool{}
+		for _, c := range r.Configs {
+			seen[c.Config] = true
+			if len(c.ViolationKinds) != 0 {
+				t.Errorf("%s/%s: violation kinds on a clean kernel: %v", r.Program, c.Config, c.ViolationKinds)
+			}
+			if c.AnalysisFallback {
+				t.Errorf("%s/%s: analysis fell back to conservative instrumentation", r.Program, c.Config)
+			}
+		}
+		for _, want := range []string{"default", "no-hoist", "no-batch"} {
+			if !seen[want] {
+				t.Errorf("%s: config %q missing from the matrix", r.Program, want)
+			}
+		}
 	}
 }
+
+// TestViolationKindCounts pins the -json violation_kinds extraction on a
+// manufactured verifier error.
+func TestViolationKindCounts(t *testing.T) {
+	err := &rewriter.VerifyError{Violations: []rewriter.Violation{
+		{Index: 3, Kind: "loop-batch-trip", Detail: "x"},
+		{Index: 5, Kind: "loop-batch-trip", Detail: "y"},
+		{Index: 9, Kind: "unchecked-shared-load", Detail: "z"},
+	}}
+	got := kindCounts(err)
+	if got["loop-batch-trip"] != 2 || got["unchecked-shared-load"] != 1 || len(got) != 2 {
+		t.Fatalf("kindCounts = %v", got)
+	}
+	if kindCounts(errNotVerify) != nil {
+		t.Fatal("non-VerifyError produced kind counts")
+	}
+}
+
+var errNotVerify = os.ErrNotExist
 
 func TestBadProgramExitsOne(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bad.s")

@@ -1,0 +1,158 @@
+// Static-overhead shootout: every assembly kernel through the rewriter's
+// optimization ladder — no optimizer, CFG-based check elimination, the
+// full loop-aware pipeline (elimination + loop-invariant check hoisting +
+// cross-iteration batch widening + call summaries) — comparing static
+// instrumentation counts, dynamic checks executed, and the transparency
+// proof that final shared memory is identical at every rung and under
+// every coherence protocol. The committed report is BENCH_PR8.json at
+// the repo root.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rewriter"
+	"repro/internal/workloads"
+)
+
+// checkLadder is the optimization ladder, weakest first. The first rung
+// is the memory and reduction baseline.
+var checkLadder = []struct {
+	Name string
+	Opt  rewriter.Options
+}{
+	{"noopt", rewriter.Options{Batching: true, Polls: true}},
+	{"elim", rewriter.Options{Batching: true, Polls: true, CheckElim: true}},
+	{"hoist", rewriter.DefaultOptions()},
+}
+
+// CheckRun is one rung of the ladder on one kernel.
+type CheckRun struct {
+	Config string  `json:"config"`
+	WallMS float64 `json:"wall_ms"`
+
+	// Static rewriter counters.
+	LoadChecks       int     `json:"load_checks"`
+	StoreChecks      int     `json:"store_checks"`
+	ChecksEliminated int     `json:"checks_eliminated"`
+	BatchedRuns      int     `json:"batched_runs"`
+	LoopBatches      int     `json:"loop_batches"`
+	HoistedChecks    int     `json:"hoisted_checks"`
+	WidenedBatches   int     `json:"widened_batches"`
+	SummaryHits      int     `json:"summary_hits"`
+	CodeGrowthPct    float64 `json:"code_growth_pct"`
+
+	// Dynamic counters, aggregated across 4 ranks.
+	DynamicChecks int64 `json:"dynamic_checks"` // load + store + batch checks
+	Polls         int64 `json:"polls"`
+}
+
+// CheckCaseResult is one kernel's ladder plus the cross-config verdicts.
+type CheckCaseResult struct {
+	Kernel string     `json:"kernel"`
+	Runs   []CheckRun `json:"runs"`
+	// MemEqual: every rung, and the full pipeline under every coherence
+	// protocol, produced the identical final shared-memory image. A
+	// false here is a soundness bug, not a performance result.
+	MemEqual bool `json:"mem_equal"`
+	// ElimReductionPct is the dynamic-check cut of elim vs noopt;
+	// HoistReductionPct the FURTHER cut of the full pipeline vs elim.
+	ElimReductionPct  float64 `json:"elim_reduction_pct"`
+	HoistReductionPct float64 `json:"hoist_reduction_pct"`
+}
+
+// CheckReport is the shootout output.
+type CheckReport struct {
+	Suite     string            `json:"suite"`
+	Configs   []string          `json:"configs"`
+	Protocols []string          `json:"protocols"`
+	Cases     []CheckCaseResult `json:"cases"`
+}
+
+func runCheckOnce(k workloads.AsmKernel, opt rewriter.Options, protocol string) (CheckRun, []uint64, error) {
+	start := time.Now()
+	res, err := workloads.RunAsm(k, opt, false, core.WithProtocol(protocol))
+	if err != nil {
+		return CheckRun{}, nil, fmt.Errorf("bench %s: %w", k.Name, err)
+	}
+	growth := 0.0
+	if res.Rewrite.OrigWords > 0 {
+		growth = float64(res.Rewrite.NewWords-res.Rewrite.OrigWords) / float64(res.Rewrite.OrigWords) * 100
+	}
+	return CheckRun{
+		WallMS:           ms(time.Since(start)),
+		LoadChecks:       res.Rewrite.LoadChecks,
+		StoreChecks:      res.Rewrite.StoreChecks,
+		ChecksEliminated: res.Rewrite.ChecksEliminated,
+		BatchedRuns:      res.Rewrite.BatchedRuns,
+		LoopBatches:      res.Rewrite.LoopBatches,
+		HoistedChecks:    res.Rewrite.HoistedChecks,
+		WidenedBatches:   res.Rewrite.WidenedBatches,
+		SummaryHits:      res.Rewrite.SummaryHits,
+		CodeGrowthPct:    growth,
+		DynamicChecks:    res.Stats.LoadChecks() + res.Stats.StoreChecks() + res.Stats.BatchChecks(),
+		Polls:            res.Stats.Polls(),
+	}, res.Memory, nil
+}
+
+// RunCheckCase climbs the ladder on one kernel under the baseline
+// protocol, then re-runs the top rung under every other protocol to
+// prove the hoisted code is transparent there too.
+func RunCheckCase(k workloads.AsmKernel, protocols []string) (CheckCaseResult, error) {
+	out := CheckCaseResult{Kernel: k.Name, MemEqual: true}
+	base := protocols[0]
+	var snaps [][]uint64
+	for _, rung := range checkLadder {
+		run, snap, err := runCheckOnce(k, rung.Opt, base)
+		if err != nil {
+			return out, fmt.Errorf("%s (%s): %w", rung.Name, base, err)
+		}
+		run.Config = rung.Name
+		out.Runs = append(out.Runs, run)
+		snaps = append(snaps, snap)
+		if !equalSnapshots(snaps[0], snap) {
+			out.MemEqual = false
+		}
+	}
+	top := checkLadder[len(checkLadder)-1]
+	for _, p := range protocols[1:] {
+		_, snap, err := runCheckOnce(k, top.Opt, p)
+		if err != nil {
+			return out, fmt.Errorf("%s (%s): %w", top.Name, p, err)
+		}
+		if !equalSnapshots(snaps[0], snap) {
+			out.MemEqual = false
+		}
+	}
+	if d0 := out.Runs[0].DynamicChecks; d0 > 0 {
+		out.ElimReductionPct = float64(d0-out.Runs[1].DynamicChecks) / float64(d0) * 100
+	}
+	if d1 := out.Runs[1].DynamicChecks; d1 > 0 {
+		out.HoistReductionPct = float64(d1-out.Runs[2].DynamicChecks) / float64(d1) * 100
+	}
+	return out, nil
+}
+
+// RunCheckSuite runs the shootout over every assembly kernel. The
+// protocol list must be non-empty; its first entry is the protocol the
+// whole ladder runs under, the rest cross-check the top rung (pass
+// core.ProtocolNames() — dirinval sorts first).
+func RunCheckSuite(protocols []string) (*CheckReport, error) {
+	if len(protocols) == 0 {
+		return nil, fmt.Errorf("bench: no protocols to compare")
+	}
+	r := &CheckReport{Suite: "check-overhead-shootout", Protocols: protocols}
+	for _, rung := range checkLadder {
+		r.Configs = append(r.Configs, rung.Name)
+	}
+	for _, k := range workloads.AsmKernels() {
+		cr, err := RunCheckCase(k, protocols)
+		if err != nil {
+			return nil, err
+		}
+		r.Cases = append(r.Cases, cr)
+	}
+	return r, nil
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// TestCheckSuite is the PR's acceptance gate for the static-overhead
+// shootout: every kernel's memory is identical across the whole ladder
+// and under every protocol, hoisting never adds checks, and at least two
+// kernels cut dynamic checks by a further 15% beyond elimination.
+func TestCheckSuite(t *testing.T) {
+	report, err := RunCheckSuite(core.ProtocolNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Cases) != len(workloads.AsmKernels()) {
+		t.Fatalf("%d cases, want one per kernel", len(report.Cases))
+	}
+	big := 0
+	for _, c := range report.Cases {
+		if len(c.Runs) != len(report.Configs) {
+			t.Fatalf("%s: %d runs for %d configs", c.Kernel, len(c.Runs), len(report.Configs))
+		}
+		if !c.MemEqual {
+			t.Errorf("%s: final shared memory differs across the ladder or protocols", c.Kernel)
+		}
+		noopt, elim, hoist := c.Runs[0], c.Runs[1], c.Runs[2]
+		if elim.DynamicChecks > noopt.DynamicChecks {
+			t.Errorf("%s: elimination added checks (%d -> %d)", c.Kernel, noopt.DynamicChecks, elim.DynamicChecks)
+		}
+		if hoist.DynamicChecks > elim.DynamicChecks {
+			t.Errorf("%s: hoisting added checks (%d -> %d)", c.Kernel, elim.DynamicChecks, hoist.DynamicChecks)
+		}
+		if hoist.LoopBatches > 0 && hoist.HoistedChecks == 0 {
+			t.Errorf("%s: loop batches without hoisted checks", c.Kernel)
+		}
+		if c.HoistReductionPct >= 15 {
+			big++
+		}
+	}
+	if big < 2 {
+		t.Errorf("only %d kernels cut checks by >= 15%% beyond elimination, want >= 2", big)
+	}
+}

@@ -44,6 +44,16 @@ func (b *Batch) covers(blk *blockInfo) bool {
 	return false
 }
 
+// Covers reports whether addr falls on a line this batch pinned. With
+// checks disabled no lines are tracked and every address counts as
+// covered (there is nothing to validate against).
+func (b *Batch) Covers(addr uint64) bool {
+	if !b.p.sys.Cfg.Checks {
+		return true
+	}
+	return b.lines[b.p.sys.lineOf(addr)]
+}
+
 // BatchStart validates all ranges — fetching shared or exclusive copies as
 // needed, with all requests outstanding in parallel — and opens a batch
 // window. The in-line cost is one check per line instead of one per access.

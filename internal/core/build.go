@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/memchannel"
 	"repro/internal/sim"
@@ -234,13 +235,24 @@ func (s *System) dumpProtocolState() string {
 		}
 		if p.outstanding > 0 {
 			line += fmt.Sprintf(" outstanding=%d mshr=[", p.outstanding)
-			for blk, m := range p.mshr {
+			blks := make([]int, 0, len(p.mshr))
+			for blk := range p.mshr {
+				blks = append(blks, blk)
+			}
+			sort.Ints(blks)
+			for _, blk := range blks {
+				m := p.mshr[blk]
 				line += fmt.Sprintf("%d(excl=%v,reply=%v,acks=%d/%d)", blk, m.wantExcl, m.haveReply, m.acksGot, m.acksWanted)
 			}
 			line += "]"
 		}
-		for blk, n := range p.dgAcks {
-			line += fmt.Sprintf(" dgAcks[%d]=%d", blk, n)
+		dgs := make([]int, 0, len(p.dgAcks))
+		for blk := range p.dgAcks {
+			dgs = append(dgs, blk)
+		}
+		sort.Ints(dgs)
+		for _, blk := range dgs {
+			line += fmt.Sprintf(" dgAcks[%d]=%d", blk, p.dgAcks[blk])
 		}
 		if n := p.replyQ.q.Len(); n > 0 {
 			line += fmt.Sprintf(" replyQ=%d", n)

@@ -160,6 +160,7 @@ func (e *Explorer) encodeWith(perm []int) string {
 	var links []link
 	for k, q := range e.chans {
 		if len(q) > 0 {
+			// detlint:allow — sorted below by the total (src, dst) key.
 			links = append(links, link{perm[k[0]], perm[k[1]], q})
 		}
 	}

@@ -220,3 +220,30 @@ func TestAblationCheckElim(t *testing.T) {
 		t.Errorf("only %d kernels executed fewer checks, want >= 3", fewer)
 	}
 }
+
+// TestAblationCheckHoist holds the loop-aware optimizer to the PR's
+// acceptance bar: at least two kernels cut dynamic checks by a further
+// 15% beyond elimination alone, and every kernel's final shared memory
+// is identical with hoisting on.
+func TestAblationCheckHoist(t *testing.T) {
+	tab := AblationCheckHoist()
+	if len(tab.Rows) != len(workloads.AsmKernels()) {
+		t.Fatalf("%d rows, want one per kernel", len(tab.Rows))
+	}
+	big := 0
+	for i, row := range tab.Rows {
+		off, on := cell(t, tab, i, 1), cell(t, tab, i, 2)
+		if on > off {
+			t.Errorf("%s: hoisting increased dynamic checks (%.0f -> %.0f)", row[0], off, on)
+		}
+		if off > 0 && (off-on)/off >= 0.15 {
+			big++
+		}
+		if row[7] != "true" {
+			t.Errorf("%s: final shared memory differs with hoisting on", row[0])
+		}
+	}
+	if big < 2 {
+		t.Errorf("only %d kernels cut checks by >= 15%% beyond elimination, want >= 2", big)
+	}
+}

@@ -133,6 +133,9 @@ func (m *Interp) load(p *core.Proc, in Instr, checked bool) (uint64, error) {
 		return m.priv[s], nil
 	}
 	if m.openBatch != nil {
+		if m.Sanitize && !m.openBatch.Covers(addr) {
+			return 0, fmt.Errorf("sanitizer: batched load outside the pinned window at %#x", addr)
+		}
 		return m.openBatch.Load(addr), nil
 	}
 	if checked {
@@ -162,6 +165,9 @@ func (m *Interp) store(p *core.Proc, in Instr, v uint64, checked bool) error {
 		return nil
 	}
 	if m.openBatch != nil {
+		if m.Sanitize && !m.openBatch.Covers(addr) {
+			return fmt.Errorf("sanitizer: batched store outside the pinned window at %#x", addr)
+		}
 		m.openBatch.Store(addr, v)
 		return nil
 	}

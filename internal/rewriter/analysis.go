@@ -141,9 +141,24 @@ func solveRegMask(c *CFG, meet MeetOp, boundary uint32, step func(uint32, isa.In
 // shared except provably private ones (SP/GP bases, private absolute
 // addresses) and reports false.
 func analyzeShared(c *CFG) ([]bool, bool) {
+	return analyzeSharedSum(c, nil)
+}
+
+// analyzeSharedSum is analyzeShared with call effects refined by
+// summaries: a call to a summarized procedure marks only its clobber set
+// may-shared instead of every register.
+func analyzeSharedSum(c *CFG, sums *summarySet) ([]bool, bool) {
 	n := len(c.Prog.Instrs)
 	shared := make([]bool, n)
-	states, ok := solveRegMask(c, Union, ^uint32(0), sharedStep)
+	step := func(s uint32, in isa.Instr) uint32 {
+		if in.Op == isa.JSR {
+			if cs, ok := sums.AtCall(in.Target); ok {
+				return s | cs.Clobbers | 1<<isa.RegRA
+			}
+		}
+		return sharedStep(s, in)
+	}
+	states, ok := solveRegMask(c, Union, ^uint32(0), step)
 	for i, in := range c.Prog.Instrs {
 		if !in.Op.IsMem() {
 			continue
@@ -213,7 +228,22 @@ func alignedStep(L int64) func(uint32, isa.Instr) uint32 {
 // non-convergence the returned masks are all zero (nothing provably
 // aligned), the conservative answer for a must-analysis.
 func analyzeAligned(c *CFG, L int64) []uint32 {
-	states, ok := solveRegMask(c, Intersect, 0, alignedStep(L))
+	return analyzeAlignedSum(c, L, nil)
+}
+
+// analyzeAlignedSum refines calls with summaries: registers a summarized
+// callee provably preserves keep their alignment across the call.
+func analyzeAlignedSum(c *CFG, L int64, sums *summarySet) []uint32 {
+	base := alignedStep(L)
+	step := func(s uint32, in isa.Instr) uint32 {
+		if in.Op == isa.JSR {
+			if cs, ok := sums.AtCall(in.Target); ok {
+				return s &^ (cs.Clobbers | 1<<isa.RegRA)
+			}
+		}
+		return base(s, in)
+	}
+	states, ok := solveRegMask(c, Intersect, 0, step)
 	if !ok {
 		return make([]uint32, len(c.Prog.Instrs))
 	}
@@ -290,10 +320,12 @@ func floorDiv(a, b int64) int64 {
 
 // availCtx evaluates available-check transfer effects. The same machinery
 // runs in the optimizer (over the planned instruction stream) and in the
-// verifier (over the emitted program).
+// verifier (over the emitted program). When sums is non-nil, calls to
+// summarized procedures apply the callee's proven effects instead of ⊥.
 type availCtx struct {
-	ft *factTable
-	L  int64
+	ft   *factTable
+	L    int64
+	sums *summarySet
 }
 
 // addGenSite interns the facts a load check at (base, imm) can generate.
@@ -349,11 +381,12 @@ func (a *availCtx) checkLoad(s BitSet, base, rd uint8, imm int64, alignedBase bo
 	a.killReg(s, rd)
 }
 
-// step applies one instruction-stream element. elided marks a load whose
-// check was (or is being modeled as) eliminated; writeBatch marks a
-// BATCHCHK that fetches exclusive copies (its reissued stores may still be
-// in flight after the batch closes).
-func (a *availCtx) step(s BitSet, op isa.Op, rd, ra uint8, imm int64, alignedBase, elided, writeBatch bool) {
+// step applies one instruction-stream element. target is the branch/call
+// target (summary lookup for JSR); elided marks a load whose check was
+// (or is being modeled as) eliminated; writeBatch marks a BATCHCHK that
+// fetches exclusive copies (its reissued stores may still be in flight
+// after the batch closes).
+func (a *availCtx) step(s BitSet, op isa.Op, rd, ra uint8, imm int64, target int, alignedBase, elided, writeBatch bool) {
 	switch op {
 	case isa.CHKLD:
 		if elided {
@@ -367,7 +400,25 @@ func (a *availCtx) step(s BitSet, op isa.Op, rd, ra uint8, imm int64, alignedBas
 	case isa.LDQL, isa.CHKLDL:
 		a.killFacts(s)
 		a.killReg(s, rd)
-	case isa.CHKST, isa.STQC, isa.CHKSTC, isa.JSR, isa.SYSCALL, isa.RET:
+	case isa.JSR:
+		cs, ok := a.sums.AtCall(target)
+		switch {
+		case ok && !cs.EntersProtocol:
+			// The callee provably never enters the protocol: facts on
+			// bases it does not clobber survive the call.
+			for r := 0; r < isa.NumRegs; r++ {
+				if (cs.Clobbers|1<<isa.RegRA)&(1<<uint(r)) != 0 {
+					a.killReg(s, uint8(r))
+				}
+			}
+		case ok && !cs.MayStoreMiss:
+			// The callee may enter the protocol (facts die) but provably
+			// leaves no store miss of ours in flight.
+			a.killFacts(s)
+		default:
+			s.ClearAll()
+		}
+	case isa.CHKST, isa.STQC, isa.CHKSTC, isa.SYSCALL, isa.RET:
 		s.ClearAll() // protocol entry and/or a store miss may now be in flight
 	case isa.MB:
 		// The barrier drains every outstanding store, but applying queued

@@ -1,0 +1,112 @@
+package rewriter
+
+import "repro/internal/isa"
+
+// Loop-invariant check hoisting and cross-iteration batch widening
+// (Options.CheckHoist). A counted loop whose shared accesses all ride one
+// base register trades its per-iteration checks for a single BATCHCHK in
+// the preheader position that pins the aggregate window of every
+// iteration, closed by a BATCHEND on the loop's fall-through exit:
+//
+//	    batchchk  [window]       ; emitted before the first body instr
+//	 L: ldq  r3, 0(r9)           ; raw member — line pinned
+//	    ...
+//	    poll
+//	    subq r2, r2, #1
+//	    bne  r2, L'              ; retargeted past the batchchk
+//	    batchend
+//
+// The §4.1 batch discipline keeps this sound across the back-edge polls:
+// invalidations for pinned lines are acknowledged immediately but their
+// flag fills are deferred until the BATCHEND, so member accesses never
+// fault on flag data mid-window, and remote writers are never stalled.
+// For a zero-stride loop the window is the loop-invariant span (hoisting
+// proper); for an affine-stride loop the window covers base + k·stride
+// across all proven iterations (widening). Both demand the counted-trip
+// proof from proveLoop — a pinned spin-wait would never observe the value
+// it waits for, changing termination.
+
+// plannerClassify adapts the planned instruction stream to the loop
+// prover: planned CHKLD/CHKST are the window members, other planned
+// expansions (LL/SC, prefetches) are forbidden, untouched private work is
+// neutral.
+func plannerClassify(c *CFG, plans []plan) func(int) loopClass {
+	return func(i int) loopClass {
+		in := c.Prog.Instrs[i]
+		pl := plans[i]
+		def := defRegOf(in)
+		switch {
+		case pl.newOp == isa.CHKLD:
+			return loopClass{kind: lcAccess, base: in.Ra, imm: in.Imm, def: def}
+		case pl.newOp == isa.CHKST:
+			return loopClass{kind: lcAccess, write: true, base: in.Ra, imm: in.Imm, def: -1}
+		case pl.newOp != 0 || pl.pfxBefore:
+			return loopClass{kind: lcForbidden, def: def}
+		}
+		switch in.Op {
+		case isa.NOP, isa.LDA, isa.ADDQ, isa.SUBQ, isa.MULQ, isa.AND, isa.OR,
+			isa.XOR, isa.SLL, isa.SRL, isa.CMPEQ, isa.CMPLT,
+			isa.LDQ, isa.STQ: // unplanned = provably private
+			return loopClass{kind: lcNeutral, def: def}
+		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BR:
+			return loopClass{kind: lcBranch, def: -1}
+		}
+		return loopClass{kind: lcForbidden, def: def}
+	}
+}
+
+// planLoopBatches rewrites every provably transformable innermost loop
+// into a loop-wide batch window. Returns the back-edge map (original
+// bottom-test index -> original header index) the emitter uses to
+// retarget the back edge past the emitted BATCHCHK, so only the first
+// entry — never an iteration — pays the guard.
+//
+// On any failed proof (including reaching-definitions non-convergence)
+// the loop keeps its full per-iteration instrumentation: the fallback is
+// the already-verified conservative plan.
+func planLoopBatches(c *CFG, plans []plan, sums *summarySet, opt Options, st *Stats) map[int]int {
+	loopBack := map[int]int{}
+	loops := innermost(naturalLoops(c))
+	if len(loops) == 0 {
+		return loopBack
+	}
+	defs := solveDefs(c, sums)
+	classify := plannerClassify(c, plans)
+	for _, l := range loops {
+		sh, _ := proveLoop(c, defs, l, classify, int64(opt.maxBatchBytes()))
+		if sh == nil || len(sh.members) == 0 || sh.trips < 1 {
+			continue
+		}
+		h0 := sh.bodyStart
+		if c.Prog.Instrs[h0].Op.IsBranch() || plans[h0].pollBefore || plans[h0].batchStart {
+			// The guard is emitted as a pre-element of the first body
+			// instruction; it must not land between a branch and its poll,
+			// and the slot must be free.
+			continue
+		}
+		plans[h0].batchStart = true
+		plans[h0].loopHead = true
+		plans[h0].batchBase = sh.base
+		plans[h0].batchLo = sh.lo
+		plans[h0].batchBytes = int(sh.hi-sh.lo) + 8
+		plans[h0].batchWrite = sh.write
+		plans[sh.bodyEnd-1].batchEnd = true
+		loopBack[sh.bodyEnd-1] = h0
+		for _, m := range sh.members {
+			if plans[m.idx].newOp == isa.CHKST {
+				plans[m.idx].newOp = isa.STQ
+				st.StoreChecks--
+			} else {
+				plans[m.idx].newOp = isa.LDQ
+				st.LoadChecks--
+			}
+			plans[m.idx].member = true
+			st.HoistedChecks++
+		}
+		st.LoopBatches++
+		if sh.stride != 0 {
+			st.WidenedBatches++
+		}
+	}
+	return loopBack
+}

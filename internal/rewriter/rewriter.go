@@ -40,6 +40,11 @@ type Options struct {
 	// CheckElim removes load checks made redundant by an earlier check of
 	// the same line on every incoming path.
 	CheckElim bool
+	// CheckHoist replaces per-iteration checks in provably counted,
+	// single-base loops with one loop-wide batch window: a BATCHCHK in the
+	// preheader position pinning the aggregate (possibly stride-widened)
+	// span, closed at the loop exit. Requires Batching.
+	CheckHoist bool
 	// MaxBatchBytes caps the address span of one batched check
 	// (0 = 256 bytes).
 	MaxBatchBytes int
@@ -51,7 +56,7 @@ type Options struct {
 
 // DefaultOptions enables everything the paper's system uses.
 func DefaultOptions() Options {
-	return Options{Batching: true, Polls: true, PrefetchExclusive: false, CheckElim: true}
+	return Options{Batching: true, Polls: true, PrefetchExclusive: false, CheckElim: true, CheckHoist: true}
 }
 
 func (o Options) lineBytes() int64 {
@@ -80,7 +85,17 @@ type Stats struct {
 	// ChecksEliminated counts load checks removed because an earlier check
 	// of the same line is available on every path.
 	ChecksEliminated int
-	Polls            int
+	// LoopBatches counts loops converted to a single loop-wide batch
+	// window; HoistedChecks counts the per-iteration checks they replaced.
+	// WidenedBatches counts the subset of loop windows with a nonzero
+	// stride (cross-iteration widening rather than pure hoisting).
+	LoopBatches    int
+	HoistedChecks  int
+	WidenedBatches int
+	// SummaryHits counts call sites whose callee summary proves the call
+	// never enters the protocol, letting check facts survive it.
+	SummaryHits int
+	Polls       int
 	MBCalls          int
 	Prefetches       int
 	OrigWords        int
@@ -103,10 +118,12 @@ type plan struct {
 	pollBefore bool // loop back-edge poll before this branch
 	pfxBefore  bool
 	batchStart bool
+	batchBase  uint8 // window base register for the emitted BATCHCHK
 	batchLo    int64
 	batchBytes int
 	batchWrite bool
 	batchEnd   bool
+	loopHead   bool   // batchStart opens a loop-wide window (hoisted)
 	member     bool   // access runs raw inside a batch window
 	covered    bool   // load check eliminated; emit a Covered raw load
 	newOp      isa.Op // replacement op (0 = keep)
@@ -120,9 +137,17 @@ func Rewrite(prog *isa.Program, opt Options) (*isa.Program, Stats, error) {
 	st := Stats{Instrs: len(prog.Instrs), OrigWords: prog.SizeWords()}
 	c := BuildCFG(prog)
 	st.BasicBlocks = len(c.Blocks)
-	shared, converged := analyzeShared(c)
+	sums := summarize(prog)
+	shared, converged := analyzeSharedSum(c, sums)
 	if !converged {
 		st.AnalysisFallback = true
+	}
+	for _, in := range prog.Instrs {
+		if in.Op == isa.JSR {
+			if cs, ok := sums.AtCall(in.Target); ok && !cs.EntersProtocol {
+				st.SummaryHits++
+			}
+		}
 	}
 
 	// Pass 1: decide per original instruction what to emit.
@@ -152,14 +177,19 @@ func Rewrite(prog *isa.Program, opt Options) (*isa.Program, Stats, error) {
 		}
 	}
 
-	// Pass 2: batching over the CFG.
+	// Pass 2: loop-wide windows for provably counted loops, then
+	// straight-line batching over what remains.
+	var loopBack map[int]int
+	if opt.CheckHoist && opt.Batching {
+		loopBack = planLoopBatches(c, plans, sums, opt, &st)
+	}
 	if opt.Batching {
 		planBatches(c, plans, opt, &st)
 	}
 
 	// Pass 3: available-check elimination on the surviving checks.
 	if opt.CheckElim {
-		eliminateChecks(c, plans, opt, &st)
+		eliminateChecks(c, plans, sums, opt, &st)
 	}
 
 	// Pass 4: emit, tracking the index mapping for branch retargeting.
@@ -168,6 +198,13 @@ func Rewrite(prog *isa.Program, opt Options) (*isa.Program, Stats, error) {
 	// head lands on the BATCHCHK and the window always opens.
 	out := &isa.Program{Labels: map[string]int{}, Rewritten: true}
 	newIndex := make([]int, len(prog.Instrs)+1)
+	// loopSkip[i]: emitted index just past original instruction i's
+	// loop-window BATCHCHK; mainAt[i]: emitted index of i's main op. The
+	// back edge of a hoisted loop retargets to loopSkip so iterations skip
+	// the guard, while labels and outside branches (newIndex) still land
+	// on it.
+	loopSkip := map[int]int{}
+	mainAt := make([]int, len(prog.Instrs))
 	for i, in := range prog.Instrs {
 		newIndex[i] = len(out.Instrs)
 		pl := plans[i]
@@ -183,9 +220,13 @@ func Rewrite(prog *isa.Program, opt Options) (*isa.Program, Stats, error) {
 				wr = 1
 			}
 			out.Instrs = append(out.Instrs, isa.Instr{
-				Op: isa.BATCHCHK, Rd: wr, Ra: in.Ra, Imm: pl.batchLo, BatchBytes: pl.batchBytes,
+				Op: isa.BATCHCHK, Rd: wr, Ra: pl.batchBase, Imm: pl.batchLo, BatchBytes: pl.batchBytes,
 			})
+			if pl.loopHead {
+				loopSkip[i] = len(out.Instrs)
+			}
 		}
+		mainAt[i] = len(out.Instrs)
 		ni := in
 		if pl.newOp != 0 {
 			ni.Op = pl.newOp
@@ -204,11 +245,16 @@ func Rewrite(prog *isa.Program, opt Options) (*isa.Program, Stats, error) {
 	}
 	newIndex[len(prog.Instrs)] = len(out.Instrs)
 
-	// Retarget branches and rebuild symbols.
+	// Retarget branches and rebuild symbols. Hoisted-loop back edges then
+	// override the generic mapping: they jump past their window's
+	// BATCHCHK, so the guard runs once per loop entry, not per iteration.
 	for i := range out.Instrs {
 		if out.Instrs[i].Op.IsBranch() {
 			out.Instrs[i].Target = newIndex[out.Instrs[i].Target]
 		}
+	}
+	for br, hd := range loopBack {
+		out.Instrs[mainAt[br]].Target = loopSkip[hd]
 	}
 	for name, idx := range prog.Labels {
 		out.Labels[name] = newIndex[idx]
@@ -332,6 +378,7 @@ func planBatches(c *CFG, plans []plan, opt Options, st *Stats) {
 		st.BatchedMembers += len(members)
 		first := members[0]
 		plans[first].batchStart = true
+		plans[first].batchBase = base
 		plans[first].batchLo = lo
 		plans[first].batchBytes = int(hi-lo) + 8
 		for _, k := range members {
@@ -354,21 +401,21 @@ func planBatches(c *CFG, plans []plan, opt Options, st *Stats) {
 // instruction's full emitted expansion, in emission order.
 func foldPlanned(a *availCtx, s BitSet, in isa.Instr, pl plan, alignedBase bool) {
 	if pl.pollBefore {
-		a.step(s, isa.POLL, 0, 0, 0, false, false, false)
+		a.step(s, isa.POLL, 0, 0, 0, 0, false, false, false)
 	}
 	if pl.pfxBefore {
-		a.step(s, isa.PFXEXCL, 0, 0, 0, false, false, false)
+		a.step(s, isa.PFXEXCL, 0, 0, 0, 0, false, false, false)
 	}
 	if pl.batchStart {
-		a.step(s, isa.BATCHCHK, 0, 0, 0, false, false, pl.batchWrite)
+		a.step(s, isa.BATCHCHK, 0, 0, 0, 0, false, false, pl.batchWrite)
 	}
 	op := in.Op
 	if pl.newOp != 0 {
 		op = pl.newOp
 	}
-	a.step(s, op, in.Rd, in.Ra, in.Imm, alignedBase, pl.covered, false)
+	a.step(s, op, in.Rd, in.Ra, in.Imm, in.Target, alignedBase, pl.covered, false)
 	if pl.batchEnd {
-		a.step(s, isa.BATCHEND, 0, 0, 0, false, false, false)
+		a.step(s, isa.BATCHEND, 0, 0, 0, 0, false, false, false)
 	}
 	// An MB's MBPROT companion has no analysis effect.
 }
@@ -382,10 +429,10 @@ func foldPlanned(a *availCtx, s BitSet, in isa.Instr, pl plan, alignedBase bool)
 // start from the full-check solution, model marked sites as elided, and
 // unmark any site whose coverage does not survive its own optimization —
 // exactly the analysis Verify replays on the emitted program.
-func eliminateChecks(c *CFG, plans []plan, opt Options, st *Stats) {
+func eliminateChecks(c *CFG, plans []plan, sums *summarySet, opt Options, st *Stats) {
 	prog := c.Prog
 	L := opt.lineBytes()
-	a := &availCtx{ft: newFactTable(), L: L}
+	a := &availCtx{ft: newFactTable(), L: L, sums: sums}
 	var sites []int
 	for i := range plans {
 		if plans[i].newOp == isa.CHKLD {
@@ -396,7 +443,7 @@ func eliminateChecks(c *CFG, plans []plan, opt Options, st *Stats) {
 	if len(sites) == 0 {
 		return
 	}
-	aligned := analyzeAligned(c, L)
+	aligned := analyzeAlignedSum(c, L, sums)
 	alignedBase := func(i int) bool {
 		ra := prog.Instrs[i].Ra
 		return ra == isa.RegZero || aligned[i]&(1<<ra) != 0

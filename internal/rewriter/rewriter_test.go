@@ -49,8 +49,11 @@ func TestRewriteInsertsChecksAndPolls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.LoadChecks+st.StoreChecks+st.BatchedMembers == 0 {
+	if st.LoadChecks+st.StoreChecks+st.BatchedMembers+st.HoistedChecks == 0 {
 		t.Fatalf("no checks inserted: %+v", st)
+	}
+	if st.LoopBatches == 0 || st.HoistedChecks == 0 {
+		t.Fatalf("counted loop not hoisted: %+v", st)
 	}
 	if st.Polls < 2 {
 		t.Fatalf("polls=%d, want >=2 (two back-edges)", st.Polls)

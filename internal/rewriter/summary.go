@@ -1,0 +1,170 @@
+package rewriter
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// Call-site summaries. The seed analyses treated every JSR as ⊥ — all
+// registers clobbered, all check facts dead — because a callee may enter
+// the protocol (a check that misses applies queued invalidations under
+// us). A per-procedure summary recovers the common case: a leaf helper
+// that touches only private memory clobbers a known register set and
+// provably never enters the protocol, so facts on other bases survive the
+// call. Summaries are computed by a monotone fixpoint over the call graph
+// (optimistic start, effects only ever grow) and consulted by the shared
+// analysis, the alignment analysis, the available-check analysis, and the
+// reaching-definitions analysis behind loop proofs.
+
+// CallSummary is the may-effect summary of one procedure, transitively
+// including everything it calls.
+type CallSummary struct {
+	// Clobbers is the set of registers the procedure (or any callee) may
+	// define, as a register bitmask. RA is always included: JSR writes it.
+	Clobbers uint32
+	// EntersProtocol reports whether any execution may enter the coherence
+	// protocol: a check, poll, barrier, batch open/close, shared access,
+	// LL/SC, or a backward branch (which the rewriter instruments with a
+	// poll). Protocol entries apply queued invalidations, killing every
+	// available-check fact.
+	EntersProtocol bool
+	// MayStoreMiss reports whether a store miss of ours may be in flight
+	// when the procedure returns (store checks are non-blocking under RC).
+	MayStoreMiss bool
+}
+
+// bottomSummary is the no-information summary: assume everything.
+func bottomSummary() CallSummary {
+	return CallSummary{Clobbers: ^uint32(0), EntersProtocol: true, MayStoreMiss: true}
+}
+
+// summarySet holds the fixpoint solution for one program, keyed by
+// procedure entry index. All consumers tolerate a nil receiver (no
+// summaries: every call is bottom).
+type summarySet struct {
+	prog    *isa.Program
+	byStart map[int]int // proc entry instruction -> index into sums
+	sums    []CallSummary
+}
+
+// AtCall resolves the summary for a JSR to the given target. The second
+// result is false when the target is not a known procedure entry (indirect
+// or out-of-catalogue call): callers must assume bottom.
+func (ss *summarySet) AtCall(target int) (CallSummary, bool) {
+	if ss == nil {
+		return CallSummary{}, false
+	}
+	i, ok := ss.byStart[target]
+	if !ok {
+		return CallSummary{}, false
+	}
+	return ss.sums[i], true
+}
+
+// defRegOf returns the register an instruction defines, or -1. The zero
+// register is never a definition.
+func defRegOf(in isa.Instr) int {
+	switch in.Op {
+	case isa.LDA, isa.ADDQ, isa.SUBQ, isa.MULQ, isa.AND, isa.OR, isa.XOR,
+		isa.SLL, isa.SRL, isa.CMPEQ, isa.CMPLT,
+		isa.LDQ, isa.LDQL, isa.CHKLD, isa.CHKLDL, isa.STQC, isa.CHKSTC:
+		if in.Rd == isa.RegZero {
+			return -1
+		}
+		return int(in.Rd)
+	}
+	return -1
+}
+
+// locallyPrivate reports whether a memory access is private by local
+// syntactic evidence alone (no dataflow): SP/GP bases and sub-SharedBase
+// absolute addresses. Used inside summaries, where no caller context is
+// available, so anything else must be assumed shared.
+func locallyPrivate(in isa.Instr) bool {
+	switch in.Ra {
+	case isa.RegSP, isa.RegGP:
+		return true
+	case isa.RegZero:
+		return uint64(in.Imm) < core.SharedBase
+	}
+	return false
+}
+
+// summarize computes per-procedure summaries to fixpoint. Works on both
+// original and rewritten instruction streams (it understands the pseudo
+// ops). Procedures containing SYSCALL or calls to unknown targets get
+// bottom.
+func summarize(prog *isa.Program) *summarySet {
+	ss := &summarySet{
+		prog:    prog,
+		byStart: make(map[int]int, len(prog.Procs)),
+		sums:    make([]CallSummary, len(prog.Procs)),
+	}
+	for i, p := range prog.Procs {
+		ss.byStart[p.Start] = i
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, p := range prog.Procs {
+			ns := ss.scanProc(p)
+			if ns != ss.sums[i] {
+				ss.sums[i] = ns
+				changed = true
+			}
+		}
+	}
+	return ss
+}
+
+func (ss *summarySet) scanProc(p isa.ProcSym) CallSummary {
+	var cs CallSummary
+	end := p.End
+	if end > len(ss.prog.Instrs) {
+		end = len(ss.prog.Instrs)
+	}
+	for i := p.Start; i < end; i++ {
+		in := ss.prog.Instrs[i]
+		switch in.Op {
+		case isa.JSR:
+			cs.Clobbers |= 1 << isa.RegRA
+			sub, ok := ss.AtCall(in.Target)
+			if !ok {
+				return bottomSummary()
+			}
+			cs.Clobbers |= sub.Clobbers
+			cs.EntersProtocol = cs.EntersProtocol || sub.EntersProtocol
+			cs.MayStoreMiss = cs.MayStoreMiss || sub.MayStoreMiss
+		case isa.SYSCALL:
+			return bottomSummary()
+		case isa.CHKLD, isa.CHKLDL, isa.LDQL, isa.POLL, isa.PFXEXCL,
+			isa.BATCHEND, isa.MB:
+			cs.EntersProtocol = true
+		case isa.CHKST, isa.CHKSTC, isa.STQC:
+			cs.EntersProtocol = true
+			cs.MayStoreMiss = true
+		case isa.BATCHCHK:
+			cs.EntersProtocol = true
+			if in.Rd != 0 {
+				cs.MayStoreMiss = true
+			}
+		case isa.LDQ:
+			if !in.Covered && !locallyPrivate(in) {
+				cs.EntersProtocol = true
+			}
+		case isa.STQ:
+			if !locallyPrivate(in) {
+				cs.EntersProtocol = true
+				cs.MayStoreMiss = true
+			}
+		}
+		if in.Op.IsBranch() && in.Op != isa.JSR && in.Target <= i {
+			// Backward branches carry (or will carry, once rewritten) a
+			// poll: a protocol entry.
+			cs.EntersProtocol = true
+		}
+		if r := defRegOf(in); r >= 0 {
+			cs.Clobbers |= 1 << uint(r)
+		}
+	}
+	return cs
+}

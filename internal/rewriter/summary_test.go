@@ -1,0 +1,206 @@
+package rewriter
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// summaryProgram exercises the fixpoint: a leaf helper touching only
+// private memory, a wrapper that stays pure transitively, and an impure
+// helper that stores through a shared base.
+const summaryProgram = `
+proc main
+  lda   r9, 0x100000000
+  jsr   pure
+  jsr   wrapper
+  jsr   impure
+  halt
+endproc
+proc pure
+  lda   r5, 7
+  stq   r5, 16(sp)
+  ldq   r6, 16(sp)
+  ret
+endproc
+proc wrapper
+  jsr   pure
+  ret
+endproc
+proc impure
+  stq   r7, 0(r9)
+  ret
+endproc
+`
+
+func TestSummarizeFixpoint(t *testing.T) {
+	prog := mustAssembleSrc(t, summaryProgram)
+	ss := summarize(prog)
+	at := func(name string) CallSummary {
+		t.Helper()
+		ps, ok := prog.FindProc(name)
+		if !ok {
+			t.Fatalf("no proc %q", name)
+		}
+		cs, ok := ss.AtCall(ps.Start)
+		if !ok {
+			t.Fatalf("no summary for %q", name)
+		}
+		return cs
+	}
+
+	pure := at("pure")
+	if pure.EntersProtocol || pure.MayStoreMiss {
+		t.Fatalf("private-only helper summarized as protocol-entering: %+v", pure)
+	}
+	if want := uint32(1<<5 | 1<<6); pure.Clobbers != want {
+		t.Fatalf("pure clobbers %#x, want %#x (r5, r6)", pure.Clobbers, want)
+	}
+
+	wrapper := at("wrapper")
+	if wrapper.EntersProtocol || wrapper.MayStoreMiss {
+		t.Fatalf("transitively pure wrapper summarized as protocol-entering: %+v", wrapper)
+	}
+	if wrapper.Clobbers&(1<<isa.RegRA) == 0 {
+		t.Fatal("wrapper's JSR must clobber the return address register")
+	}
+	if wrapper.Clobbers&pure.Clobbers != pure.Clobbers {
+		t.Fatalf("wrapper clobbers %#x must include the callee's %#x", wrapper.Clobbers, pure.Clobbers)
+	}
+
+	impure := at("impure")
+	if !impure.EntersProtocol || !impure.MayStoreMiss {
+		t.Fatalf("shared-storing helper summarized as pure: %+v", impure)
+	}
+
+	// main folds the impure callee.
+	if cs := at("main"); !cs.EntersProtocol {
+		t.Fatalf("main calls impure but is summarized pure: %+v", cs)
+	}
+
+	// Unknown targets resolve to no summary (callers assume bottom).
+	if _, ok := ss.AtCall(1); ok {
+		t.Fatal("mid-procedure index resolved to a summary")
+	}
+	var nilSet *summarySet
+	if _, ok := nilSet.AtCall(0); ok {
+		t.Fatal("nil summary set returned a summary")
+	}
+}
+
+// TestSummarySyscallIsBottom: any procedure containing a SYSCALL gets the
+// no-information summary.
+func TestSummarySyscallIsBottom(t *testing.T) {
+	prog := mustAssembleSrc(t, `
+proc main
+  syscall #1
+  ret
+endproc
+`)
+	ss := summarize(prog)
+	cs, ok := ss.AtCall(0)
+	if !ok {
+		t.Fatal("no summary for main")
+	}
+	if cs != bottomSummary() {
+		t.Fatalf("syscall proc summary %+v, want bottom", cs)
+	}
+}
+
+// TestSummaryKeepsFactsAcrossPureCall: a check fact on a base the callee
+// provably never clobbers survives the call, so the reload after the JSR
+// is eliminated — the interprocedural win the seed analyses could not see.
+func TestSummaryKeepsFactsAcrossPureCall(t *testing.T) {
+	src := `
+proc main
+  lda   r9, 0x100000000
+  ldq   r3, 0(r9)
+  jsr   helper
+  ldq   r4, 0(r9)
+  halt
+endproc
+proc helper
+  lda   r5, 7
+  stq   r5, 16(sp)
+  ldq   r6, 16(sp)
+  ret
+endproc
+`
+	out, st, err := Rewrite(mustAssembleSrc(t, src), Options{Polls: true, CheckElim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChecksEliminated != 1 {
+		t.Fatalf("ChecksEliminated = %d, want 1 (reload across the pure call)\n%+v", st.ChecksEliminated, st)
+	}
+	if st.SummaryHits != 1 {
+		t.Fatalf("SummaryHits = %d, want 1", st.SummaryHits)
+	}
+	covered := 0
+	for _, in := range out.Instrs {
+		if in.Covered {
+			covered++
+		}
+	}
+	if covered != 1 {
+		t.Fatalf("%d covered loads emitted, want 1", covered)
+	}
+}
+
+// TestSummaryImpureCallKillsFacts: a callee that may enter the protocol
+// (its store check can apply queued invalidations) kills every fact — the
+// reload keeps its check.
+func TestSummaryImpureCallKillsFacts(t *testing.T) {
+	src := `
+proc main
+  lda   r9, 0x100000000
+  ldq   r3, 0(r9)
+  jsr   helper
+  ldq   r4, 0(r9)
+  halt
+endproc
+proc helper
+  stq   r7, 0(r9)
+  ret
+endproc
+`
+	_, st, err := Rewrite(mustAssembleSrc(t, src), Options{Polls: true, CheckElim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChecksEliminated != 0 {
+		t.Fatalf("eliminated %d checks across an impure call, want 0", st.ChecksEliminated)
+	}
+	if st.SummaryHits != 0 {
+		t.Fatalf("SummaryHits = %d, want 0", st.SummaryHits)
+	}
+}
+
+// TestSummaryClobberKillsBaseFact: a pure callee that clobbers the fact's
+// base register still kills the fact, even though it never enters the
+// protocol.
+func TestSummaryClobberKillsBaseFact(t *testing.T) {
+	src := `
+proc main
+  lda   r9, 0x100000000
+  ldq   r3, 0(r9)
+  jsr   helper
+  ldq   r4, 0(r9)
+  halt
+endproc
+proc helper
+  lda   r9, 0x100000000
+  ret
+endproc
+`
+	_, st, err := Rewrite(mustAssembleSrc(t, src), Options{Polls: true, CheckElim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChecksEliminated != 0 {
+		t.Fatalf("eliminated %d checks across a base-clobbering call, want 0", st.ChecksEliminated)
+	}
+	if st.SummaryHits != 1 {
+		t.Fatalf("SummaryHits = %d, want 1 (pure but clobbering)", st.SummaryHits)
+	}
+}

@@ -17,12 +17,23 @@ import (
 //     op (CHKLD/CHKST), a member of an enclosing batch window, or a
 //     Covered load whose check the available-check analysis proves
 //     redundant at that very point;
-//   - BATCHCHK..BATCHEND regions are properly nested, non-empty windows of
-//     straight-line code; no branch target and no procedure entry lands in
-//     a region interior, members stay inside the declared byte window, and
+//   - BATCHCHK..BATCHEND regions are properly nested, non-empty windows;
+//     no procedure entry and no branch from outside the region lands in a
+//     region interior, members stay inside the declared byte window, and
 //     stores only appear in write batches;
-//   - the batch base register is not redefined while the window is open
-//     (except by the final member, immediately before BATCHEND);
+//   - a region whose interior contains control flow must be a hoisted
+//     loop window: the interior is exactly one natural loop closed by a
+//     BNE bottom test back to the first interior instruction, the
+//     BATCHCHK guard dominates the loop, the body contains only neutral
+//     ops, interior branches, and single-base accesses, the base moves by
+//     at most one affine stride per iteration, and — whenever the stride
+//     is nonzero — the trip count is a proven positive constant so the
+//     stride-widened spans of every member stay inside the declared
+//     window (the loop-region rules re-run proveLoop from the emitted
+//     stream);
+//   - the batch base register is not redefined while a straight-line
+//     window is open (except by the final member, immediately before
+//     BATCHEND);
 //   - every retreating branch is immediately preceded by a POLL (every
 //     cycle in instruction-index space must contain a retreating branch,
 //     so this bounds the poll-free path length of any loop);
@@ -77,12 +88,13 @@ func Verify(prog *isa.Program, opt VerifyOptions) error {
 	}
 
 	c := BuildCFG(prog)
-	shared, _ := analyzeShared(c) // non-convergence already yields the conservative over-approximation
+	sums := summarize(prog)
+	shared, _ := analyzeSharedSum(c, sums) // non-convergence already yields the conservative over-approximation
 	L := int64(opt.LineBytes)
 	if L <= 0 {
 		L = 64
 	}
-	aligned := analyzeAligned(c, L)
+	aligned := analyzeAlignedSum(c, L, sums)
 
 	// --- batch region structure (textual pairing).
 	type region struct {
@@ -126,7 +138,20 @@ func Verify(prog *isa.Program, opt VerifyOptions) error {
 		add(open, "unclosed-batch", "BATCHCHK never reaches a BATCHEND")
 	}
 
-	// --- region interiors.
+	// --- region classification: an interior with control flow must be a
+	// hoisted loop window and is held to the loop-region rules instead of
+	// the straight-line ones.
+	isLoopRegion := make([]bool, len(regions))
+	for ri, r := range regions {
+		for j := r.chk + 1; j < r.end; j++ {
+			if prog.Instrs[j].Op.IsBranch() {
+				isLoopRegion[ri] = true
+				break
+			}
+		}
+	}
+
+	// --- straight-line region interiors.
 	writesRd := func(op isa.Op) bool {
 		switch op {
 		case isa.LDQ, isa.LDA, isa.ADDQ, isa.SUBQ, isa.MULQ, isa.AND, isa.OR,
@@ -135,7 +160,10 @@ func Verify(prog *isa.Program, opt VerifyOptions) error {
 		}
 		return false
 	}
-	for _, r := range regions {
+	for ri, r := range regions {
+		if isLoopRegion[ri] {
+			continue
+		}
 		for j := r.chk + 1; j < r.end; j++ {
 			in := prog.Instrs[j]
 			switch in.Op {
@@ -167,6 +195,54 @@ func Verify(prog *isa.Program, opt VerifyOptions) error {
 			add(r.chk, "batch-not-dominating", "BATCHCHK does not dominate its BATCHEND")
 		}
 	}
+
+	// --- loop-region interiors: re-prove the hoisting transformation from
+	// the emitted stream.
+	var defs *defsInfo
+	vclass := verifierClassify(c, shared)
+	for ri, r := range regions {
+		if !isLoopRegion[ri] {
+			continue
+		}
+		last := prog.Instrs[r.end-1]
+		if last.Op != isa.BNE || last.Target != r.chk+1 {
+			add(r.end-1, "loop-batch-backedge", "a loop window must close with a BNE bottom test back to its first body instruction @%d", r.chk+1)
+			continue
+		}
+		hb, bb, cb := c.BlockOf[r.chk+1], c.BlockOf[r.end-1], c.BlockOf[r.chk]
+		if c.rpoPos[hb] < 0 {
+			continue // unreachable region: never executes
+		}
+		if !c.Dominates(hb, bb) {
+			add(r.end-1, "loop-batch-backedge", "the closing branch is not a back edge (its target does not dominate it)")
+			continue
+		}
+		if !c.Dominates(cb, hb) {
+			add(r.chk, "preheader-not-dominating", "the BATCHCHK guard does not dominate the loop header")
+		}
+		if defs == nil {
+			defs = solveDefs(c, sums)
+		}
+		nl := natLoop{header: hb, backSrcs: []int{bb}, blocks: loopBlocks(c, bb, hb)}
+		sh, rj := proveLoop(c, defs, nl, vclass, 1<<40)
+		if rj != nil {
+			add(rj.idx, rj.kind, "%s", rj.detail)
+			continue
+		}
+		if len(sh.members) > 0 && sh.base != r.base {
+			add(r.chk, "loop-batch-member-base", "body accesses ride base r%d but the window declares r%d", sh.base, r.base)
+			continue
+		}
+		for _, m := range sh.members {
+			if m.lo < r.lo || m.hi+8 > r.lo+int64(r.bytes) {
+				add(m.idx, "loop-batch-member-range", "iteration span [%d,%d) outside the declared window [%d,%d)", m.lo, m.hi+8, r.lo, r.lo+int64(r.bytes))
+			}
+			if m.write && !r.write {
+				add(m.idx, "batch-readonly-store", "store inside a read-only loop window")
+			}
+		}
+	}
+
 	for _, ps := range prog.Procs {
 		if ps.Start >= 0 && ps.Start < n && regionOf[ps.Start] >= 0 {
 			add(ps.Start, "proc-in-batch", "procedure %q starts inside the region opened at %d",
@@ -180,7 +256,10 @@ func Verify(prog *isa.Program, opt VerifyOptions) error {
 			t := in.Target
 			if t < 0 || t >= n {
 				add(i, "branch-target-range", "target %d out of range", t)
-			} else if regionOf[t] >= 0 {
+			} else if regionOf[t] >= 0 && regionOf[t] != regionOf[i] {
+				// Interior-to-interior branches within one loop window are
+				// its back edge and diamonds; anything entering from
+				// outside would skip the BATCHCHK guard.
 				add(i, "branch-into-batch", "target %d is inside the region opened at %d (its BATCHCHK would be skipped)",
 					t, regions[regionOf[t]].chk)
 			}
@@ -206,7 +285,7 @@ func Verify(prog *isa.Program, opt VerifyOptions) error {
 
 	// --- coverage: replay the available-check analysis over the emitted
 	// program and hold every raw shared access to it.
-	a := &availCtx{ft: newFactTable(), L: L}
+	a := &availCtx{ft: newFactTable(), L: L, sums: sums}
 	for _, in := range prog.Instrs {
 		if in.Op == isa.CHKLD {
 			a.addGenSite(in.Ra, in.Imm)
@@ -218,7 +297,7 @@ func Verify(prog *isa.Program, opt VerifyOptions) error {
 	}
 	fold := func(s BitSet, i int) {
 		in := prog.Instrs[i]
-		a.step(s, in.Op, in.Rd, in.Ra, in.Imm, alignedBase(i), in.Covered,
+		a.step(s, in.Op, in.Rd, in.Ra, in.Imm, in.Target, alignedBase(i), in.Covered,
 			in.Op == isa.BATCHCHK && in.Rd != 0)
 	}
 	boundary := NewBitSet(a.ft.n)
@@ -259,4 +338,40 @@ func Verify(prog *isa.Program, opt VerifyOptions) error {
 		return nil
 	}
 	return &VerifyError{Violations: vs, prog: prog}
+}
+
+// verifierClassify adapts the emitted instruction stream to the loop
+// prover: raw shared accesses are the window members (their pinned lines
+// make them sound), private work, ALU ops, and polls are neutral,
+// interior branches are validated structurally, and everything that
+// enters the protocol mid-window — or a Covered load, which the coverage
+// replay cannot see inside a region — is forbidden.
+func verifierClassify(c *CFG, shared []bool) func(int) loopClass {
+	return func(i int) loopClass {
+		in := c.Prog.Instrs[i]
+		def := defRegOf(in)
+		switch in.Op {
+		case isa.NOP, isa.LDA, isa.ADDQ, isa.SUBQ, isa.MULQ, isa.AND, isa.OR,
+			isa.XOR, isa.SLL, isa.SRL, isa.CMPEQ, isa.CMPLT:
+			return loopClass{kind: lcNeutral, def: def}
+		case isa.POLL:
+			return loopClass{kind: lcNeutral, def: -1}
+		case isa.LDQ:
+			if in.Covered {
+				return loopClass{kind: lcForbidden, def: def}
+			}
+			if shared[i] {
+				return loopClass{kind: lcAccess, base: in.Ra, imm: in.Imm, def: def}
+			}
+			return loopClass{kind: lcNeutral, def: def}
+		case isa.STQ:
+			if shared[i] {
+				return loopClass{kind: lcAccess, write: true, base: in.Ra, imm: in.Imm, def: -1}
+			}
+			return loopClass{kind: lcNeutral, def: -1}
+		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BR:
+			return loopClass{kind: lcBranch, def: -1}
+		}
+		return loopClass{kind: lcForbidden, def: def}
+	}
 }

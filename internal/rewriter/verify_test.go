@@ -212,6 +212,133 @@ func TestVerifyCoveredLoads(t *testing.T) {
 	), VerifyOptions{}, "uncovered-elided-load")
 }
 
+// TestVerifyLoopRegionRules: a batch region whose interior contains
+// control flow is held to the hoisted-loop rules — the verifier re-proves
+// the transformation from the emitted stream and rejects every malformed
+// shape.
+func TestVerifyLoopRegionRules(t *testing.T) {
+	// A well-formed counted write-loop window verifies cleanly.
+	ok := rw(
+		sharedLDA(),
+		isa.Instr{Op: isa.LDA, Rd: 2, Ra: isa.RegZero, Imm: 2},
+		isa.Instr{Op: isa.BATCHCHK, Rd: 1, Ra: 9, Imm: 0, BatchBytes: 16},
+		isa.Instr{Op: isa.LDQ, Rd: 3, Ra: 9, Imm: 0},
+		isa.Instr{Op: isa.STQ, Rd: 3, Ra: 9, Imm: 8},
+		isa.Instr{Op: isa.SUBQ, Rd: 2, Ra: 2, UseImm: true, Imm: 1},
+		isa.Instr{Op: isa.BNE, Ra: 2, Target: 3},
+		isa.Instr{Op: isa.BATCHEND},
+		isa.Instr{Op: isa.HALT},
+	)
+	if err := Verify(ok, VerifyOptions{}); err != nil {
+		t.Fatalf("well-formed loop window rejected:\n%v", err)
+	}
+
+	// The closing branch must land exactly on the first body instruction
+	// (one past the guard); anything else re-runs or skips body work.
+	wantViolation(t, rw(
+		sharedLDA(),
+		isa.Instr{Op: isa.LDA, Rd: 2, Ra: isa.RegZero, Imm: 2},
+		isa.Instr{Op: isa.BATCHCHK, Ra: 9, Imm: 0, BatchBytes: 16},
+		isa.Instr{Op: isa.LDQ, Rd: 3, Ra: 9, Imm: 0},
+		isa.Instr{Op: isa.SUBQ, Rd: 2, Ra: 2, UseImm: true, Imm: 1},
+		isa.Instr{Op: isa.BNE, Ra: 2, Target: 4}, // skips the member
+		isa.Instr{Op: isa.BATCHEND},
+		isa.Instr{Op: isa.HALT},
+	), VerifyOptions{}, "loop-batch-backedge")
+
+	// A path entering the loop around the BATCHCHK would run members with
+	// no window open: the guard must dominate the header.
+	wantViolation(t, rw(
+		sharedLDA(),
+		isa.Instr{Op: isa.LDA, Rd: 2, Ra: isa.RegZero, Imm: 2},
+		isa.Instr{Op: isa.BEQ, Ra: 1, Target: 4}, // around the guard
+		isa.Instr{Op: isa.BATCHCHK, Ra: 9, Imm: 0, BatchBytes: 16},
+		isa.Instr{Op: isa.LDQ, Rd: 3, Ra: 9, Imm: 0},
+		isa.Instr{Op: isa.SUBQ, Rd: 2, Ra: 2, UseImm: true, Imm: 1},
+		isa.Instr{Op: isa.BNE, Ra: 2, Target: 4},
+		isa.Instr{Op: isa.BATCHEND},
+		isa.Instr{Op: isa.HALT},
+	), VerifyOptions{}, "preheader-not-dominating")
+
+	// A strided window's bounds depend on the trip count; with the count
+	// register never provably initialized the claim is unverifiable.
+	wantViolation(t, rw(
+		sharedLDA(),
+		isa.Instr{Op: isa.BATCHCHK, Ra: 9, Imm: 0, BatchBytes: 40},
+		isa.Instr{Op: isa.LDQ, Rd: 3, Ra: 9, Imm: 0},
+		isa.Instr{Op: isa.ADDQ, Rd: 9, Ra: 9, UseImm: true, Imm: 8},
+		isa.Instr{Op: isa.SUBQ, Rd: 2, Ra: 2, UseImm: true, Imm: 1},
+		isa.Instr{Op: isa.BNE, Ra: 2, Target: 2},
+		isa.Instr{Op: isa.BATCHEND},
+		isa.Instr{Op: isa.HALT},
+	), VerifyOptions{}, "loop-batch-trip")
+
+	// A pinned spin-wait — bottom test fed by a member load — would never
+	// observe the remote store it waits for: termination would change.
+	wantViolation(t, rw(
+		sharedLDA(),
+		isa.Instr{Op: isa.LDA, Rd: 2, Ra: isa.RegZero, Imm: 2},
+		isa.Instr{Op: isa.BATCHCHK, Ra: 9, Imm: 0, BatchBytes: 16},
+		isa.Instr{Op: isa.LDQ, Rd: 2, Ra: 9, Imm: 0},
+		isa.Instr{Op: isa.BNE, Ra: 2, Target: 3},
+		isa.Instr{Op: isa.BATCHEND},
+		isa.Instr{Op: isa.HALT},
+	), VerifyOptions{}, "loop-batch-count")
+
+	// Member span (across all proven iterations) outside the declared
+	// window.
+	wantViolation(t, rw(
+		sharedLDA(),
+		isa.Instr{Op: isa.LDA, Rd: 2, Ra: isa.RegZero, Imm: 2},
+		isa.Instr{Op: isa.BATCHCHK, Ra: 9, Imm: 0, BatchBytes: 8},
+		isa.Instr{Op: isa.LDQ, Rd: 3, Ra: 9, Imm: 8}, // past [0,8)
+		isa.Instr{Op: isa.SUBQ, Rd: 2, Ra: 2, UseImm: true, Imm: 1},
+		isa.Instr{Op: isa.BNE, Ra: 2, Target: 3},
+		isa.Instr{Op: isa.BATCHEND},
+		isa.Instr{Op: isa.HALT},
+	), VerifyOptions{}, "loop-batch-member-range")
+
+	// Ops that may enter the protocol mid-window (the barrier applies
+	// deferred invalidations) are forbidden in a loop body.
+	wantViolation(t, rw(
+		sharedLDA(),
+		isa.Instr{Op: isa.LDA, Rd: 2, Ra: isa.RegZero, Imm: 2},
+		isa.Instr{Op: isa.BATCHCHK, Ra: 9, Imm: 0, BatchBytes: 16},
+		isa.Instr{Op: isa.LDQ, Rd: 3, Ra: 9, Imm: 0},
+		isa.Instr{Op: isa.MB},
+		isa.Instr{Op: isa.MBPROT},
+		isa.Instr{Op: isa.SUBQ, Rd: 2, Ra: 2, UseImm: true, Imm: 1},
+		isa.Instr{Op: isa.BNE, Ra: 2, Target: 3},
+		isa.Instr{Op: isa.BATCHEND},
+		isa.Instr{Op: isa.HALT},
+	), VerifyOptions{}, "loop-batch-interior-op")
+
+	// Store member inside a read-only loop window.
+	wantViolation(t, rw(
+		sharedLDA(),
+		isa.Instr{Op: isa.LDA, Rd: 2, Ra: isa.RegZero, Imm: 2},
+		isa.Instr{Op: isa.BATCHCHK, Rd: 0, Ra: 9, Imm: 0, BatchBytes: 16},
+		isa.Instr{Op: isa.STQ, Rd: 3, Ra: 9, Imm: 0},
+		isa.Instr{Op: isa.SUBQ, Rd: 2, Ra: 2, UseImm: true, Imm: 1},
+		isa.Instr{Op: isa.BNE, Ra: 2, Target: 3},
+		isa.Instr{Op: isa.BATCHEND},
+		isa.Instr{Op: isa.HALT},
+	), VerifyOptions{}, "batch-readonly-store")
+
+	// Body accesses riding a different base than the window declares.
+	wantViolation(t, rw(
+		sharedLDA(),
+		isa.Instr{Op: isa.LDA, Rd: 8, Ra: isa.RegZero, Imm: 1<<32 + 64},
+		isa.Instr{Op: isa.LDA, Rd: 2, Ra: isa.RegZero, Imm: 2},
+		isa.Instr{Op: isa.BATCHCHK, Ra: 9, Imm: 0, BatchBytes: 16},
+		isa.Instr{Op: isa.LDQ, Rd: 3, Ra: 8, Imm: 0}, // base r8, window says r9
+		isa.Instr{Op: isa.SUBQ, Rd: 2, Ra: 2, UseImm: true, Imm: 1},
+		isa.Instr{Op: isa.BNE, Ra: 2, Target: 4},
+		isa.Instr{Op: isa.BATCHEND},
+		isa.Instr{Op: isa.HALT},
+	), VerifyOptions{}, "loop-batch-member-base")
+}
+
 // TestVerifyRewriterOutputs runs the verifier over the rewriter's own
 // output for the shared test program under every option combination.
 func TestVerifyRewriterOutputs(t *testing.T) {

@@ -4,30 +4,46 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/rewriter"
 )
 
+// elimOptions is the pure straight-line optimizer configuration (PR 3
+// behavior): batching + polls + available-check elimination, no loop
+// hoisting. The hoist tests compare DefaultOptions against it.
+func elimOptions() rewriter.Options {
+	return rewriter.Options{Batching: true, Polls: true, CheckElim: true}
+}
+
 // Golden static instrumentation stats for every assembly kernel under
 // DefaultOptions. These pin down the analysis results: a change here means
-// the CFG construction, the may-shared analysis, batching or check
-// elimination changed behavior and must be re-audited.
+// the CFG construction, the may-shared analysis, batching, check
+// elimination or loop hoisting changed behavior and must be re-audited.
+//
+// Under DefaultOptions both kernel loops (the hub loop and the strided
+// neighbor sweep) become loop-wide batch windows: their six per-iteration
+// checks hoist into two preheader guards (one stride-widened), no
+// eliminable checks remain, and only the straight-line global-slot
+// batches survive as ordinary runs.
 var goldenRewriteStats = []struct {
 	name                        string
 	loadChecks, storeChecks     int
 	checksEliminated            int
 	batchedRuns, batchedMembers int
+	loopBatches, hoistedChecks  int
+	widenedBatches              int
 	polls                       int
 	growthPercent               float64
 }{
-	{"barnes", 1, 3, 3, 3, 9, 2, 113.3},
-	{"fmm", 1, 3, 3, 3, 9, 2, 123.6},
-	{"lu", 1, 3, 3, 3, 9, 2, 123.6},
-	{"lu-contig", 1, 3, 3, 3, 9, 2, 123.6},
-	{"ocean", 1, 3, 3, 3, 9, 2, 123.6},
-	{"raytrace", 1, 3, 3, 3, 9, 2, 123.6},
-	{"volrend", 1, 3, 3, 3, 9, 2, 113.3},
-	{"water-nsq", 1, 3, 3, 3, 9, 3, 147.5},
-	{"water-sp", 1, 3, 3, 3, 9, 3, 147.5},
+	{"barnes", 0, 3, 0, 2, 7, 2, 6, 1, 2, 125.0},
+	{"fmm", 0, 3, 0, 2, 7, 2, 6, 1, 2, 136.4},
+	{"lu", 0, 3, 0, 2, 7, 2, 6, 1, 2, 136.4},
+	{"lu-contig", 0, 3, 0, 2, 7, 2, 6, 1, 2, 136.4},
+	{"ocean", 0, 3, 0, 2, 7, 2, 6, 1, 2, 136.4},
+	{"raytrace", 0, 3, 0, 2, 7, 2, 6, 1, 2, 136.4},
+	{"volrend", 0, 3, 0, 2, 7, 2, 6, 1, 2, 125.0},
+	{"water-nsq", 0, 3, 0, 2, 7, 2, 6, 1, 3, 159.3},
+	{"water-sp", 0, 3, 0, 2, 7, 2, 6, 1, 3, 159.3},
 }
 
 func TestAsmKernelGoldenStats(t *testing.T) {
@@ -48,6 +64,8 @@ func TestAsmKernelGoldenStats(t *testing.T) {
 		if st.LoadChecks != g.loadChecks || st.StoreChecks != g.storeChecks ||
 			st.ChecksEliminated != g.checksEliminated ||
 			st.BatchedRuns != g.batchedRuns || st.BatchedMembers != g.batchedMembers ||
+			st.LoopBatches != g.loopBatches || st.HoistedChecks != g.hoistedChecks ||
+			st.WidenedBatches != g.widenedBatches ||
 			st.Polls != g.polls {
 			t.Errorf("%s: stats %+v, want %+v", k.Name, st, g)
 		}
@@ -90,16 +108,17 @@ func TestAsmKernelDeterminism(t *testing.T) {
 	}
 }
 
-// TestAsmKernelCheckElimEquivalence is the core acceptance property: with
-// elimination on, every kernel executes strictly fewer dynamic checks and
-// produces byte-identical final shared memory.
+// TestAsmKernelCheckElimEquivalence pins the straight-line eliminator:
+// with elimination on (hoisting off in both arms), every kernel executes
+// strictly fewer dynamic checks and produces byte-identical final shared
+// memory.
 func TestAsmKernelCheckElimEquivalence(t *testing.T) {
 	for _, k := range AsmKernels() {
 		off, err := RunAsm(k, rewriter.Options{Batching: true, Polls: true}, true)
 		if err != nil {
 			t.Fatalf("%s: %v", k.Name, err)
 		}
-		on, err := RunAsm(k, rewriter.DefaultOptions(), true)
+		on, err := RunAsm(k, elimOptions(), true)
 		if err != nil {
 			t.Fatalf("%s: %v", k.Name, err)
 		}
@@ -116,6 +135,76 @@ func TestAsmKernelCheckElimEquivalence(t *testing.T) {
 		}
 		if on.Stats.ElidedChecks() == 0 {
 			t.Errorf("%s: no elided checks executed", k.Name)
+		}
+	}
+}
+
+// TestAsmKernelCheckHoistEquivalence is the PR 8 acceptance property:
+// loop hoisting on top of elimination cuts dynamic checks further —
+// ≥15% on the loop-heavy kernels — with byte-identical final shared
+// memory on every kernel.
+func TestAsmKernelCheckHoistEquivalence(t *testing.T) {
+	kernelsOver15 := 0
+	for _, k := range AsmKernels() {
+		elim, err := RunAsm(k, elimOptions(), true)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		hoist, err := RunAsm(k, rewriter.DefaultOptions(), true)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for i := range elim.Memory {
+			if elim.Memory[i] != hoist.Memory[i] {
+				t.Fatalf("%s: shared word %d differs with hoisting: %#x vs %#x",
+					k.Name, i, elim.Memory[i], hoist.Memory[i])
+			}
+		}
+		if hoist.Rewrite.HoistedChecks == 0 || hoist.Rewrite.LoopBatches == 0 {
+			t.Errorf("%s: no loops hoisted: %+v", k.Name, hoist.Rewrite)
+		}
+		dynElim := elim.Stats.LoadChecks() + elim.Stats.StoreChecks() + elim.Stats.BatchChecks()
+		dynHoist := hoist.Stats.LoadChecks() + hoist.Stats.StoreChecks() + hoist.Stats.BatchChecks()
+		if dynHoist >= dynElim {
+			t.Errorf("%s: dynamic checks did not drop beyond elimination: %d -> %d", k.Name, dynElim, dynHoist)
+		}
+		if red := 100 * float64(dynElim-dynHoist) / float64(dynElim); red >= 15 {
+			kernelsOver15++
+		}
+	}
+	if kernelsOver15 < 2 {
+		t.Errorf("only %d kernels gained >=15%% beyond elimination, want >=2", kernelsOver15)
+	}
+}
+
+// TestAsmKernelCheckHoistBothProtocols is the CI ablation smoke property:
+// on a loop-heavy kernel, hoisting on vs off must produce identical
+// memory images under both coherence protocols.
+func TestAsmKernelCheckHoistBothProtocols(t *testing.T) {
+	var k AsmKernel
+	found := false
+	for _, c := range AsmKernels() {
+		if c.Name == "lu-contig" {
+			k, found = c, true
+		}
+	}
+	if !found {
+		t.Fatal("lu-contig kernel missing")
+	}
+	for _, proto := range core.ProtocolNames() {
+		off, err := RunAsm(k, elimOptions(), true, core.WithProtocol(proto))
+		if err != nil {
+			t.Fatalf("%s/%s: %v", k.Name, proto, err)
+		}
+		on, err := RunAsm(k, rewriter.DefaultOptions(), true, core.WithProtocol(proto))
+		if err != nil {
+			t.Fatalf("%s/%s: %v", k.Name, proto, err)
+		}
+		for i := range off.Memory {
+			if off.Memory[i] != on.Memory[i] {
+				t.Fatalf("%s/%s: shared word %d differs with hoisting: %#x vs %#x",
+					k.Name, proto, i, off.Memory[i], on.Memory[i])
+			}
 		}
 	}
 }
