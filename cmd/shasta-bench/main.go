@@ -11,6 +11,7 @@
 //	shasta-bench -json out.json -bench-quick   # CI smoke variant
 //	shasta-bench -shootout BENCH_PR6.json      # protocol shootout (dirinval vs tardis)
 //	shasta-bench -checks BENCH_PR8.json        # static-overhead shootout (noopt/elim/hoist)
+//	shasta-bench -allocs BENCH_PR9.json        # allocation trajectory (pooled vs unpooled)
 package main
 
 import (
@@ -65,7 +66,39 @@ func main() {
 	benchQuick := flag.Bool("bench-quick", false, "with -json/-shootout: run the cut-down CI smoke suite")
 	shootout := flag.String("shootout", "", "run the cross-protocol shootout and write the JSON report to this file")
 	checks := flag.String("checks", "", "run the static-overhead shootout and write the JSON report to this file")
+	allocs := flag.String("allocs", "", "run the allocation-trajectory suite and write the JSON report to this file")
 	flag.Parse()
+
+	if *allocs != "" {
+		cases := bench.DefaultAllocCases()
+		if *benchQuick {
+			cases = bench.QuickAllocCases()
+		}
+		report, err := bench.RunAllocSuite(cases, core.ProtocolNames())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*allocs, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, c := range report.Cases {
+			fmt.Printf("%-12s mem_equal=%v sim_invariant=%v", c.Name, c.MemEqual, c.SimTimeInvariant)
+			for _, p := range report.Protocols {
+				fmt.Printf(" reduction[%s]=%.1f%%", p, c.ReductionPct[p])
+			}
+			fmt.Println()
+		}
+		fmt.Printf("alloc trajectory: min reduction %.1f%% mem_equal=%v sim_invariant=%v → %s\n",
+			report.MinReductionPct, report.AllMemEqual, report.AllSimTimeInvariant, *allocs)
+		return
+	}
 
 	if *checks != "" {
 		report, err := bench.RunCheckSuite(core.ProtocolNames())

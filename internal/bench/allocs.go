@@ -1,0 +1,229 @@
+// Allocation trajectory: host heap allocations per protocol message on
+// the Table 3 workload suite, with the free-list pools (pool.go) on
+// versus off. The unpooled mode reproduces the pre-pool allocation
+// profile — one make([]uint64) per data-carrying message, one mshrEntry
+// per miss — so the pooled/unpooled ratio IS the before/after
+// comparison for the zero-allocation refactor, measured on the same
+// binary. The committed report (BENCH_PR9.json at the repo root) is the
+// baseline the CI alloc gate regresses against.
+//
+// Pooling must be invisible to the simulation: for every case the suite
+// asserts byte-identical final shared memory across pooling × engine ×
+// protocol, and identical simulated cycles across pooling × engine
+// within each protocol. A divergence is a correctness bug (a recycled
+// buffer was still aliased), not a performance result.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sim/parallel"
+	"repro/internal/workloads"
+)
+
+// AllocCase is one workload in the allocation suite.
+type AllocCase struct {
+	Name  string `json:"name"`
+	App   string `json:"app"`
+	Procs int    `json:"procs"`
+	Scale int    `json:"scale"`
+}
+
+// AllocRun is one (protocol, engine, pooling) measurement.
+type AllocRun struct {
+	Protocol string `json:"protocol"`
+	Engine   string `json:"engine"` // "seq" or "par<N>"
+	Pooled   bool   `json:"pooled"`
+	// MsgsSent is the op count AllocsPerOp is normalized by: protocol
+	// messages sent during the run (identical across engine and pooling
+	// by determinism).
+	MsgsSent         int64    `json:"msgs_sent"`
+	Allocs           uint64   `json:"allocs"`        // heap allocations during the run
+	AllocBytes       uint64   `json:"alloc_bytes"`   // bytes allocated during the run
+	AllocsPerOp      float64  `json:"allocs_per_op"` // Allocs / MsgsSent
+	SimElapsedCycles sim.Time `json:"sim_elapsed_cycles"`
+	WallMS           float64  `json:"wall_ms"`
+}
+
+// AllocCaseResult holds every run on one case plus the verdicts.
+type AllocCaseResult struct {
+	AllocCase
+	// MemEqual: within each protocol, all pooling × engine runs
+	// produced the identical final shared-memory image. (Across
+	// protocols the image may differ legitimately: some Table 3 kernels
+	// are timing-dependent, and the protocols schedule differently.)
+	MemEqual bool `json:"mem_equal"`
+	// SimTimeInvariant: within each protocol, simulated cycles are
+	// identical across pooling and engine.
+	SimTimeInvariant bool       `json:"sim_time_invariant"`
+	Runs             []AllocRun `json:"runs"`
+	// ReductionPct maps each protocol to the percentage drop in
+	// allocs/op, pooled vs unpooled, on the sequential engine.
+	ReductionPct map[string]float64 `json:"reduction_pct"`
+}
+
+// AllocReport is the full allocation-suite output.
+type AllocReport struct {
+	Suite     string            `json:"suite"`
+	Protocols []string          `json:"protocols"`
+	Engines   []string          `json:"engines"`
+	Cases     []AllocCaseResult `json:"cases"`
+	// MinReductionPct is the smallest per-protocol sequential-engine
+	// reduction across all cases — the conservative headline number.
+	MinReductionPct float64 `json:"min_reduction_pct"`
+	// AllMemEqual and AllSimTimeInvariant aggregate the per-case
+	// verdicts.
+	AllMemEqual         bool `json:"all_mem_equal"`
+	AllSimTimeInvariant bool `json:"all_sim_time_invariant"`
+}
+
+// AllocWorkers is the parallel worker count the suite measures alongside
+// the sequential engine.
+const AllocWorkers = 4
+
+// DefaultAllocCases is the Table 3 suite: the nine SPLASH-2-style
+// kernels in the paper's order, at a multi-node sharing scale.
+func DefaultAllocCases() []AllocCase {
+	var out []AllocCase
+	for _, app := range workloads.All() {
+		out = append(out, AllocCase{Name: app.Name, App: app.Name, Procs: 8, Scale: 2})
+	}
+	return out
+}
+
+// QuickAllocCases is a cut-down pair for CI smoke runs.
+func QuickAllocCases() []AllocCase {
+	return []AllocCase{
+		{Name: "Barnes", App: "Barnes", Procs: 8, Scale: 2},
+		{Name: "Water-Nsq", App: "Water-Nsq", Procs: 8, Scale: 2},
+	}
+}
+
+// runAllocOnce builds the system, then measures heap allocations across
+// the workload run only (construction is excluded: the pools change
+// steady-state behavior, not setup).
+func runAllocOnce(c AllocCase, protocol string, workers int, pooled bool) (AllocRun, []uint64, error) {
+	app, ok := workloads.Get(c.App)
+	if !ok {
+		return AllocRun{}, nil, fmt.Errorf("bench: unknown workload %q", c.App)
+	}
+	cfg := core.DefaultConfig()
+	cfg.SharedBytes = 4 << 20
+	cfg.MaxTime = sim.Cycles(900e6)
+	cfg.Protocol = protocol
+	cfg.NoPooling = !pooled
+	engine := "seq"
+	opts := []core.Option{core.WithConfig(cfg)}
+	if workers >= 0 {
+		opts = append(opts, core.WithEngine(parallel.New(workers)))
+		engine = fmt.Sprintf("par%d", workers)
+	}
+	sys := core.Build(opts...)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := workloads.Run(sys, app, workloads.RunConfig{Procs: c.Procs, Scale: c.Scale})
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return AllocRun{}, nil, fmt.Errorf("bench %s (%s/%s pooled=%v): %w", c.Name, protocol, engine, pooled, err)
+	}
+	agg := sys.AggregateStats()
+	run := AllocRun{
+		Protocol:         protocol,
+		Engine:           engine,
+		Pooled:           pooled,
+		MsgsSent:         agg.MessagesSent(),
+		Allocs:           after.Mallocs - before.Mallocs,
+		AllocBytes:       after.TotalAlloc - before.TotalAlloc,
+		SimElapsedCycles: res.Elapsed,
+		WallMS:           ms(wall),
+	}
+	if run.MsgsSent > 0 {
+		run.AllocsPerOp = float64(run.Allocs) / float64(run.MsgsSent)
+	}
+	return run, sys.SnapshotShared(), nil
+}
+
+// RunAllocCase measures one case across protocol × engine × pooling and
+// computes the verdicts.
+func RunAllocCase(c AllocCase, protocols []string) (AllocCaseResult, error) {
+	out := AllocCaseResult{
+		AllocCase:        c,
+		MemEqual:         true,
+		SimTimeInvariant: true,
+		ReductionPct:     map[string]float64{},
+	}
+	for _, proto := range protocols {
+		var baseSnap []uint64
+		var protoCycles sim.Time
+		var seqAllocs [2]float64 // [pooled, unpooled] allocs/op on seq
+		for _, workers := range []int{-1, AllocWorkers} {
+			for _, pooled := range []bool{true, false} {
+				run, snap, err := runAllocOnce(c, proto, workers, pooled)
+				if err != nil {
+					return out, err
+				}
+				out.Runs = append(out.Runs, run)
+				if baseSnap == nil {
+					baseSnap = snap
+				} else if !equalSnapshots(baseSnap, snap) {
+					out.MemEqual = false
+				}
+				if protoCycles == 0 {
+					protoCycles = run.SimElapsedCycles
+				} else if run.SimElapsedCycles != protoCycles {
+					out.SimTimeInvariant = false
+				}
+				if workers < 0 {
+					if pooled {
+						seqAllocs[0] = run.AllocsPerOp
+					} else {
+						seqAllocs[1] = run.AllocsPerOp
+					}
+				}
+			}
+		}
+		if seqAllocs[1] > 0 {
+			out.ReductionPct[proto] = 100 * (1 - seqAllocs[0]/seqAllocs[1])
+		}
+	}
+	return out, nil
+}
+
+// RunAllocSuite measures every case and assembles the report.
+func RunAllocSuite(cases []AllocCase, protocols []string) (*AllocReport, error) {
+	if len(protocols) == 0 {
+		return nil, fmt.Errorf("bench: no protocols to measure")
+	}
+	r := &AllocReport{
+		Suite:               "alloc-trajectory",
+		Protocols:           protocols,
+		Engines:             []string{"seq", fmt.Sprintf("par%d", AllocWorkers)},
+		MinReductionPct:     200,
+		AllMemEqual:         true,
+		AllSimTimeInvariant: true,
+	}
+	for _, c := range cases {
+		cr, err := RunAllocCase(c, protocols)
+		if err != nil {
+			return nil, err
+		}
+		r.Cases = append(r.Cases, cr)
+		r.AllMemEqual = r.AllMemEqual && cr.MemEqual
+		r.AllSimTimeInvariant = r.AllSimTimeInvariant && cr.SimTimeInvariant
+		for _, pct := range cr.ReductionPct {
+			if pct < r.MinReductionPct {
+				r.MinReductionPct = pct
+			}
+		}
+	}
+	if len(r.Cases) == 0 || len(r.Cases[0].ReductionPct) == 0 {
+		r.MinReductionPct = 0
+	}
+	return r, nil
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// loadAllocBaseline reads the committed BENCH_PR9.json report.
+func loadAllocBaseline(t *testing.T) *AllocReport {
+	t.Helper()
+	buf, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR9.json"))
+	if err != nil {
+		t.Fatalf("committed alloc baseline missing: %v", err)
+	}
+	var r AllocReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		t.Fatalf("BENCH_PR9.json: %v", err)
+	}
+	return &r
+}
+
+// TestAllocBaselineVerdicts checks the committed report itself: the
+// refactor's acceptance numbers are part of the repository state, so a
+// regenerated baseline that no longer meets them fails here even before
+// any live measurement.
+func TestAllocBaselineVerdicts(t *testing.T) {
+	base := loadAllocBaseline(t)
+	if !base.AllMemEqual {
+		t.Error("committed baseline records a shared-memory divergence between pooled and unpooled runs")
+	}
+	if !base.AllSimTimeInvariant {
+		t.Error("committed baseline records a simulated-time divergence between pooled and unpooled runs")
+	}
+	if base.MinReductionPct < 50 {
+		t.Errorf("committed min allocs/op reduction %.1f%% < 50%%", base.MinReductionPct)
+	}
+	if len(base.Cases) == 0 {
+		t.Fatal("committed baseline has no cases")
+	}
+}
+
+// TestAllocGate is the bench-trajectory regression gate: re-measure the
+// quick suite live and compare against the committed BENCH_PR9.json.
+// Simulated cycles must match exactly (they are deterministic — any
+// drift is a semantic change that must be re-baselined deliberately);
+// pooled allocs/op may not regress by more than 5%.
+func TestAllocGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping live allocation measurement")
+	}
+	if raceEnabled {
+		t.Skip("race detector inflates allocation counts; gate runs without -race")
+	}
+	base := loadAllocBaseline(t)
+	type key struct {
+		name, protocol, engine string
+		pooled                 bool
+	}
+	committed := map[key]AllocRun{}
+	for _, c := range base.Cases {
+		for _, r := range c.Runs {
+			committed[key{c.Name, r.Protocol, r.Engine, r.Pooled}] = r
+		}
+	}
+	report, err := RunAllocSuite(QuickAllocCases(), core.ProtocolNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.AllMemEqual {
+		t.Error("live run: shared memory diverges between pooled and unpooled runs")
+	}
+	if !report.AllSimTimeInvariant {
+		t.Error("live run: simulated time diverges between pooled and unpooled runs")
+	}
+	if report.MinReductionPct < 50 {
+		t.Errorf("live min allocs/op reduction %.1f%% < 50%%", report.MinReductionPct)
+	}
+	for _, c := range report.Cases {
+		for _, r := range c.Runs {
+			want, ok := committed[key{c.Name, r.Protocol, r.Engine, r.Pooled}]
+			if !ok {
+				t.Errorf("%s %s/%s pooled=%v: not in committed baseline", c.Name, r.Protocol, r.Engine, r.Pooled)
+				continue
+			}
+			if r.SimElapsedCycles != want.SimElapsedCycles {
+				t.Errorf("%s %s/%s pooled=%v: sim cycles %d != committed %d (semantic drift — re-baseline deliberately)",
+					c.Name, r.Protocol, r.Engine, r.Pooled, r.SimElapsedCycles, want.SimElapsedCycles)
+			}
+			if r.MsgsSent != want.MsgsSent {
+				t.Errorf("%s %s/%s pooled=%v: %d messages != committed %d",
+					c.Name, r.Protocol, r.Engine, r.Pooled, r.MsgsSent, want.MsgsSent)
+			}
+			// Allocation counts carry a little runtime noise (GC
+			// bookkeeping, goroutine stacks), so the gate is 5% plus a
+			// small absolute slack, and only the pooled legs gate: the
+			// unpooled legs exist to record the pre-refactor profile.
+			if r.Pooled && r.Allocs > want.Allocs+want.Allocs/20+64 {
+				t.Errorf("%s %s/%s pooled: %d allocs regressed >5%% over committed %d (%.3f vs %.3f allocs/op)",
+					c.Name, r.Protocol, r.Engine, r.Allocs, want.Allocs, r.AllocsPerOp, want.AllocsPerOp)
+			}
+		}
+	}
+}

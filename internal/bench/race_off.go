@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation gate skips under it (instrumentation inflates Mallocs).
+const raceEnabled = false

@@ -54,8 +54,11 @@ type Protocol interface {
 	// handle services one coherence message (any of the request, reply,
 	// forward, invalidation, or home-bookkeeping kinds). Non-coherence
 	// traffic (locks, barriers, downgrades, user messages, net acks)
-	// never reaches the backend.
-	handle(p *Proc, m msg)
+	// never reaches the backend. The message is borrowed for the duration
+	// of the call: an implementation that must keep it (home queues,
+	// deferred requests) appends a copy, never the pointer. Hot callers
+	// devirtualize through protoHandle so the argument does not escape.
+	handle(p *Proc, m *msg)
 
 	// refreshLL runs at the top of LoadLocked, before the line-state
 	// checks: a backend whose read copies can go stale (leases) drops

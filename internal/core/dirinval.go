@@ -87,7 +87,7 @@ func (d *dirInval) missKind(p *Proc, blk *blockInfo, wantExcl, scMode bool) msgK
 
 func (d *dirInval) stampRequest(p *Proc, blk *blockInfo, m *msg) {}
 
-func (d *dirInval) handle(p *Proc, m msg) {
+func (d *dirInval) handle(p *Proc, m *msg) {
 	switch m.kind {
 	case msgReadReq, msgReadExclReq, msgUpgradeReq, msgSCUpgradeReq:
 		d.handleHome(p, m)
@@ -111,12 +111,12 @@ func (d *dirInval) handle(p *Proc, m msg) {
 }
 
 // handleHome services a request at the block's home.
-func (d *dirInval) handleHome(p *Proc, m msg) {
+func (d *dirInval) handleHome(p *Proc, m *msg) {
 	s := d.s
 	blk := s.blocks[m.block]
 	dir := &d.dirs[blk.id]
 	if dir.state == dirBusy {
-		dir.queue = append(dir.queue, m)
+		dir.queue = append(dir.queue, *m)
 		return
 	}
 	reqProc := s.procs[m.reqProc]
@@ -129,14 +129,14 @@ func (d *dirInval) handleHome(p *Proc, m msg) {
 		switch dir.state {
 		case dirShared:
 			dir.sharers |= 1 << uint(reqAgent)
-			p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID, data: s.blockData(homeMem, blk)})
+			p.reply(reqProc, &msg{kind: msgReadReply, block: blk.id, from: p.ID, data: s.blockData(homeMem, blk)})
 		case dirExclusive:
 			switch dir.owner {
 			case reqAgent:
 				// Another process on the requester's agent took
 				// ownership while this request was in flight; the data
 				// is already local and the grant is exclusive.
-				p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID, downTo: Exclusive})
+				p.reply(reqProc, &msg{kind: msgReadReply, block: blk.id, from: p.ID, downTo: Exclusive})
 			case homeAgent:
 				// Home agent owns it: downgrade locally and reply — but
 				// defer if the home's own exclusive fill is incomplete,
@@ -147,11 +147,11 @@ func (d *dirInval) handleHome(p *Proc, m msg) {
 				p.downgradeAgent(blk, Shared, false)
 				dir.state = dirShared
 				dir.sharers = 1<<uint(homeAgent) | 1<<uint(reqAgent)
-				p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID, data: s.blockData(homeMem, blk)})
+				p.reply(reqProc, &msg{kind: msgReadReply, block: blk.id, from: p.ID, data: s.blockData(homeMem, blk)})
 			default:
 				dir.state = dirBusy
 				owner := s.agentLeader(dir.owner)
-				s.deliver(p, owner, msg{kind: msgFwdRead, block: blk.id, from: p.ID, reqProc: m.reqProc}, CatMessage)
+				s.deliver(p, owner, &msg{kind: msgFwdRead, block: blk.id, from: p.ID, reqProc: m.reqProc}, CatMessage)
 			}
 		}
 
@@ -162,7 +162,7 @@ func (d *dirInval) handleHome(p *Proc, m msg) {
 				// The requester lost its shared copy: the SC fails
 				// (§3.1.2); crucially no invalidations are sent, which
 				// avoids livelock.
-				p.reply(reqProc, msg{kind: msgSCFail, block: blk.id, from: p.ID})
+				p.reply(reqProc, &msg{kind: msgSCFail, block: blk.id, from: p.ID})
 				return
 			}
 			// A plain upgrade whose copy was invalidated in flight is
@@ -173,7 +173,7 @@ func (d *dirInval) handleHome(p *Proc, m msg) {
 			// Exclusivity moved (possibly to the requester's own agent
 			// via another local process) — some write serialized ahead
 			// of this SC, so it must fail.
-			p.reply(reqProc, msg{kind: msgSCFail, block: blk.id, from: p.ID})
+			p.reply(reqProc, &msg{kind: msgSCFail, block: blk.id, from: p.ID})
 			return
 		}
 		switch dir.state {
@@ -193,7 +193,7 @@ func (d *dirInval) handleHome(p *Proc, m msg) {
 			for a := 0; remote != 0; a++ {
 				if remote&(1<<uint(a)) != 0 {
 					remote &^= 1 << uint(a)
-					s.deliver(p, s.agentLeader(a), msg{kind: msgInvalReq, block: blk.id, from: p.ID, reqProc: m.reqProc}, CatMessage)
+					s.deliver(p, s.agentLeader(a), &msg{kind: msgInvalReq, block: blk.id, from: p.ID, reqProc: m.reqProc}, CatMessage)
 				}
 			}
 			// Reply before doing the (possibly slow) local invalidation.
@@ -201,27 +201,27 @@ func (d *dirInval) handleHome(p *Proc, m msg) {
 			if isUpgrade {
 				k = msgUpgradeAck
 			}
-			p.reply(reqProc, msg{kind: k, block: blk.id, from: p.ID, invals: nacks, data: data})
+			p.reply(reqProc, &msg{kind: k, block: blk.id, from: p.ID, invals: nacks, data: data})
 			if homeIsSharer && homeAgent != reqAgent {
 				p.downgradeAgent(blk, Invalid, false)
-				p.reply(reqProc, msg{kind: msgInvalAck, block: blk.id, from: p.ID})
+				p.reply(reqProc, &msg{kind: msgInvalAck, block: blk.id, from: p.ID})
 			}
 		case dirExclusive:
 			switch dir.owner {
 			case reqAgent:
-				p.reply(reqProc, msg{kind: msgUpgradeAck, block: blk.id, from: p.ID})
+				p.reply(reqProc, &msg{kind: msgUpgradeAck, block: blk.id, from: p.ID})
 			case homeAgent:
 				if p.deferIfPending(m, blk) {
 					return
 				}
 				data := p.downgradeAgent(blk, Invalid, true)
 				dir.owner = reqAgent
-				p.reply(reqProc, msg{kind: msgReadExclReply, block: blk.id, from: p.ID, data: data})
+				p.reply(reqProc, &msg{kind: msgReadExclReply, block: blk.id, from: p.ID, data: data})
 			default:
 				dir.state = dirBusy
 				dir.pendingOwner = reqAgent
 				owner := s.agentLeader(dir.owner)
-				s.deliver(p, owner, msg{kind: msgFwdReadExcl, block: blk.id, from: p.ID, reqProc: m.reqProc}, CatMessage)
+				s.deliver(p, owner, &msg{kind: msgFwdReadExcl, block: blk.id, from: p.ID, reqProc: m.reqProc}, CatMessage)
 			}
 		}
 	}
@@ -229,29 +229,30 @@ func (d *dirInval) handleHome(p *Proc, m msg) {
 
 // handleFwdRead services a forwarded read at the owning agent: downgrade to
 // shared, send the data to the requester, and write it back to the home.
-func (d *dirInval) handleFwdRead(p *Proc, m msg) {
+func (d *dirInval) handleFwdRead(p *Proc, m *msg) {
 	s := d.s
 	blk := s.blocks[m.block]
 	if p.deferIfPending(m, blk) {
 		return
 	}
 	p.downgradeAgent(blk, Shared, false)
-	data := s.blockData(p.mem, blk)
+	// The reply and the writeback each get their own buffer: both are
+	// recycled independently at their consumers, so they must not alias.
 	reqProc := s.procs[m.reqProc]
-	p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID, data: data})
+	p.reply(reqProc, &msg{kind: msgReadReply, block: blk.id, from: p.ID, data: s.blockData(p.mem, blk)})
 	home := s.procs[blk.home]
-	wb := msg{kind: msgShareWB, block: blk.id, from: p.ID, reqProc: m.reqProc, data: data}
+	wb := msg{kind: msgShareWB, block: blk.id, from: p.ID, reqProc: m.reqProc, data: s.blockData(p.mem, blk)}
 	if home == p {
-		d.handleShareWB(p, wb)
+		d.handleShareWB(p, &wb)
 	} else {
-		s.deliver(p, home, wb, CatMessage)
+		s.deliver(p, home, &wb, CatMessage)
 	}
 }
 
 // handleFwdReadExcl services a forwarded read-exclusive at the owning
 // agent: invalidate the local copy, ship the data to the requester, and
 // notify the home of the ownership transfer.
-func (d *dirInval) handleFwdReadExcl(p *Proc, m msg) {
+func (d *dirInval) handleFwdReadExcl(p *Proc, m *msg) {
 	s := d.s
 	blk := s.blocks[m.block]
 	if p.deferIfPending(m, blk) {
@@ -259,18 +260,18 @@ func (d *dirInval) handleFwdReadExcl(p *Proc, m msg) {
 	}
 	data := p.downgradeAgent(blk, Invalid, true)
 	reqProc := s.procs[m.reqProc]
-	p.reply(reqProc, msg{kind: msgReadExclReply, block: blk.id, from: p.ID, data: data})
+	p.reply(reqProc, &msg{kind: msgReadExclReply, block: blk.id, from: p.ID, data: data})
 	home := s.procs[blk.home]
 	ot := msg{kind: msgOwnerTransfer, block: blk.id, from: p.ID}
 	if home == p {
-		d.handleOwnerTransfer(p, ot)
+		d.handleOwnerTransfer(p, &ot)
 	} else {
-		s.deliver(p, home, ot, CatMessage)
+		s.deliver(p, home, &ot, CatMessage)
 	}
 }
 
 // handleInval invalidates this agent's copy and acks the requester (§2.1).
-func (d *dirInval) handleInval(p *Proc, m msg) {
+func (d *dirInval) handleInval(p *Proc, m *msg) {
 	s := d.s
 	blk := s.blocks[m.block]
 	p.stats.N[CntInvalidations]++
@@ -303,15 +304,15 @@ func (d *dirInval) handleInval(p *Proc, m msg) {
 	}
 	reqProc := s.procs[m.reqProc]
 	if reqProc == p {
-		d.handleInvalAck(p, msg{kind: msgInvalAck, block: blk.id, from: p.ID})
+		d.handleInvalAck(p, &msg{kind: msgInvalAck, block: blk.id, from: p.ID})
 		return
 	}
-	s.deliver(p, reqProc, msg{kind: msgInvalAck, block: blk.id, from: p.ID}, CatMessage)
+	s.deliver(p, reqProc, &msg{kind: msgInvalAck, block: blk.id, from: p.ID}, CatMessage)
 }
 
 // handleShareWB installs written-back data at the home and reopens the
 // directory entry as shared.
-func (d *dirInval) handleShareWB(p *Proc, m msg) {
+func (d *dirInval) handleShareWB(p *Proc, m *msg) {
 	s := d.s
 	blk := s.blocks[m.block]
 	dir := &d.dirs[blk.id]
@@ -319,6 +320,7 @@ func (d *dirInval) handleShareWB(p *Proc, m msg) {
 	homeMem := s.agents[homeAgent]
 	base := blk.firstLine * s.wordsPerLine
 	copy(homeMem.data[base:base+len(m.data)], m.data)
+	s.recycleMsgData(p, m)
 	// The home memory is valid again; the home agent becomes a sharer so
 	// the state table and flag invariants hold.
 	if homeMem.table[blk.firstLine] == Invalid {
@@ -333,7 +335,7 @@ func (d *dirInval) handleShareWB(p *Proc, m msg) {
 }
 
 // handleOwnerTransfer completes a 3-hop exclusive transfer at the home.
-func (d *dirInval) handleOwnerTransfer(p *Proc, m msg) {
+func (d *dirInval) handleOwnerTransfer(p *Proc, m *msg) {
 	blk := d.s.blocks[m.block]
 	dir := &d.dirs[blk.id]
 	dir.state = dirExclusive
@@ -346,13 +348,17 @@ func (d *dirInval) drainDirQueue(p *Proc, blk *blockInfo) {
 	dir := &d.dirs[blk.id]
 	for len(dir.queue) > 0 && dir.state != dirBusy {
 		m := dir.queue[0]
-		dir.queue = dir.queue[1:]
-		d.handleHome(p, m)
+		// Pop by shifting down so the slice's base (and capacity) is kept
+		// for reuse; queues are bounded by the process count, so the copy
+		// is cheap.
+		n := copy(dir.queue, dir.queue[1:])
+		dir.queue = dir.queue[:n]
+		d.handleHome(p, &m)
 	}
 }
 
 // handleReply completes (part of) an outstanding miss at the requester.
-func (d *dirInval) handleReply(p *Proc, m msg) {
+func (d *dirInval) handleReply(p *Proc, m *msg) {
 	mshr := p.mshr[m.block]
 	if mshr == nil {
 		panic(fmt.Sprintf("core: %s got %s for block %d with no MSHR", p, m.kind, m.block))
@@ -377,6 +383,7 @@ func (d *dirInval) handleReply(p *Proc, m msg) {
 		blk := s.blocks[m.block]
 		base := blk.firstLine * s.wordsPerLine
 		copy(p.mem.data[base:base+len(m.data)], m.data)
+		s.recycleMsgData(p, m)
 	}
 	if mshr.complete() {
 		p.finishMiss(mshr)
@@ -384,7 +391,7 @@ func (d *dirInval) handleReply(p *Proc, m msg) {
 }
 
 // handleInvalAck counts one invalidation acknowledgment.
-func (d *dirInval) handleInvalAck(p *Proc, m msg) {
+func (d *dirInval) handleInvalAck(p *Proc, m *msg) {
 	mshr := p.mshr[m.block]
 	if mshr == nil {
 		panic(fmt.Sprintf("core: %s got inval-ack for block %d with no MSHR", p, m.block))

@@ -214,6 +214,10 @@ func NewExplorer(c ExpConfig) *Explorer {
 		Seed:              1,
 	}
 	s := newSystem(cfg)
+	// The explorer hashes and restores full system states and holds MSHR
+	// pointers across await points; free-list reuse would let distinct
+	// logical states share storage, so pooling is always off here.
+	s.pooling = false
 	s.brokenSkipInvalAck = c.Broken
 	e := &Explorer{cfg: c, sys: s, chans: make(map[[2]int][]msg)}
 	for i := range c.Programs {
@@ -410,7 +414,7 @@ func (e *Explorer) applyDeliver(a ExpAction) {
 	e.events = append(e.events, trace.Event{
 		Cat: "mc", Ev: "deliver", P: a.Dst, O: a.Src, Blk: m.block, S: m.kind.String(),
 	})
-	e.sys.procs[a.Dst].handleMessage(m, CatMessage)
+	e.sys.procs[a.Dst].handleMessage(&m, CatMessage)
 }
 
 func (e *Explorer) applyStep(pid int) {

@@ -150,9 +150,9 @@ func (p *Proc) StoreCond(addr uint64, v uint64) bool {
 	}
 	p.scWatchValid = true
 	p.scWatchLine = line
-	m := p.issueMissKind(blk, true, nil, true)
+	p.issueMissKind(blk, true, nil, true)
 	p.stallWhile(CatWriteStall, func() bool { return p.mshr[blk.id] != nil })
-	ok := !m.scFailed && p.scWatchValid && p.priv[line] == Exclusive
+	ok := !p.scMissFailed && p.scWatchValid && p.priv[line] == Exclusive
 	p.scWatchValid = false
 	if !ok {
 		p.stats.N[CntSCFailures]++
@@ -196,9 +196,9 @@ func (p *Proc) storeCondEmulated(addr, v uint64, line int) bool {
 			}
 			p.scWatchValid = true
 			p.scWatchLine = line
-			m := p.issueMissKind(blk, true, nil, true)
+			p.issueMissKind(blk, true, nil, true)
 			p.stallWhile(CatWriteStall, func() bool { return p.mshr[blk.id] != nil })
-			ok := !m.scFailed && p.scWatchValid && p.priv[line] == Exclusive
+			ok := !p.scMissFailed && p.scWatchValid && p.priv[line] == Exclusive
 			p.scWatchValid = false
 			if !ok {
 				p.stats.N[CntSCFailures]++

@@ -154,9 +154,7 @@ func (s *System) mergeShardTraces() {
 		return
 	}
 	for _, bt := range s.par.shardTracers {
-		for _, e := range bt.TakeBuffered() {
-			s.tracer.Emit(e)
-		}
+		bt.DrainBuffered(s.tracer.Emit)
 	}
 }
 

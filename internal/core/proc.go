@@ -30,7 +30,13 @@ type Proc struct {
 	reqQ   *queueBox // only when SharedQueues is off
 
 	mshr        map[int]*mshrEntry
+	mshrFree    []*mshrEntry // completed entries awaiting reuse (pool.go)
 	outstanding int
+	// scMissFailed is the outcome of the most recent store-conditional
+	// upgrade miss, latched by finishMiss (the MSHR entry itself is
+	// recycled on completion). Only one SC miss is ever in flight per
+	// process — StoreCond stalls on it synchronously.
+	scMissFailed bool
 
 	// Reliability sublayer state (ReliableDelivery only; see reliable.go).
 	// Sequencing and resequencing are per link and live on System.
@@ -154,6 +160,8 @@ func (p *Proc) Compute(c sim.Time) {
 
 // Poll executes one in-line message poll ("three instructions"): it tests
 // the receive flag and services any ready messages.
+//
+//hot:path
 func (p *Proc) Poll() {
 	p.stats.N[CntPolls]++
 	p.charge(CatPoll, p.sys.Cfg.Cost.Poll)
@@ -184,6 +192,8 @@ func (p *Proc) forwardedStore(addr uint64) (uint64, bool) {
 }
 
 // Load performs a checked 64-bit load from shared memory.
+//
+//hot:path
 func (p *Proc) Load(addr uint64) uint64 {
 	p.stats.N[CntLoads]++
 	s := p.sys
@@ -381,6 +391,8 @@ func traceEvent(p *Proc, blk *blockInfo, site string) {
 }
 
 // Store performs a checked 64-bit store to shared memory.
+//
+//hot:path
 func (p *Proc) Store(addr uint64, v uint64) {
 	p.stats.N[CntStores]++
 	s := p.sys
@@ -658,20 +670,20 @@ func (p *Proc) serviceReady(cat TimeCategory) bool {
 		return true
 	}
 	if m, ok := p.replyQ.q.Pop(now); ok {
-		p.handleMessage(m, cat)
+		p.handleMessage(&m, cat)
 		return true
 	}
 	box := p.sys.requestBox(p)
 	if p.sys.Cfg.SMP && p.sys.Cfg.SharedQueues {
 		if m, ok := box.q.Pop(now); ok {
 			p.charge(cat, p.sys.Cfg.Cost.QueueLock)
-			p.handleMessage(m, cat)
+			p.handleMessage(&m, cat)
 			return true
 		}
 		return false
 	}
 	if m, ok := box.q.Pop(now); ok {
-		p.handleMessage(m, cat)
+		p.handleMessage(&m, cat)
 		return true
 	}
 	return false

@@ -25,8 +25,13 @@ func (p *Proc) issueMissKind(blk *blockInfo, wantExcl bool, stores []pendingStor
 	if s.Cfg.SMP && p.mem.busy[blk.id] != p {
 		panic(fmt.Sprintf("core: %s issuing miss for block %d without the transition lock", p, blk.id))
 	}
-	m := &mshrEntry{block: blk.id, wantExcl: wantExcl, stores: stores, batch: p.curBatch}
-	p.mshr[blk.id] = m
+	m := p.allocMSHR()
+	m.block = blk.id
+	m.wantExcl = wantExcl
+	m.scMode = scMode
+	m.stores = append(m.stores, stores...)
+	m.batch = p.curBatch
+	p.mshr[blk.id] = m // hotlint:allow(map-write): MSHR table, bounded by outstanding misses
 	p.outstanding++
 
 	kind := s.proto.missKind(p, blk, wantExcl, scMode)
@@ -36,20 +41,43 @@ func (p *Proc) issueMissKind(blk *blockInfo, wantExcl bool, stores []pendingStor
 			p.mem.table[l] = Pending
 		}
 	}
-	traceEvent(p, blk, "issue:"+kind.String())
+	traceEvent(p, blk, issueSiteNames[kind])
 	req := msg{kind: kind, block: blk.id, from: p.ID, reqProc: p.ID}
-	s.proto.stampRequest(p, blk, &req)
+	s.protoStamp(p, blk, &req)
 	home := s.procs[blk.home]
 	if home == p {
-		p.handleMessage(req, CatMessage)
+		p.handleMessage(&req, CatMessage)
 	} else {
-		p.sys.deliver(p, home, req, CatReadStall)
+		p.sys.deliver(p, home, &req, CatReadStall)
 	}
 	return m
 }
 
+// issueSiteNames precomputes the per-kind "issue:" trace labels so the
+// miss path does not concatenate strings when tracing is off.
+var issueSiteNames = func() (out [len(msgKindNames)]string) {
+	for k := range out {
+		out[k] = "issue:" + msgKindNames[k]
+	}
+	return
+}()
+
+// downgradeSiteNames does the same for downgradeAgent's target states.
+var downgradeSiteNames = [...]string{
+	Invalid:   "downgradeAgent:invalid",
+	Shared:    "downgradeAgent:shared",
+	Exclusive: "downgradeAgent:exclusive",
+	Pending:   "downgradeAgent:pending",
+}
+
 // handleMessage dispatches one protocol message on the servicing process.
-func (p *Proc) handleMessage(m msg, cat TimeCategory) {
+// The message is passed by pointer — the struct is ~128 bytes and used to
+// be copied at every level of the dispatch chain — but ownership stays
+// with the caller: retention points (home-side queues, deferred requests,
+// retransmit entries) store value copies.
+//
+//hot:path
+func (p *Proc) handleMessage(m *msg, cat TimeCategory) {
 	s := p.sys
 	if debugSvcDelay != nil && m.arrive > 0 {
 		debugSvcDelay(p, m.kind.String(), p.Sim.Now()-m.arrive)
@@ -91,14 +119,14 @@ func (p *Proc) handleMessage(m msg, cat TimeCategory) {
 // dispatch routes an in-order, deduplicated message to its handler:
 // coherence traffic goes to the protocol backend, everything else
 // (downgrades, locks, barriers, user messages, net acks) is shared.
-func (p *Proc) dispatch(m msg, cat TimeCategory) {
+func (p *Proc) dispatch(m *msg, cat TimeCategory) {
 	s := p.sys
 	switch m.kind {
 	case msgReadReq, msgReadExclReq, msgUpgradeReq, msgSCUpgradeReq,
 		msgFwdRead, msgFwdReadExcl, msgInvalReq,
 		msgReadReply, msgReadExclReply, msgUpgradeAck, msgSCFail, msgInvalAck,
 		msgShareWB, msgOwnerTransfer:
-		s.proto.handle(p, m)
+		s.protoHandle(p, m)
 	case msgDowngradeReq:
 		p.handleDowngradeReq(m)
 	case msgDowngradeAck:
@@ -131,19 +159,53 @@ func (p *Proc) dispatch(m msg, cat TimeCategory) {
 
 // reply routes a response to the requesting process, short-circuiting when
 // the servicer is the requester (home-local miss).
-func (p *Proc) reply(to *Proc, m msg) {
+func (p *Proc) reply(to *Proc, m *msg) {
 	if to == p {
-		p.sys.proto.handle(p, m)
+		p.sys.protoHandle(p, m)
 		return
 	}
 	p.sys.deliver(p, to, m, CatMessage)
 }
 
-// blockData copies the block's contents out of an agent's memory.
+// protoHandle invokes the coherence backend's message handler through a
+// concrete-type fast path. Calling through the Protocol interface makes
+// every *msg argument escape to the heap (the compiler cannot see the
+// callee), which would turn each stack-composed reply into an allocation;
+// the in-tree backends are devirtualized here, and an out-of-tree backend
+// falls back to the interface with a private copy so the caller's message
+// still never escapes.
+func (s *System) protoHandle(p *Proc, m *msg) {
+	switch pr := s.proto.(type) {
+	case *dirInval:
+		pr.handle(p, m)
+	case *tardis:
+		pr.handle(p, m)
+	default:
+		mm := *m
+		s.proto.handle(p, &mm) // hotlint:allow(iface-call): out-of-tree backend fallback, never taken in-tree
+	}
+}
+
+// protoStamp is the same devirtualization for Protocol.stampRequest.
+func (s *System) protoStamp(p *Proc, blk *blockInfo, m *msg) {
+	switch pr := s.proto.(type) {
+	case *dirInval:
+		pr.stampRequest(p, blk, m)
+	case *tardis:
+		pr.stampRequest(p, blk, m)
+	default:
+		mm := *m
+		s.proto.stampRequest(p, blk, &mm) // hotlint:allow(iface-call): out-of-tree backend fallback, never taken in-tree
+		*m = mm
+	}
+}
+
+// blockData copies the block's contents out of an agent's memory into a
+// buffer from the agent's pool (see pool.go for the recycle lifecycle).
 func (s *System) blockData(mem *agentMem, blk *blockInfo) []uint64 {
 	base := blk.firstLine * s.wordsPerLine
 	n := blk.lines * s.wordsPerLine
-	out := make([]uint64, n)
+	out := s.getBuf(mem, n)
 	copy(out, mem.data[base:base+n])
 	return out
 }
@@ -158,16 +220,16 @@ func (s *System) setAgentState(mem *agentMem, blk *blockInfo, st LineState) {
 // deferIfPending queues a forwarded request when this agent's copy is still
 // in flight (the grant from the home can outrun the data reply). The
 // request is re-executed when the local miss completes.
-func (p *Proc) deferIfPending(m msg, blk *blockInfo) bool {
+func (p *Proc) deferIfPending(m *msg, blk *blockInfo) bool {
 	if !p.sys.Cfg.SMP {
 		if p.mshr[blk.id] != nil {
-			p.deferredReqs = append(p.deferredReqs, m)
+			p.deferredReqs = append(p.deferredReqs, *m)
 			return true
 		}
 		return false
 	}
 	if holder := p.mem.busy[blk.id]; holder != nil && holder.mshr[blk.id] != nil {
-		holder.deferredReqs = append(holder.deferredReqs, m)
+		holder.deferredReqs = append(holder.deferredReqs, *m)
 		return true
 	}
 	return false
@@ -195,7 +257,7 @@ func (p *Proc) downgradeAgent(blk *blockInfo, to LineState, wantData bool) []uin
 		p.fillAgentInvalid(blk)
 	}
 	s.setAgentState(p.mem, blk, to)
-	traceEvent(p, blk, "downgradeAgent:"+to.String())
+	traceEvent(p, blk, downgradeSiteNames[to])
 	p.endTransition(blk)
 	return data
 }
@@ -263,7 +325,7 @@ func (p *Proc) waitDowngrades(blk *blockInfo, to LineState) {
 		// Explicit downgrade message; the target handles it at its next
 		// poll or protocol entry.
 		p.stats.N[CntDowngradesSent]++
-		s.deliver(p, q, msg{kind: msgDowngradeReq, block: blk.id, from: p.ID, downTo: to}, CatMessage)
+		s.deliver(p, q, &msg{kind: msgDowngradeReq, block: blk.id, from: p.ID, downTo: to}, CatMessage)
 		expected++
 	}
 	if expected > 0 {
@@ -317,13 +379,13 @@ func (p *Proc) pinned(blk *blockInfo) bool {
 }
 
 // handleDowngradeReq services an explicit downgrade at its target.
-func (p *Proc) handleDowngradeReq(m msg) {
+func (p *Proc) handleDowngradeReq(m *msg) {
 	s := p.sys
 	blk := s.blocks[m.block]
 	p.stats.N[CntDowngradesReceived]++
 	p.charge(CatMessage, s.Cfg.Cost.DowngradeHandle)
 	p.downgradeSelf(blk, m.downTo)
-	s.deliver(p, s.procs[m.from], msg{kind: msgDowngradeAck, block: blk.id, from: p.ID}, CatMessage)
+	s.deliver(p, s.procs[m.from], &msg{kind: msgDowngradeAck, block: blk.id, from: p.ID}, CatMessage)
 }
 
 // finishMiss installs the final line states, performs buffered stores, and
@@ -331,6 +393,11 @@ func (p *Proc) handleDowngradeReq(m msg) {
 func (p *Proc) finishMiss(m *mshrEntry) {
 	s := p.sys
 	blk := s.blocks[m.block]
+	if m.scMode {
+		// The issuing StoreCond reads the outcome from the proc after its
+		// stall: the entry itself is recycled below.
+		p.scMissFailed = m.scFailed
+	}
 	if m.scFailed {
 		traceEvent(p, blk, "finish:scfail")
 		// The SC upgrade was refused. Normally the line reverts to
@@ -391,12 +458,18 @@ func (p *Proc) finishMiss(m *mshrEntry) {
 		traceEvent(p, blk, "finish:inval-after-fill")
 		p.downgradeAgent(blk, Invalid, false)
 	}
+	p.freeMSHR(m)
 	p.notifyAgentWaiters()
 	if len(p.deferredReqs) > 0 {
 		pending := p.deferredReqs
 		p.deferredReqs = nil
-		for _, req := range pending {
-			p.handleMessage(req, CatMessage)
+		for i := range pending {
+			p.handleMessage(&pending[i], CatMessage)
+		}
+		if p.deferredReqs == nil {
+			// Nothing re-deferred during the replays: keep the slice's
+			// capacity for the next deferral instead of reallocating.
+			p.deferredReqs = pending[:0]
 		}
 	}
 }

@@ -136,14 +136,30 @@ func (s *System) reseqEnqueue(srcNode int, dst *Proc, m msg, box *queueBox, arri
 	// retransmission's send time can be arbitrarily far past the send
 	// times of successors it was reordered around. At = 0 sorts sequenced
 	// releases ahead of unsequenced traffic with an equal arrival time.
-	ord := func(seq int64) memchannel.Ord {
-		return memchannel.Ord{Sender: link, Seq: seq}
+	// The key doubles the seq and gives duplicates the odd slot so that a
+	// duplicate of seq S can never be dispatched before the released
+	// original of S: the dup's ack would retire the sender's retransmit
+	// entry and recycle the data buffer the still-queued original shares
+	// (see pool.go). Relative order among originals is unchanged.
+	ord := func(seq int64, dup bool) memchannel.Ord {
+		key := seq * 2
+		if dup {
+			key++
+		}
+		return memchannel.Ord{Sender: link, Seq: key}
 	}
 	switch {
 	case m.seq <= r.contig:
 		m.dup = true
+		// Clamp behind the newest in-order release: a badly delayed or
+		// retransmitted copy must not overtake the original it duplicates
+		// (which was released at, or clamped up to, lastAt), nor any
+		// earlier release still waiting in the queue.
+		if arrive < r.lastAt {
+			arrive = r.lastAt
+		}
 		m.arrive = arrive
-		box.put(m, arrive, ord(m.seq))
+		box.put(m, arrive, ord(m.seq, true))
 	case m.seq == r.contig+1:
 		r.contig++
 		if arrive < r.lastAt {
@@ -151,7 +167,7 @@ func (s *System) reseqEnqueue(srcNode int, dst *Proc, m msg, box *queueBox, arri
 		}
 		r.lastAt = arrive
 		m.arrive = arrive
-		box.put(m, arrive, ord(m.seq))
+		box.put(m, arrive, ord(m.seq, false))
 		for {
 			h, ok := r.held[r.contig+1]
 			if !ok {
@@ -164,7 +180,7 @@ func (s *System) reseqEnqueue(srcNode int, dst *Proc, m msg, box *queueBox, arri
 			}
 			r.lastAt = h.arrive
 			h.m.arrive = h.arrive
-			h.box.put(h.m, h.arrive, ord(h.m.seq))
+			h.box.put(h.m, h.arrive, ord(h.m.seq, false))
 		}
 	default:
 		if _, dup := r.held[m.seq]; dup {
@@ -182,19 +198,30 @@ func (s *System) reseqEnqueue(srcNode int, dst *Proc, m msg, box *queueBox, arri
 // Acks are themselves unsequenced (an ack of an ack would never converge);
 // a lost ack simply lets the sender retransmit, and the duplicate filter
 // absorbs the retry.
-func (p *Proc) sendNetAck(m msg, cat TimeCategory) {
+func (p *Proc) sendNetAck(m *msg, cat TimeCategory) {
 	p.stats.N[CntNetAcksSent]++
-	p.sys.deliver(p, p.sys.procs[m.from], msg{
+	p.sys.deliver(p, p.sys.procs[m.from], &msg{
 		kind: msgNetAck, block: m.block, from: p.ID, reqProc: m.from, ack: m.seq,
 	}, cat)
 }
 
 // handleNetAck retires the acknowledged retransmit entry. Duplicate and
 // late acks (entry already retired) are ignored.
-func (p *Proc) handleNetAck(m msg) {
+func (p *Proc) handleNetAck(m *msg) {
 	if e, ok := p.retxBySeq[retxKey{m.from, m.ack}]; ok {
 		e.acked = true
 		delete(p.retxBySeq, retxKey{m.from, m.ack})
+		if e.m.data != nil {
+			// Retiring the entry releases the retained data buffer back to
+			// the sender's pool: the receiver dispatched (and copied out)
+			// the original before acking, and any copies still in flight
+			// are duplicates, whose data is never read (see reseqEnqueue).
+			// Detach before putBuf so the recycle audit (AuditRecycle)
+			// never sees the retiring entry itself as an alias.
+			b := e.m.data
+			e.m.data = nil
+			p.sys.putBuf(p, b)
+		}
 	}
 }
 
@@ -264,7 +291,7 @@ func (p *Proc) pumpReliability(cat TimeCategory) bool {
 				A: int64(e.attempts),
 			})
 		}
-		p.sys.sendWire(p, e.dst, e.m, cat)
+		p.sys.sendWire(p, e.dst, &e.m, cat)
 		sent = true
 	}
 	if acked > 16 && acked > len(p.retx)/2 {

@@ -155,6 +155,13 @@ type msg struct {
 	seq int64 // per-link (node pair) sequence number, 1-based
 	ack int64 // msgNetAck: the sequence number being acknowledged
 	dup bool  // set by the link resequencer on duplicate deliveries
+	// retained marks a message whose data buffer is still referenced by
+	// the sender's retransmit entry (set when a sequence number is
+	// assigned). Receivers must not recycle a retained buffer into their
+	// free list; the sender recycles it when the delivery ack retires the
+	// retransmit entry (see handleNetAck). Host-side only: never encoded,
+	// never charged on the wire.
+	retained bool
 }
 
 // headerBytes is the wire size of a message without data payload.
@@ -181,8 +188,13 @@ type mshrEntry struct {
 	// in-flight fill: the installed copy must be dropped immediately
 	// after the fill completes (see handleInval / finishMiss).
 	invalAfterFill bool
-	stores         []pendingStore
-	batch          *Batch // non-nil if issued as part of a batch
+	// scMode marks a store-conditional upgrade; finishMiss latches its
+	// outcome into Proc.scMissFailed, because the entry itself returns to
+	// the MSHR free list the moment the miss completes (see pool.go) and
+	// must not be read afterwards.
+	scMode bool
+	stores []pendingStore
+	batch  *Batch // non-nil if issued as part of a batch
 }
 
 // pendingStore is a store buffered behind a non-blocking (RC) store miss;
@@ -220,12 +232,20 @@ type agentMem struct {
 	// backend-global map — for the same shard-locality reason as
 	// Proc.protoData.
 	protoData any
+	// bufFree is the agent-local free list of msg.data buffers, keyed by
+	// word count (block sizes vary per allocation). Buffers are taken by
+	// the procs of this agent when composing data-carrying messages and
+	// returned by whichever agent's proc consumes them, so under the
+	// parallel engine each list is only ever touched by its own shard.
+	// See pool.go for the lifecycle and determinism argument.
+	bufFree map[int][][]uint64
 }
 
 func newAgentMem(agent, words, lines int, smp bool) *agentMem {
 	m := &agentMem{
 		agent: agent, data: make([]uint64, words), table: make([]LineState, lines),
 		busy: make(map[int]*Proc), stateWaiters: make(map[*Proc]int),
+		bufFree: make(map[int][][]uint64),
 	}
 	for i := range m.data {
 		m.data[i] = FlagWord

@@ -35,7 +35,7 @@ func (p *Proc) LockAcquire(id int) {
 		lk.waiters = append(lk.waiters, p.ID)
 	} else {
 		home := s.procs[lk.home]
-		s.deliver(p, home, msg{kind: msgLockReq, id: id, from: p.ID, reqProc: p.ID}, CatSyncStall)
+		s.deliver(p, home, &msg{kind: msgLockReq, id: id, from: p.ID, reqProc: p.ID}, CatSyncStall)
 	}
 	if p.granted == nil {
 		p.granted = make(map[int]bool)
@@ -64,7 +64,7 @@ func (p *Proc) LockRelease(id int) {
 		return
 	}
 	home := s.procs[lk.home]
-	s.deliver(p, home, msg{kind: msgLockRelease, id: id, from: p.ID, ts: s.proto.syncTs(p)}, CatTask)
+	s.deliver(p, home, &msg{kind: msgLockRelease, id: id, from: p.ID, ts: s.proto.syncTs(p)}, CatTask)
 }
 
 func (p *Proc) releaseLock(lk *lockState) {
@@ -91,7 +91,7 @@ func (p *Proc) grantLock(lk *lockState, to int) {
 		p.grantedLock(id)
 		return
 	}
-	p.sys.deliver(p, dst, msg{kind: msgLockGrant, id: id, from: p.ID, ts: lk.relTs}, CatMessage)
+	p.sys.deliver(p, dst, &msg{kind: msgLockGrant, id: id, from: p.ID, ts: lk.relTs}, CatMessage)
 }
 
 func (p *Proc) lockIndex(lk *lockState) int {
@@ -110,7 +110,7 @@ func (p *Proc) grantedLock(id int) {
 	p.granted[id] = true
 }
 
-func (p *Proc) handleLockReq(m msg) {
+func (p *Proc) handleLockReq(m *msg) {
 	lk := p.sys.locks[m.id]
 	if !lk.held {
 		lk.held = true
@@ -121,7 +121,7 @@ func (p *Proc) handleLockReq(m msg) {
 	lk.waiters = append(lk.waiters, m.reqProc)
 }
 
-func (p *Proc) handleLockRelease(m msg) {
+func (p *Proc) handleLockRelease(m *msg) {
 	lk := p.sys.locks[m.id]
 	if m.ts > lk.relTs {
 		lk.relTs = m.ts
@@ -152,7 +152,7 @@ func (p *Proc) BarrierWait(id int) {
 		p.barrierArrive(b, p.ID, s.proto.syncTs(p))
 	} else {
 		home := s.procs[b.home]
-		s.deliver(p, home, msg{kind: msgBarrierEnter, id: id, from: p.ID, reqProc: p.ID, ts: s.proto.syncTs(p)}, CatSyncStall)
+		s.deliver(p, home, &msg{kind: msgBarrierEnter, id: id, from: p.ID, reqProc: p.ID, ts: s.proto.syncTs(p)}, CatSyncStall)
 	}
 	p.stallWhile(CatSyncStall, func() bool { return p.barrierSeen[id] < target })
 	p.emitSync("barrier-leave", id)
@@ -165,7 +165,7 @@ func (p *Proc) emitSync(ev string, id int) {
 	}
 }
 
-func (p *Proc) handleBarrierEnter(m msg) {
+func (p *Proc) handleBarrierEnter(m *msg) {
 	p.barrierArrive(p.sys.barriers[m.id], m.reqProc, m.ts)
 }
 
@@ -203,7 +203,11 @@ func (p *Proc) barrierArrive(b *barrierState, who int, ts int64) {
 			p.barrierSeen[id]++
 			continue
 		}
-		p.sys.deliver(p, dst, msg{kind: msgBarrierRelease, id: id, from: p.ID, ts: maxTs}, CatMessage)
+		p.sys.deliver(p, dst, &msg{kind: msgBarrierRelease, id: id, from: p.ID, ts: maxTs}, CatMessage)
+	}
+	// Hand the drained arrival slice back for the next epoch.
+	if b.arrived == nil {
+		b.arrived = arrived[:0]
 	}
 }
 
@@ -223,8 +227,8 @@ func (p *Proc) SendUser(to int, tag int, payload any) {
 	dst := p.sys.procs[to]
 	m := msg{kind: msgUser, id: tag, from: p.ID, reqProc: to, payload: payload}
 	if dst == p {
-		p.handleMessage(m, CatMessage)
+		p.handleMessage(&m, CatMessage)
 		return
 	}
-	p.sys.deliver(p, dst, m, CatTask)
+	p.sys.deliver(p, dst, &m, CatTask)
 }

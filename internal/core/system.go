@@ -96,6 +96,16 @@ type System struct {
 	// par holds the parallel-engine staging state when built WithEngine.
 	par *parState
 
+	// nodeProcs caches, per node, the processes on that node in spawn
+	// order (exactly the s.procs order restricted to the node). It backs
+	// localProcs in SMP mode, where the old per-call rebuild was the
+	// single largest allocation source on the store/downgrade hot path.
+	nodeProcs [][]*Proc
+	// pooling enables the msg.data / MSHR free-list pools (see pool.go).
+	// Off under Config.NoPooling and under the model-checking explorer,
+	// which captures and replays whole msg values.
+	pooling bool
+
 	tracer *trace.Tracer
 	osObj  any // cluster OS layer when built WithOS
 
@@ -156,6 +166,7 @@ func newSystem(cfg Config) *System {
 		numLines:     cfg.SharedBytes / cfg.LineSize,
 		wordsPerLine: cfg.LineSize / 8,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		pooling:      !cfg.NoPooling,
 	}
 	s.lineBlock = make([]int32, s.numLines)
 	for i := range s.lineBlock {
@@ -227,18 +238,29 @@ func (s *System) agentNode(agent int) int {
 }
 
 // localProcs returns processes sharing the agent's memory (SMP: the node's
-// processes; Base: just the one process).
+// processes; Base: just the one process). The SMP answer comes from the
+// nodeProcs cache maintained by spawn — rebuilding it per call allocated
+// on every store's LL-reset sweep.
+//
+//hot:path
 func (s *System) localProcs(agent int) []*Proc {
 	if !s.Cfg.SMP {
 		return s.procs[agent : agent+1]
 	}
-	var out []*Proc
-	for _, p := range s.procs {
-		if p.node == agent {
-			out = append(out, p)
+	if !s.pooling {
+		// NoPooling runs reproduce the pre-refactor steady-state
+		// allocation profile for A/B measurement (see pool.go): rebuild
+		// the slice per call exactly as the old code did. The result and
+		// its order are identical to the cache.
+		var out []*Proc // hotlint:allow(append-growth): NoPooling A/B leg only
+		for _, p := range s.procs {
+			if p.node == agent {
+				out = append(out, p)
+			}
 		}
+		return out
 	}
-	return out
+	return s.nodeProcs[agent]
 }
 
 // Spawn creates an application process on the given global CPU. It may be
@@ -287,6 +309,10 @@ func (s *System) spawn(name string, cpu, priority int, start sim.Time, body func
 	}
 	p.agent = s.agentOf(p)
 	s.procs = append(s.procs, p)
+	for len(s.nodeProcs) <= node {
+		s.nodeProcs = append(s.nodeProcs, nil)
+	}
+	s.nodeProcs[node] = append(s.nodeProcs[node], p)
 	if priority == 0 {
 		s.appStarted++
 	}
@@ -504,23 +530,28 @@ func (s *System) requestBox(p *Proc) *queueBox {
 // computing network latency and charging the sender's send cost. With
 // ReliableDelivery on, inter-node messages are sequenced and registered
 // for retransmission until acknowledged (net acks themselves are not).
-func (s *System) deliver(sender *Proc, dst *Proc, m msg, cat TimeCategory) {
-	if s.mcCapture != nil && s.mcCapture(sender, dst, m) {
+func (s *System) deliver(sender *Proc, dst *Proc, m *msg, cat TimeCategory) {
+	if s.mcCapture != nil && s.mcCapture(sender, dst, *m) {
 		return
 	}
 	if m.kind != msgNetAck && sender.reliable(dst) {
 		m.seq = sender.assignSeq(dst)
+		if m.data != nil {
+			// The retransmit entry keeps referencing the data buffer, so
+			// the receiver must not recycle it (see pool.go).
+			m.retained = true
+		}
 	}
 	s.sendWire(sender, dst, m, cat)
 	if m.seq != 0 {
-		sender.trackRetx(dst, m)
+		sender.trackRetx(dst, *m)
 	}
 }
 
 // sendWire transmits m (an original send or a retransmission): it charges
 // the send cost, runs the network — including any injected faults — and
 // enqueues whatever copies survive the wire.
-func (s *System) sendWire(sender *Proc, dst *Proc, m msg, cat TimeCategory) {
+func (s *System) sendWire(sender *Proc, dst *Proc, m *msg, cat TimeCategory) {
 	sender.charge(cat, s.Cfg.Cost.MsgSend)
 	if s.Cfg.SMP && s.Cfg.SharedQueues {
 		sender.charge(cat, s.Cfg.Cost.QueueLock)
@@ -551,20 +582,20 @@ func (s *System) sendWire(sender *Proc, dst *Proc, m msg, cat TimeCategory) {
 		// assigns the canonical (link, seq) ordering key itself).
 		if copies >= 1 {
 			if staging {
-				s.stagePut(sender.node, dst, m, box, a1, memchannel.Ord{})
+				s.stagePut(sender.node, dst, *m, box, a1, memchannel.Ord{})
 			} else {
-				s.reseqEnqueue(sender.node, dst, m, box, a1)
+				s.reseqEnqueue(sender.node, dst, *m, box, a1)
 			}
 		}
 		if copies >= 2 {
 			if staging {
-				s.stagePut(sender.node, dst, m, box, a2, memchannel.Ord{})
+				s.stagePut(sender.node, dst, *m, box, a2, memchannel.Ord{})
 			} else {
-				s.reseqEnqueue(sender.node, dst, m, box, a2)
+				s.reseqEnqueue(sender.node, dst, *m, box, a2)
 			}
 		}
 		if !staging && debugForceDup != nil && copies >= 1 && debugForceDup(s.deliveryCount) {
-			s.reseqEnqueue(sender.node, dst, m, box, a1+500)
+			s.reseqEnqueue(sender.node, dst, *m, box, a1+500)
 		}
 	} else {
 		// Each surviving wire copy gets a canonical ordering key (send
@@ -576,9 +607,9 @@ func (s *System) sendWire(sender *Proc, dst *Proc, m msg, cat TimeCategory) {
 		if copies >= 1 {
 			ord1 := sender.nextOrd(now)
 			if staging {
-				s.stagePut(sender.node, dst, m, box, a1, ord1)
+				s.stagePut(sender.node, dst, *m, box, a1, ord1)
 			} else {
-				mm := m
+				mm := *m
 				mm.arrive = a1
 				box.put(mm, a1, ord1)
 			}
@@ -586,9 +617,9 @@ func (s *System) sendWire(sender *Proc, dst *Proc, m msg, cat TimeCategory) {
 		if copies >= 2 {
 			ord2 := sender.nextOrd(now)
 			if staging {
-				s.stagePut(sender.node, dst, m, box, a2, ord2)
+				s.stagePut(sender.node, dst, *m, box, a2, ord2)
 			} else {
-				mm := m
+				mm := *m
 				mm.arrive = a2
 				box.put(mm, a2, ord2)
 			}

@@ -237,7 +237,7 @@ func (t *tardis) stampRequest(p *Proc, blk *blockInfo, m *msg) {
 	}
 }
 
-func (t *tardis) handle(p *Proc, m msg) {
+func (t *tardis) handle(p *Proc, m *msg) {
 	switch m.kind {
 	case msgReadReq, msgReadExclReq, msgSCUpgradeReq:
 		t.handleHome(p, m)
@@ -270,18 +270,18 @@ func (t *tardis) handle(p *Proc, m msg) {
 // The requester's own miss must not defer behind itself — when the
 // requester is local it IS the holder, and the guards below skip the
 // downgrade for that case anyway.
-func (t *tardis) deferLocalFill(p *Proc, m msg, blk *blockInfo) bool {
+func (t *tardis) deferLocalFill(p *Proc, m *msg, blk *blockInfo) bool {
 	req := t.s.procs[m.reqProc]
 	if !t.s.Cfg.SMP {
 		if p != req && p.mshr[blk.id] != nil {
-			p.deferredReqs = append(p.deferredReqs, m)
+			p.deferredReqs = append(p.deferredReqs, *m)
 			return true
 		}
 		return false
 	}
 	holder := p.mem.busy[blk.id]
 	if holder != nil && holder != req && holder.mshr[blk.id] != nil {
-		holder.deferredReqs = append(holder.deferredReqs, m)
+		holder.deferredReqs = append(holder.deferredReqs, *m)
 		return true
 	}
 	return false
@@ -299,12 +299,12 @@ func extendLease(e *tardisEntry, reqPts int64) int64 {
 }
 
 // handleHome services a request at the block's home.
-func (t *tardis) handleHome(p *Proc, m msg) {
+func (t *tardis) handleHome(p *Proc, m *msg) {
 	s := t.s
 	blk := s.blocks[m.block]
 	e := &t.entries[blk.id]
 	if e.busy {
-		e.queue = append(e.queue, m)
+		e.queue = append(e.queue, *m)
 		return
 	}
 	reqProc := s.procs[m.reqProc]
@@ -318,13 +318,13 @@ func (t *tardis) handleHome(p *Proc, m msg) {
 		case e.owner == -1:
 			// Master copy valid: lease the current version from memory.
 			end := extendLease(e, m.ts)
-			p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID,
+			p.reply(reqProc, &msg{kind: msgReadReply, block: blk.id, from: p.ID,
 				data: s.blockData(homeMem, blk), ts: e.wts, rts: end})
 		case e.owner == reqAgent:
 			// Another process on the requester's agent took ownership
 			// while this request was in flight; the data is already
 			// local and the grant is exclusive.
-			p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID,
+			p.reply(reqProc, &msg{kind: msgReadReply, block: blk.id, from: p.ID,
 				downTo: Exclusive, ts: e.wts})
 		case e.owner == homeAgent:
 			// Home agent owns it: demote locally to master and reply —
@@ -345,7 +345,7 @@ func (t *tardis) handleHome(p *Proc, m msg) {
 				e.rts = e.wts
 			}
 			end := extendLease(e, m.ts)
-			p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID,
+			p.reply(reqProc, &msg{kind: msgReadReply, block: blk.id, from: p.ID,
 				data: s.blockData(homeMem, blk), ts: e.wts, rts: end})
 		default:
 			// Remote owner: recall ownership. The owner demotes to a
@@ -355,14 +355,14 @@ func (t *tardis) handleHome(p *Proc, m msg) {
 			end := extendLease(e, m.ts)
 			e.busy = true
 			owner := s.agentLeader(e.owner)
-			s.deliver(p, owner, msg{kind: msgFwdRead, block: blk.id, from: p.ID,
+			s.deliver(p, owner, &msg{kind: msgFwdRead, block: blk.id, from: p.ID,
 				reqProc: m.reqProc, ts: e.wts, rts: end}, CatMessage)
 		}
 
 	case msgReadExclReq:
 		switch {
 		case e.owner == reqAgent:
-			p.reply(reqProc, msg{kind: msgUpgradeAck, block: blk.id, from: p.ID, ts: e.wts})
+			p.reply(reqProc, &msg{kind: msgUpgradeAck, block: blk.id, from: p.ID, ts: e.wts})
 		case e.owner == -1:
 			if t.deferLocalFill(p, m, blk) {
 				return
@@ -377,7 +377,7 @@ func (t *tardis) handleHome(p *Proc, m msg) {
 			if homeAgent != reqAgent && homeMem.table[blk.firstLine] != Invalid {
 				p.downgradeAgent(blk, Invalid, false)
 			}
-			p.reply(reqProc, msg{kind: msgReadExclReply, block: blk.id, from: p.ID,
+			p.reply(reqProc, &msg{kind: msgReadExclReply, block: blk.id, from: p.ID,
 				data: data, ts: grant})
 		case e.owner == homeAgent:
 			if p.deferIfPending(m, blk) {
@@ -392,7 +392,7 @@ func (t *tardis) handleHome(p *Proc, m msg) {
 			data := p.downgradeAgent(blk, Invalid, true)
 			e.wts, e.rts = grant, grant
 			e.owner = reqAgent
-			p.reply(reqProc, msg{kind: msgReadExclReply, block: blk.id, from: p.ID,
+			p.reply(reqProc, &msg{kind: msgReadExclReply, block: blk.id, from: p.ID,
 				data: data, ts: grant})
 		default:
 			// 3-hop ownership transfer. The grant timestamp is fixed
@@ -403,7 +403,7 @@ func (t *tardis) handleHome(p *Proc, m msg) {
 			e.busy = true
 			e.pendingOwner = reqAgent
 			owner := s.agentLeader(e.owner)
-			s.deliver(p, owner, msg{kind: msgFwdReadExcl, block: blk.id, from: p.ID,
+			s.deliver(p, owner, &msg{kind: msgFwdReadExcl, block: blk.id, from: p.ID,
 				reqProc: m.reqProc, ts: grant}, CatMessage)
 		}
 
@@ -413,7 +413,7 @@ func (t *tardis) handleHome(p *Proc, m msg) {
 		// ownership moved. Crucially no third party is disturbed on
 		// failure, which avoids livelock (§3.1.2).
 		if e.owner != -1 || e.wts != m.rts {
-			p.reply(reqProc, msg{kind: msgSCFail, block: blk.id, from: p.ID})
+			p.reply(reqProc, &msg{kind: msgSCFail, block: blk.id, from: p.ID})
 			return
 		}
 		if t.deferLocalFill(p, m, blk) {
@@ -425,14 +425,14 @@ func (t *tardis) handleHome(p *Proc, m msg) {
 		if homeAgent != reqAgent && homeMem.table[blk.firstLine] != Invalid {
 			p.downgradeAgent(blk, Invalid, false)
 		}
-		p.reply(reqProc, msg{kind: msgUpgradeAck, block: blk.id, from: p.ID, ts: grant})
+		p.reply(reqProc, &msg{kind: msgUpgradeAck, block: blk.id, from: p.ID, ts: grant})
 	}
 }
 
 // handleFwdRead recalls ownership at the owning agent: demote to a
 // leaseholder of the written-back version, send the data to the
 // requester, and write it back to the home.
-func (t *tardis) handleFwdRead(p *Proc, m msg) {
+func (t *tardis) handleFwdRead(p *Proc, m *msg) {
 	s := t.s
 	blk := s.blocks[m.block]
 	if p.deferIfPending(m, blk) {
@@ -453,23 +453,24 @@ func (t *tardis) handleFwdRead(p *Proc, m msg) {
 	// The demoted owner keeps its copy under the same lease the
 	// requester gets: it holds the version it just wrote back.
 	t.astate(p.mem).leases[blk.id] = tardisLease{dataWts: wts, leaseEnd: rts}
-	data := s.blockData(p.mem, blk)
+	// The reply and the writeback each get their own buffer: both are
+	// recycled independently at their consumers, so they must not alias.
 	reqProc := s.procs[m.reqProc]
-	p.reply(reqProc, msg{kind: msgReadReply, block: blk.id, from: p.ID,
-		data: data, ts: wts, rts: rts})
+	p.reply(reqProc, &msg{kind: msgReadReply, block: blk.id, from: p.ID,
+		data: s.blockData(p.mem, blk), ts: wts, rts: rts})
 	home := s.procs[blk.home]
 	wb := msg{kind: msgShareWB, block: blk.id, from: p.ID, reqProc: m.reqProc,
-		data: data, ts: wts, rts: rts}
+		data: s.blockData(p.mem, blk), ts: wts, rts: rts}
 	if home == p {
-		t.handleShareWB(p, wb)
+		t.handleShareWB(p, &wb)
 	} else {
-		s.deliver(p, home, wb, CatMessage)
+		s.deliver(p, home, &wb, CatMessage)
 	}
 }
 
 // handleFwdReadExcl yields ownership at the owning agent: invalidate the
 // local copy, ship the data to the requester, and notify the home.
-func (t *tardis) handleFwdReadExcl(p *Proc, m msg) {
+func (t *tardis) handleFwdReadExcl(p *Proc, m *msg) {
 	s := t.s
 	blk := s.blocks[m.block]
 	if p.deferIfPending(m, blk) {
@@ -484,26 +485,27 @@ func (t *tardis) handleFwdReadExcl(p *Proc, m msg) {
 		ts = d
 	}
 	reqProc := s.procs[m.reqProc]
-	p.reply(reqProc, msg{kind: msgReadExclReply, block: blk.id, from: p.ID,
+	p.reply(reqProc, &msg{kind: msgReadExclReply, block: blk.id, from: p.ID,
 		data: data, ts: ts})
 	home := s.procs[blk.home]
 	ot := msg{kind: msgOwnerTransfer, block: blk.id, from: p.ID, ts: ts}
 	if home == p {
-		t.handleOwnerTransfer(p, ot)
+		t.handleOwnerTransfer(p, &ot)
 	} else {
-		s.deliver(p, home, ot, CatMessage)
+		s.deliver(p, home, &ot, CatMessage)
 	}
 }
 
 // handleShareWB installs written-back data at the home; the home is
 // master again.
-func (t *tardis) handleShareWB(p *Proc, m msg) {
+func (t *tardis) handleShareWB(p *Proc, m *msg) {
 	s := t.s
 	blk := s.blocks[m.block]
 	e := &t.entries[blk.id]
 	homeMem := s.agents[t.homeAgent(blk)]
 	base := blk.firstLine * s.wordsPerLine
 	copy(homeMem.data[base:base+len(m.data)], m.data)
+	s.recycleMsgData(p, m)
 	if homeMem.table[blk.firstLine] == Invalid {
 		s.setAgentState(homeMem, blk, Shared)
 	}
@@ -522,7 +524,7 @@ func (t *tardis) handleShareWB(p *Proc, m msg) {
 }
 
 // handleOwnerTransfer completes a 3-hop exclusive transfer at the home.
-func (t *tardis) handleOwnerTransfer(p *Proc, m msg) {
+func (t *tardis) handleOwnerTransfer(p *Proc, m *msg) {
 	blk := t.s.blocks[m.block]
 	e := &t.entries[blk.id]
 	// Adopt the stamped grant from the yield (the yielding owner may have
@@ -544,14 +546,18 @@ func (t *tardis) drainQueue(p *Proc, blk *blockInfo) {
 	e := &t.entries[blk.id]
 	for len(e.queue) > 0 && !e.busy {
 		m := e.queue[0]
-		e.queue = e.queue[1:]
-		t.handleHome(p, m)
+		// Pop by shifting down so the slice's base (and capacity) is kept
+		// for reuse; queues are bounded by the process count, so the copy
+		// is cheap.
+		n := copy(e.queue, e.queue[1:])
+		e.queue = e.queue[:n]
+		t.handleHome(p, &m)
 	}
 }
 
 // handleReply completes an outstanding miss at the requester and does
 // the lease bookkeeping for the installed copy.
-func (t *tardis) handleReply(p *Proc, m msg) {
+func (t *tardis) handleReply(p *Proc, m *msg) {
 	mshr := p.mshr[m.block]
 	if mshr == nil {
 		panic(fmt.Sprintf("core: %s got %s for block %d with no MSHR", p, m.kind, m.block))
@@ -570,6 +576,7 @@ func (t *tardis) handleReply(p *Proc, m msg) {
 		blk := s.blocks[m.block]
 		base := blk.firstLine * s.wordsPerLine
 		copy(p.mem.data[base:base+len(m.data)], m.data)
+		s.recycleMsgData(p, m)
 	}
 	as := t.astate(p.mem)
 	switch {
@@ -702,8 +709,16 @@ func (t *tardis) observeTs(p *Proc, ts int64) {
 	ps := t.pstate(p)
 	if ts > ps.pts {
 		ps.pts = ts
-		t.expire(p)
 	}
+	// Sweep even when ts did not advance pts: the acquiring process may
+	// already sit exactly at the release timestamp (it contributed the
+	// barrier's max, or raced the releaser to the same pts) while its
+	// agent still holds a lease that ended just below it — installed
+	// after the last sweep, e.g. the demoted-owner self-lease a FwdRead
+	// records. Reads ordered after an acquire must never hit such a
+	// copy, so lease expiry is unconditional here; plain unsynchronized
+	// reads keep their bounded-staleness semantics (pollTick).
+	t.expire(p)
 }
 
 // checkLight: at most one exclusive copy per line. Exclusive alongside

@@ -189,6 +189,11 @@ func (a Ord) less(b Ord) bool {
 // reached their arrival time, which models the pollable flag word.
 type Queue[T any] struct {
 	entries []entry[T]
+	// head indexes the front entry; Pop advances it instead of re-slicing
+	// so the backing array is reused across put/pop cycles instead of
+	// crawling forward and forcing append to reallocate. Vacated slots are
+	// zeroed so popped payloads are not pinned by the array.
+	head int
 	// seq orders plain Put entries FIFO among equal arrival times.
 	seq int64
 	// onPut, if set, is invoked with each message's arrival time; the
@@ -228,6 +233,16 @@ func (q *Queue[T]) PutOrd(msg T, arrive sim.Time, ord Ord) {
 }
 
 func (q *Queue[T]) insert(e entry[T]) {
+	if q.head > 0 {
+		// Slide the live entries back to the start so append below reuses
+		// the popped slots rather than growing the array.
+		n := copy(q.entries, q.entries[q.head:])
+		for i := n; i < len(q.entries); i++ {
+			q.entries[i] = entry[T]{}
+		}
+		q.entries = q.entries[:n]
+		q.head = 0
+	}
 	// Insert keeping (arrive, ord) order; queues are short in practice.
 	i := len(q.entries)
 	for i > 0 && (q.entries[i-1].arrive > e.arrive ||
@@ -244,16 +259,16 @@ func (q *Queue[T]) insert(e entry[T]) {
 
 // Ready reports whether a message is visible at time now (the poll flag).
 func (q *Queue[T]) Ready(now sim.Time) bool {
-	return len(q.entries) > 0 && q.entries[0].arrive <= now
+	return q.head < len(q.entries) && q.entries[q.head].arrive <= now
 }
 
 // NextArrival returns the earliest arrival time of any queued message and
 // whether the queue is non-empty.
 func (q *Queue[T]) NextArrival() (sim.Time, bool) {
-	if len(q.entries) == 0 {
+	if q.head >= len(q.entries) {
 		return 0, false
 	}
-	return q.entries[0].arrive, true
+	return q.entries[q.head].arrive, true
 }
 
 // Pop removes and returns the oldest visible message at time now.
@@ -262,19 +277,24 @@ func (q *Queue[T]) Pop(now sim.Time) (T, bool) {
 	if !q.Ready(now) {
 		return zero, false
 	}
-	msg := q.entries[0].msg
-	q.entries = q.entries[1:]
+	msg := q.entries[q.head].msg
+	q.entries[q.head] = entry[T]{}
+	q.head++
+	if q.head == len(q.entries) {
+		q.entries = q.entries[:0]
+		q.head = 0
+	}
 	return msg, true
 }
 
 // Len returns the number of queued messages regardless of visibility.
-func (q *Queue[T]) Len() int { return len(q.entries) }
+func (q *Queue[T]) Len() int { return len(q.entries) - q.head }
 
 // Each calls fn for every queued message in (arrive, seq) order, visible
 // or not, without removing anything. Invariant checkers use it to scan
 // in-flight traffic.
 func (q *Queue[T]) Each(fn func(msg T, arrive sim.Time)) {
-	for i := range q.entries {
+	for i := q.head; i < len(q.entries); i++ {
 		fn(q.entries[i].msg, q.entries[i].arrive)
 	}
 }

@@ -96,10 +96,10 @@ type Stats struct {
 	// never enters the protocol, letting check facts survive it.
 	SummaryHits int
 	Polls       int
-	MBCalls          int
-	Prefetches       int
-	OrigWords        int
-	NewWords         int
+	MBCalls     int
+	Prefetches  int
+	OrigWords   int
+	NewWords    int
 	// AnalysisFallback is set if a dataflow analysis failed to converge
 	// and the rewriter fell back to conservative instrumentation.
 	AnalysisFallback bool

@@ -607,6 +607,8 @@ func preemptSleeper(c *CPU) {
 // that can run earliest; ties go to the lowest priority value, then FIFO
 // order. Ordering by readiness (not priority alone) keeps a sleeping
 // process's future wake tick from starving an immediately-ready one.
+//
+//hot:path
 func (sh *shard) dispatch(c *CPU) {
 	if c.current != nil {
 		return

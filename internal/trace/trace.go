@@ -104,11 +104,24 @@ func NewBuffer() *Tracer {
 }
 
 // TakeBuffered returns the events emitted since the previous call and
-// resets the buffer. Only meaningful on a NewBuffer tracer.
+// resets the buffer. Only meaningful on a NewBuffer tracer. Callers that
+// drain every window should prefer DrainBuffered, which keeps the buffer's
+// capacity instead of surrendering it.
 func (t *Tracer) TakeBuffered() []Event {
 	b := t.buffered
 	t.buffered = nil
 	return b
+}
+
+// DrainBuffered calls fn for each buffered event in emission order and
+// empties the buffer while keeping its capacity, so a tracer drained once
+// per window stops allocating after the first few windows. Only meaningful
+// on a NewBuffer tracer.
+func (t *Tracer) DrainBuffered(fn func(Event)) {
+	for i := range t.buffered {
+		fn(t.buffered[i])
+	}
+	t.buffered = t.buffered[:0]
 }
 
 // Emit records one event.

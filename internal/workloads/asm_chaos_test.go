@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memchannel"
+	"repro/internal/rewriter"
+)
+
+// TestAsmChaosRecycleAudit drives rewritten kernels through the
+// interpreter with the instrumentation sanitizer on, over a faulty wire
+// (drop + dup + delay), with the buffer-pool recycle audit armed at
+// every putBuf (see core.AuditRecycle). The faulty sanitized run must
+// finish with zero audit violations, a nonzero recycle count, and the
+// fault-free run's exact memory — on both coherence protocols.
+func TestAsmChaosRecycleAudit(t *testing.T) {
+	faults := memchannel.FaultConfig{Seed: 17, DropProb: 0.03, DupProb: 0.1, DelayProb: 0.25, MaxExtraDelay: 8000}
+	kernels := AsmKernels()
+	for _, name := range []string{"barnes", "water-nsq"} {
+		var k AsmKernel
+		for _, cand := range kernels {
+			if cand.Name == name {
+				k = cand
+			}
+		}
+		for _, protocol := range core.ProtocolNames() {
+			t.Run(k.Name+"/"+protocol, func(t *testing.T) {
+				base, err := RunAsm(k, rewriter.DefaultOptions(), true, core.WithProtocol(protocol))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var recycles atomic.Int64
+				var mu sync.Mutex
+				var auditErr error
+				core.SetDebugBufRecycle(func(s *core.System, p *core.Proc, b []uint64) {
+					recycles.Add(1)
+					if err := core.AuditRecycle(s, p, b); err != nil {
+						mu.Lock()
+						if auditErr == nil {
+							auditErr = err
+						}
+						mu.Unlock()
+					}
+				})
+				defer core.SetDebugBufRecycle(nil)
+				cfg := AsmConfig()
+				cfg.Protocol = protocol
+				cfg.Faults = faults
+				cfg.ReliableDelivery = true
+				faulty, err := RunAsm(k, rewriter.DefaultOptions(), true, core.WithConfig(cfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if auditErr != nil {
+					t.Fatal(auditErr)
+				}
+				if recycles.Load() == 0 {
+					t.Fatal("no buffer recycles observed; audit is vacuous")
+				}
+				if len(base.Memory) != len(faulty.Memory) {
+					t.Fatalf("snapshot sizes differ: %d vs %d", len(base.Memory), len(faulty.Memory))
+				}
+				for i := range base.Memory {
+					if base.Memory[i] != faulty.Memory[i] {
+						t.Fatalf("word %d: fault-free %d, faulty sanitized %d", i, base.Memory[i], faulty.Memory[i])
+					}
+				}
+			})
+		}
+	}
+}
