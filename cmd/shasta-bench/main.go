@@ -7,17 +7,20 @@
 //	shasta-bench -list
 //	shasta-bench -run table1,table2
 //	shasta-bench -run all
+//	shasta-bench -run loadgen -tenants 8 -lb least   # multi-tenant load table
 //	shasta-bench -json BENCH_PR5.json          # engine benchmark suite
 //	shasta-bench -json out.json -bench-quick   # CI smoke variant
 //	shasta-bench -shootout BENCH_PR6.json      # protocol shootout (dirinval vs tardis)
 //	shasta-bench -checks BENCH_PR8.json        # static-overhead shootout (noopt/elim/hoist)
 //	shasta-bench -allocs BENCH_PR9.json        # allocation trajectory (pooled vs unpooled)
+//	shasta-bench -loadgen BENCH_PR10.json      # tenant-count sweep to the saturation knee
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -54,20 +57,73 @@ var registry = []struct {
 	{"abl-checkelim", "ablation: CFG-based load-check elimination", experiments.AblationCheckElim},
 	{"abl-checkhoist", "ablation: loop-aware check hoisting", experiments.AblationCheckHoist},
 	{"chaos", "chaos harness: workloads under injected network faults", experiments.ChaosTable},
+	{"loadgen", "multi-tenant open-loop load: latency percentiles and SLO attainment", experiments.LoadgenTable},
+}
+
+func registryNames() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.name
+	}
+	return names
+}
+
+// writeReport marshals a suite report to path.
+func writeReport(report any, path string) error {
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func main() {
-	list := flag.Bool("list", false, "list available experiments")
-	run := flag.String("run", "", "comma-separated experiment names, or 'all'")
-	traceOut := flag.String("trace", "", "write a structured event trace (JSONL) of every run to this file")
-	watchdog := flag.Int64("watchdog-cycles", 0, "stall watchdog budget in cycles (0 = default, negative = off)")
-	simFlags := cliflags.RegisterSim(flag.CommandLine)
-	jsonOut := flag.String("json", "", "run the engine benchmark suite and write the JSON report to this file")
-	benchQuick := flag.Bool("bench-quick", false, "with -json/-shootout: run the cut-down CI smoke suite")
-	shootout := flag.String("shootout", "", "run the cross-protocol shootout and write the JSON report to this file")
-	checks := flag.String("checks", "", "run the static-overhead shootout and write the JSON report to this file")
-	allocs := flag.String("allocs", "", "run the allocation-trajectory suite and write the JSON report to this file")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process surface (args, output streams, exit code)
+// made explicit so CLI behavior is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shasta-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list available experiments")
+	runNames := fs.String("run", "", "comma-separated experiment names, or 'all'")
+	traceOut := fs.String("trace", "", "write a structured event trace (JSONL) of every run to this file")
+	watchdog := fs.Int64("watchdog-cycles", 0, "stall watchdog budget in cycles (0 = default, negative = off)")
+	simFlags := cliflags.RegisterSim(fs)
+	loadFlags := cliflags.RegisterLoad(fs)
+	jsonOut := fs.String("json", "", "run the engine benchmark suite and write the JSON report to this file")
+	benchQuick := fs.Bool("bench-quick", false, "with -json/-shootout/-loadgen: run the cut-down CI smoke suite")
+	shootout := fs.String("shootout", "", "run the cross-protocol shootout and write the JSON report to this file")
+	checks := fs.String("checks", "", "run the static-overhead shootout and write the JSON report to this file")
+	allocs := fs.String("allocs", "", "run the allocation-trajectory suite and write the JSON report to this file")
+	loadgen := fs.String("loadgen", "", "run the multi-tenant load sweep and write the JSON report to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *loadgen != "" {
+		cases := bench.DefaultLoadgenCases()
+		if *benchQuick {
+			cases = bench.QuickLoadgenCases()
+		}
+		report, err := bench.RunLoadgenSuite(cases, core.ProtocolNames())
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := writeReport(report, *loadgen); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		for _, sw := range report.Sweeps {
+			last := sw.Points[len(sw.Points)-1]
+			fmt.Fprintf(stdout, "%-10s knee=%d tenants protocol_bound=%v prot_growth=%.2fx db_growth=%.2fx (max point: %d tenants p99=%d)\n",
+				sw.Protocol, sw.KneeTenants, sw.ProtocolBound, sw.ProtGrowth, sw.DBGrowth, last.Tenants, last.P99)
+		}
+		fmt.Fprintf(stdout, "loadgen sweep (engines_agree=%v) → %s\n", report.EnginesAgree, *loadgen)
+		return 0
+	}
 
 	if *allocs != "" {
 		cases := bench.DefaultAllocCases()
@@ -76,54 +132,44 @@ func main() {
 		}
 		report, err := bench.RunAllocSuite(cases, core.ProtocolNames())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		buf, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*allocs, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := writeReport(report, *allocs); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		for _, c := range report.Cases {
-			fmt.Printf("%-12s mem_equal=%v sim_invariant=%v", c.Name, c.MemEqual, c.SimTimeInvariant)
+			fmt.Fprintf(stdout, "%-12s mem_equal=%v sim_invariant=%v", c.Name, c.MemEqual, c.SimTimeInvariant)
 			for _, p := range report.Protocols {
-				fmt.Printf(" reduction[%s]=%.1f%%", p, c.ReductionPct[p])
+				fmt.Fprintf(stdout, " reduction[%s]=%.1f%%", p, c.ReductionPct[p])
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		fmt.Printf("alloc trajectory: min reduction %.1f%% mem_equal=%v sim_invariant=%v → %s\n",
+		fmt.Fprintf(stdout, "alloc trajectory: min reduction %.1f%% mem_equal=%v sim_invariant=%v → %s\n",
 			report.MinReductionPct, report.AllMemEqual, report.AllSimTimeInvariant, *allocs)
-		return
+		return 0
 	}
 
 	if *checks != "" {
 		report, err := bench.RunCheckSuite(core.ProtocolNames())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		buf, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*checks, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := writeReport(report, *checks); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		for _, c := range report.Cases {
 			top := c.Runs[len(c.Runs)-1]
-			fmt.Printf("%-12s mem_equal=%v elim_cut=%.1f%% hoist_cut=%.1f%% loop_batches=%d hoisted=%d widened=%d\n",
+			fmt.Fprintf(stdout, "%-12s mem_equal=%v elim_cut=%.1f%% hoist_cut=%.1f%% loop_batches=%d hoisted=%d widened=%d\n",
 				c.Kernel, c.MemEqual, c.ElimReductionPct, c.HoistReductionPct,
 				top.LoopBatches, top.HoistedChecks, top.WidenedBatches)
 		}
-		fmt.Printf("check-overhead shootout (%s ladder; protocols %s) → %s\n",
+		fmt.Fprintf(stdout, "check-overhead shootout (%s ladder; protocols %s) → %s\n",
 			strings.Join(report.Configs, "/"), strings.Join(report.Protocols, ","), *checks)
-		return
+		return 0
 	}
 
 	if *shootout != "" {
@@ -133,27 +179,22 @@ func main() {
 		}
 		report, err := bench.RunProtocolSuite(cases, core.ProtocolNames())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		buf, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*shootout, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := writeReport(report, *shootout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		for _, c := range report.Cases {
-			fmt.Printf("%-12s %-14s mem_equal=%v", c.Name, c.Profile, c.MemEqual)
+			fmt.Fprintf(stdout, "%-12s %-14s mem_equal=%v", c.Name, c.Profile, c.MemEqual)
 			for _, p := range report.Protocols[1:] {
-				fmt.Printf(" sim_speedup[%s]=%.3fx", p, c.SimSpeedup[p])
+				fmt.Fprintf(stdout, " sim_speedup[%s]=%.3fx", p, c.SimSpeedup[p])
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		fmt.Printf("protocol shootout (%s baseline) → %s\n", report.Baseline, *shootout)
-		return
+		fmt.Fprintf(stdout, "protocol shootout (%s baseline) → %s\n", report.Baseline, *shootout)
+		return 0
 	}
 
 	if *jsonOut != "" {
@@ -163,17 +204,12 @@ func main() {
 		}
 		report, err := bench.RunSuite(cases, bench.DefaultWorkers)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		buf, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := writeReport(report, *jsonOut); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		for _, c := range report.Cases {
 			best := 1.0
@@ -182,17 +218,17 @@ func main() {
 					best = r.Speedup
 				}
 			}
-			fmt.Printf("%-16s sim=%d cycles invariant=%v best speedup %.2fx\n",
+			fmt.Fprintf(stdout, "%-16s sim=%d cycles invariant=%v best speedup %.2fx\n",
 				c.Name, c.SimElapsedCycles, c.SimTimeInvariant && c.StatsInvariant, best)
 		}
-		fmt.Printf("best speedup at 4 workers: %.2fx → %s\n", report.BestSpeedup4, *jsonOut)
-		return
+		fmt.Fprintf(stdout, "best speedup at 4 workers: %.2fx → %s\n", report.BestSpeedup4, *jsonOut)
+		return 0
 	}
 
 	opts, err := simFlags.Options()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	if *watchdog != 0 {
 		opts = append(opts, core.WithWatchdog(sim.Time(*watchdog)))
@@ -200,34 +236,51 @@ func main() {
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		defer f.Close()
 		opts = append(opts, core.WithTrace(trace.New(trace.DefaultRingSize, f)))
 	}
 	experiments.SetBuildOptions(opts...)
-
-	if *list || *run == "" {
-		fmt.Println("experiments:")
-		for _, e := range registry {
-			fmt.Printf("  %-14s %s\n", e.name, e.desc)
+	if loadFlags.Tenants > 0 {
+		if _, err := loadFlags.Config(1, 1234, 10); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		return
+		experiments.SetLoadgenParams(experiments.LoadgenParams{
+			Tenants: loadFlags.Tenants, Arrival: loadFlags.Arrival,
+			LB: loadFlags.LB, Admission: loadFlags.Admission,
+			SLO: sim.Time(loadFlags.SLO),
+		})
+	}
+
+	if *list || *runNames == "" {
+		fmt.Fprintln(stdout, "experiments:")
+		for _, e := range registry {
+			fmt.Fprintf(stdout, "  %-14s %s\n", e.name, e.desc)
+		}
+		return 0
 	}
 	want := map[string]bool{}
-	for _, n := range strings.Split(*run, ",") {
+	for _, n := range strings.Split(*runNames, ",") {
 		want[strings.TrimSpace(n)] = true
 	}
-	matched := 0
+	known := map[string]bool{"all": true}
 	for _, e := range registry {
-		if want["all"] || want[e.name] {
-			matched++
-			e.fn().Render(os.Stdout)
+		known[e.name] = true
+	}
+	for n := range want {
+		if !known[n] {
+			fmt.Fprintf(stderr, "unknown experiment %q; valid names: all, %s\n",
+				n, strings.Join(registryNames(), ", "))
+			return 1
 		}
 	}
-	if matched == 0 {
-		fmt.Fprintf(os.Stderr, "no experiments matched %q (try -list)\n", *run)
-		os.Exit(1)
+	for _, e := range registry {
+		if want["all"] || want[e.name] {
+			e.fn().Render(stdout)
+		}
 	}
+	return 0
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestUnknownRunNameListsSuites is the UX contract: a typo'd -run name
+// fails with the full list of valid suite names, not a bare error.
+func TestUnknownRunNameListsSuites(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-run", "tabel1"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	msg := errOut.String()
+	if !strings.Contains(msg, `unknown experiment "tabel1"`) {
+		t.Errorf("error does not name the bad suite: %q", msg)
+	}
+	for _, name := range []string{"all", "table1", "loadgen", "chaos"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not list valid name %q: %q", name, msg)
+		}
+	}
+}
+
+// TestUnknownRunNameAmongValid rejects a list with one bad entry even when
+// the others are valid, before running anything.
+func TestUnknownRunNameAmongValid(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-run", "table1,nope"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), `unknown experiment "nope"`) {
+		t.Errorf("error does not name the bad suite: %q", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("experiments ran before validation: %q", out.String())
+	}
+}
+
+// TestListIncludesLoadgen pins the new suite's registry entry.
+func TestListIncludesLoadgen(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "loadgen") {
+		t.Errorf("-list output missing loadgen: %q", out.String())
+	}
+}
+
+// TestBadLoadFlagRejected pins the shared -arrival validation path.
+func TestBadLoadFlagRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-tenants", "4", "-arrival", "constant", "-run", "loadgen"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "unknown arrival process") {
+		t.Errorf("error does not mention the arrival flag: %q", errOut.String())
+	}
+}

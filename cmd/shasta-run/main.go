@@ -1,9 +1,11 @@
 // shasta-run executes one SPLASH-2-style workload on the simulated Shasta
-// cluster and prints its statistics.
+// cluster and prints its statistics. With -tenants it instead drives the
+// multi-tenant open-loop load generator against the database environment.
 //
 // Usage:
 //
 //	shasta-run -app Barnes -procs 8 -sync sm -scale 2
+//	shasta-run -tenants 8 -arrival poisson -lb least -admission shed -protocol tardis
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 
 	"repro/internal/cliflags"
 	"repro/internal/core"
+	"repro/internal/load"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -28,6 +31,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a structured event trace (JSONL) to this file")
 	watchdog := flag.Int64("watchdog-cycles", 0, "stall watchdog budget in cycles (0 = default, negative = off)")
 	simFlags := cliflags.RegisterSim(flag.CommandLine)
+	loadFlags := cliflags.RegisterLoad(flag.CommandLine)
+	horizon := flag.Int64("horizon", 2_000_000, "with -tenants: arrival-generation window in simulated cycles")
 	listApps := flag.Bool("listapps", false, "list workloads")
 	flag.Parse()
 
@@ -35,6 +40,10 @@ func main() {
 		for _, a := range workloads.All() {
 			fmt.Println(a.Name)
 		}
+		return
+	}
+	if loadFlags.Tenants > 0 {
+		runLoadgen(simFlags, loadFlags, sim.Time(*horizon), *traceOut, *watchdog)
 		return
 	}
 	app, ok := workloads.Get(*appName)
@@ -108,5 +117,56 @@ func main() {
 			continue
 		}
 		fmt.Printf("    %-8s %6.1f%%\n", c, float64(st.Time[c])/float64(total)*100)
+	}
+}
+
+// runLoadgen drives the multi-tenant open-loop load generator and prints
+// its run and per-tenant metrics.
+func runLoadgen(simFlags *cliflags.Sim, loadFlags *cliflags.Load, horizon sim.Time, traceOut string, watchdog int64) {
+	lcfg, err := loadFlags.Config(horizon, 1234, 10)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	lcfg.RowCompute = 500
+	for i := range lcfg.Tenants {
+		lcfg.Tenants[i].DSSFraction = 0.25
+		lcfg.Tenants[i].DSSPages = 16
+	}
+	opts := []core.Option{
+		core.WithMaxTime(sim.Cycles(900e6)),
+		core.WithWatchdog(sim.Time(watchdog)),
+		core.WithConfigure(func(cfg *core.Config) { cfg.SharedBytes = 4 << 20 }),
+	}
+	simOpts, err := simFlags.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts = append(opts, simOpts...)
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts = append(opts, core.WithTrace(trace.New(trace.DefaultRingSize, f)))
+	}
+	sys := core.Build(opts...)
+	res, err := load.Run(sys, lcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := res.Metrics
+	fmt.Printf("loadgen: tenants=%d arrival=%s lb=%s admission=%s protocol=%s workers=%d\n",
+		loadFlags.Tenants, loadFlags.Arrival, loadFlags.LB, loadFlags.Admission, sys.Cfg.Protocol, res.Workers)
+	fmt.Printf("  offered/admitted/shed %10d / %d / %d\n", m.Offered, m.Admitted, m.Shed)
+	fmt.Printf("  latency p50/p95/p99   %10d / %d / %d cycles\n", m.P50, m.P95, m.P99)
+	fmt.Printf("  mean service split    %10d db, %d protocol, %d sync cycles\n", m.MeanDB, m.MeanProt, m.MeanSync)
+	for _, tm := range m.Tenants {
+		fmt.Printf("  %-6s offered=%-5d shed=%-4d p99=%-9d slo=%d attained=%.2f\n",
+			tm.Name, tm.Offered, tm.Shed, tm.P99, tm.SLOCycles, tm.SLOAttained)
 	}
 }

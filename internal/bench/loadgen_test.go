@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestQuickLoadgenSuite smokes the CI-tier sweep on every protocol: the
+// envelope is fully populated, the points are ordered as requested, and
+// the cross-engine determinism spot check holds.
+func TestQuickLoadgenSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadgen suite runs full simulations")
+	}
+	cases := QuickLoadgenCases()
+	report, err := RunLoadgenSuite(cases, core.ProtocolNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.EnginesAgree {
+		t.Error("sequential and parallel engines disagree on the first sweep point")
+	}
+	if len(report.Sweeps) != len(core.ProtocolNames()) {
+		t.Fatalf("got %d sweeps, want one per protocol (%d)", len(report.Sweeps), len(core.ProtocolNames()))
+	}
+	for _, sw := range report.Sweeps {
+		if len(sw.Points) != len(cases.TenantCounts) {
+			t.Fatalf("%s: got %d points, want %d", sw.Protocol, len(sw.Points), len(cases.TenantCounts))
+		}
+		for i, pt := range sw.Points {
+			if pt.Tenants != cases.TenantCounts[i] {
+				t.Errorf("%s point %d: tenants = %d, want %d", sw.Protocol, i, pt.Tenants, cases.TenantCounts[i])
+			}
+			if pt.Offered <= 0 || pt.Admitted <= 0 {
+				t.Errorf("%s @%d tenants: no traffic (offered=%d admitted=%d)", sw.Protocol, pt.Tenants, pt.Offered, pt.Admitted)
+			}
+			if pt.P50 <= 0 || pt.P95 < pt.P50 || pt.P99 < pt.P95 {
+				t.Errorf("%s @%d tenants: percentiles not ordered: p50=%d p95=%d p99=%d",
+					sw.Protocol, pt.Tenants, pt.P50, pt.P95, pt.P99)
+			}
+			if pt.SLOAttainMean <= 0 || pt.SLOAttainMean > 1 {
+				t.Errorf("%s @%d tenants: SLO attainment out of range: %g", sw.Protocol, pt.Tenants, pt.SLOAttainMean)
+			}
+			if len(pt.PerTenant) != pt.Tenants {
+				t.Errorf("%s @%d tenants: %d per-tenant records", sw.Protocol, pt.Tenants, len(pt.PerTenant))
+			}
+			if pt.OLTPDB <= 0 || pt.OLTPProt <= 0 {
+				t.Errorf("%s @%d tenants: per-kind OLTP means empty (db=%d prot=%d)",
+					sw.Protocol, pt.Tenants, pt.OLTPDB, pt.OLTPProt)
+			}
+		}
+	}
+}

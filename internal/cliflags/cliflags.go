@@ -13,7 +13,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/load"
 	"repro/internal/memchannel"
+	"repro/internal/sim"
 )
 
 // Sim holds the shared simulation flag values.
@@ -85,6 +87,82 @@ func ValidateProtocol(p string) error {
 		}
 	}
 	return fmt.Errorf("unknown protocol %q (have %v)", p, core.ProtocolNames())
+}
+
+// Load holds the shared multi-tenant load-generator flag values.
+type Load struct {
+	Tenants   int
+	Arrival   string
+	LB        string
+	Admission string
+	SLO       int64
+}
+
+// RegisterLoad registers the shared load-generator flag set on fs:
+// -tenants, -arrival, -lb, -admission, and -slo. Tools treat -tenants 0
+// as "loadgen mode off".
+func RegisterLoad(fs *flag.FlagSet) *Load {
+	l := &Load{}
+	fs.IntVar(&l.Tenants, "tenants", 0,
+		"multi-tenant load: tenant count (0 = loadgen mode off)")
+	fs.StringVar(&l.Arrival, "arrival", "mixed",
+		"arrival process for every tenant: mixed (round-robin poisson/bursty/diurnal), poisson, bursty, or diurnal")
+	fs.StringVar(&l.LB, "lb", "locality",
+		"load-balancer placement policy: rr, least, or locality")
+	fs.StringVar(&l.Admission, "admission", "none",
+		"admission control under overload: none, queue, or shed")
+	fs.Int64Var(&l.SLO, "slo", 0,
+		"per-tenant latency SLO in simulated cycles (0 = the population default)")
+	return l
+}
+
+// TenantSet resolves the flags into a tenant population: DefaultTenants
+// seeded with seed at ratePerMCycle, with the -arrival and -slo overrides
+// applied uniformly.
+func (l *Load) TenantSet(seed int64, ratePerMCycle float64) ([]load.TenantConfig, error) {
+	if l.Tenants <= 0 {
+		return nil, fmt.Errorf("cliflags: -tenants must be positive, got %d", l.Tenants)
+	}
+	ts := load.DefaultTenants(l.Tenants, seed, ratePerMCycle)
+	switch l.Arrival {
+	case "mixed": // keep DefaultTenants' round-robin models
+	case "poisson", "bursty", "diurnal":
+		for i := range ts {
+			ts[i].Arrival = l.Arrival
+		}
+	default:
+		return nil, fmt.Errorf("cliflags: unknown arrival process %q (want mixed, poisson, bursty, or diurnal)", l.Arrival)
+	}
+	if l.SLO != 0 {
+		for i := range ts {
+			ts[i].SLOCycles = sim.Time(l.SLO)
+		}
+	}
+	return ts, nil
+}
+
+// Config assembles the flags into a load.Config over the given arrival
+// horizon, validating the policy and admission names through the same
+// registries load.Run uses.
+func (l *Load) Config(horizon sim.Time, seed int64, ratePerMCycle float64) (load.Config, error) {
+	ts, err := l.TenantSet(seed, ratePerMCycle)
+	if err != nil {
+		return load.Config{}, err
+	}
+	if _, err := load.NewPolicy(l.LB); err != nil {
+		return load.Config{}, err
+	}
+	switch l.Admission {
+	case "none", "queue", "shed":
+	default:
+		return load.Config{}, fmt.Errorf("cliflags: unknown admission mode %q (want none, queue, or shed)", l.Admission)
+	}
+	return load.Config{
+		Tenants:   ts,
+		Horizon:   horizon,
+		Policy:    l.LB,
+		Admission: l.Admission,
+	}, nil
 }
 
 // Options resolves the flag values into core build options: engine

@@ -114,6 +114,13 @@ func (p *Proc) Rand() *rand.Rand { return p.rng }
 // Now returns the process's local simulated time.
 func (p *Proc) Now() sim.Time { return p.Sim.Now() }
 
+// Tracer returns the tracer that events attributed to this process must be
+// emitted on: the node's private buffer during a parallel run (so workload
+// layers never touch the shared main tracer from inside a window), the main
+// tracer otherwise. Nil when tracing is disabled — callers guard Emit with
+// a nil check, as everywhere else.
+func (p *Proc) Tracer() *trace.Tracer { return p.sys.tr(p) }
+
 // charge advances simulated time and attributes it to a category. While a
 // stall is in progress (override set), all time funnels into the stall's
 // category, matching the paper's breakdowns.

@@ -455,12 +455,18 @@ func (t *tardis) handleFwdRead(p *Proc, m *msg) {
 	t.astate(p.mem).leases[blk.id] = tardisLease{dataWts: wts, leaseEnd: rts}
 	// The reply and the writeback each get their own buffer: both are
 	// recycled independently at their consumers, so they must not alias.
+	// Both snapshots are taken before either message is sent: a send
+	// yields to the engine, and a co-resident process's lease expiry may
+	// flag-invalidate the just-demoted copy in that window — a later
+	// snapshot would ship the flag pattern to the home as the master copy.
+	data := s.blockData(p.mem, blk)
+	wbData := s.blockData(p.mem, blk)
 	reqProc := s.procs[m.reqProc]
 	p.reply(reqProc, &msg{kind: msgReadReply, block: blk.id, from: p.ID,
-		data: s.blockData(p.mem, blk), ts: wts, rts: rts})
+		data: data, ts: wts, rts: rts})
 	home := s.procs[blk.home]
 	wb := msg{kind: msgShareWB, block: blk.id, from: p.ID, reqProc: m.reqProc,
-		data: s.blockData(p.mem, blk), ts: wts, rts: rts}
+		data: wbData, ts: wts, rts: rts}
 	if home == p {
 		t.handleShareWB(p, &wb)
 	} else {

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/load"
+	"repro/internal/sim"
+)
+
+// LoadgenParams parameterize the LoadgenTable experiment; shasta-bench
+// fills them from the shared -tenants/-arrival/-lb/-admission/-slo flags.
+type LoadgenParams struct {
+	Tenants   int
+	Arrival   string // "mixed" keeps DefaultTenants' round-robin models
+	LB        string
+	Admission string
+	SLO       sim.Time // 0 keeps the population default
+}
+
+// DefaultLoadgenParams is a light single point: big enough that queueing
+// is visible, small enough for interactive runs.
+func DefaultLoadgenParams() LoadgenParams {
+	return LoadgenParams{Tenants: 8, Arrival: "mixed", LB: "locality", Admission: "none"}
+}
+
+var loadgenParams = DefaultLoadgenParams()
+
+// SetLoadgenParams installs the parameters LoadgenTable runs with.
+func SetLoadgenParams(p LoadgenParams) { loadgenParams = p }
+
+// LoadgenTable runs the multi-tenant open-loop load once per coherence
+// backend and reports offered/admitted/shed counts, latency percentiles,
+// per-tenant SLO attainment, and the mean service-time split between
+// database compute and protocol stalls.
+func LoadgenTable() *Table {
+	p := loadgenParams
+	t := &Table{
+		Title: fmt.Sprintf("Multi-tenant open-loop load (%d tenants, arrival=%s, lb=%s, admission=%s)",
+			p.Tenants, p.Arrival, p.LB, p.Admission),
+		Columns: []string{"protocol", "tenant", "offered", "done", "shed",
+			"p50 (cyc)", "p95 (cyc)", "p99 (cyc)", "SLO", "db (cyc)", "prot (cyc)"},
+		Notes: []string{
+			"open loop: arrivals keep coming whether or not earlier txns finished",
+			"SLO = fraction of admitted txns completing within the tenant's objective",
+		},
+	}
+	for _, proto := range core.ProtocolNames() {
+		// The protocol option goes last so this table's own sweep wins over
+		// a -protocol value in the package-wide build options.
+		sys := core.Build(append(append([]core.Option{core.WithConfig(baseConfig())},
+			buildOpts...), core.WithProtocol(proto))...)
+		res, err := load.Run(sys, loadgenRunConfig(p))
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: %v", proto, err))
+			continue
+		}
+		m := res.Metrics
+		t.Rows = append(t.Rows, []string{proto, "all",
+			fmt.Sprint(m.Offered), fmt.Sprint(m.Admitted), fmt.Sprint(m.Shed),
+			fmt.Sprint(m.P50), fmt.Sprint(m.P95), fmt.Sprint(m.P99),
+			"", fmt.Sprint(m.MeanDB), fmt.Sprint(m.MeanProt)})
+		for _, tm := range m.Tenants {
+			t.Rows = append(t.Rows, []string{proto, tm.Name,
+				fmt.Sprint(tm.Offered), fmt.Sprint(tm.Admitted), fmt.Sprint(tm.Shed),
+				fmt.Sprint(tm.P50), fmt.Sprint(tm.P95), fmt.Sprint(tm.P99),
+				fmt.Sprintf("%.2f", tm.SLOAttained), "", ""})
+		}
+	}
+	return t
+}
+
+// loadgenRunConfig mirrors the bench suite's swept configuration at one
+// interactive-scale point.
+func loadgenRunConfig(p LoadgenParams) load.Config {
+	ts := load.DefaultTenants(p.Tenants, 1234, 10)
+	for i := range ts {
+		ts[i].DSSFraction = 0.25
+		ts[i].DSSPages = 16
+		if p.Arrival != "mixed" && p.Arrival != "" {
+			ts[i].Arrival = p.Arrival
+		}
+		if p.SLO != 0 {
+			ts[i].SLOCycles = p.SLO
+		}
+	}
+	return load.Config{
+		Tenants:    ts,
+		Horizon:    1_000_000,
+		Policy:     p.LB,
+		Admission:  p.Admission,
+		RowCompute: 500,
+	}
+}

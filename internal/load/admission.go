@@ -1,0 +1,144 @@
+package load
+
+import "fmt"
+
+// Decision is the admission controller's verdict on one arrival.
+type Decision int
+
+const (
+	// Admit: dispatch now.
+	Admit Decision = iota
+	// Queue: hold in the tenant's FIFO until capacity frees up.
+	Queue
+	// Shed: reject; the transaction is never executed.
+	Shed
+)
+
+// Controller implements admission control with weighted per-tenant
+// fairness. The capacity model is a global in-flight cap plus a per-tenant
+// share of it proportional to TenantConfig.Weight: under overload no tenant
+// can occupy more than its share, so one tenant's burst cannot starve the
+// others' SLOs. Arrivals over capacity are queued (mode "queue", bounded
+// FIFO per tenant) or dropped once the queue is full (mode "shed"); mode
+// "none" admits everything and lets queueing delay go wherever the
+// open-loop arrival rate pushes it.
+//
+// The controller is host-side dispatcher state — it is only ever touched by
+// the single simulated dispatcher process, fed by simulated-time completion
+// signals, so it adds no shared-memory traffic of its own.
+type Controller struct {
+	mode        string
+	maxInFlight int
+	queueLimit  int
+	caps        []int // per-tenant in-flight cap (weighted share)
+	inflight    []int // per-tenant admitted-but-incomplete
+	total       int   // sum of inflight
+	queues      [][]Txn
+	queued      int
+	drainAt     int // round-robin cursor over tenants for fair draining
+	shedCount   []int64
+}
+
+// NewController builds a controller for the given tenants. mode is "none",
+// "queue", or "shed"; maxInFlight is the global cap and queueLimit the
+// per-tenant queue bound (both ignored for "none").
+func NewController(mode string, tenants []TenantConfig, maxInFlight, queueLimit int) (*Controller, error) {
+	switch mode {
+	case "none", "queue", "shed":
+	default:
+		return nil, fmt.Errorf("load: unknown admission mode %q (want none, queue, or shed)", mode)
+	}
+	if mode != "none" && maxInFlight <= 0 {
+		return nil, fmt.Errorf("load: admission mode %q needs MaxInFlight > 0, got %d", mode, maxInFlight)
+	}
+	c := &Controller{
+		mode:        mode,
+		maxInFlight: maxInFlight,
+		queueLimit:  queueLimit,
+		caps:        make([]int, len(tenants)),
+		inflight:    make([]int, len(tenants)),
+		queues:      make([][]Txn, len(tenants)),
+		shedCount:   make([]int64, len(tenants)),
+	}
+	totalWeight := 0
+	for i := range tenants {
+		totalWeight += tenants[i].Weight
+	}
+	for i := range tenants {
+		cap := maxInFlight * tenants[i].Weight / totalWeight
+		if cap < 1 {
+			cap = 1
+		}
+		c.caps[i] = cap
+	}
+	return c, nil
+}
+
+// canAdmit reports whether tenant tn has both global and per-tenant
+// capacity right now.
+func (c *Controller) canAdmit(tn int) bool {
+	if c.mode == "none" {
+		return true
+	}
+	return c.total < c.maxInFlight && c.inflight[tn] < c.caps[tn]
+}
+
+// Arrive decides one arrival's fate. An Admit (here or later via
+// PopQueued) must be balanced by a Complete when the transaction finishes.
+func (c *Controller) Arrive(t Txn) Decision {
+	if c.mode == "none" {
+		c.admit(t.Tenant)
+		return Admit
+	}
+	// FIFO per tenant: an arrival may only jump straight to Admit when no
+	// earlier arrival of the same tenant is still queued.
+	if len(c.queues[t.Tenant]) == 0 && c.canAdmit(t.Tenant) {
+		c.admit(t.Tenant)
+		return Admit
+	}
+	if c.mode == "shed" && len(c.queues[t.Tenant]) >= c.queueLimit {
+		c.shedCount[t.Tenant]++
+		return Shed
+	}
+	c.queues[t.Tenant] = append(c.queues[t.Tenant], t)
+	c.queued++
+	return Queue
+}
+
+func (c *Controller) admit(tn int) {
+	c.inflight[tn]++
+	c.total++
+}
+
+// Complete signals that one of tenant tn's admitted transactions finished.
+func (c *Controller) Complete(tn int) {
+	c.inflight[tn]--
+	c.total--
+}
+
+// HasQueued reports whether any tenant has transactions waiting.
+func (c *Controller) HasQueued() bool { return c.queued > 0 }
+
+// PopQueued dequeues the next admissible queued transaction, scanning
+// tenants round-robin from one past the last pop so tenants with equal
+// weights drain fairly. Returns false if no queued transaction is
+// admissible right now.
+func (c *Controller) PopQueued() (Txn, bool) {
+	n := len(c.queues)
+	for i := 0; i < n; i++ {
+		tn := (c.drainAt + i) % n
+		if len(c.queues[tn]) == 0 || !c.canAdmit(tn) {
+			continue
+		}
+		t := c.queues[tn][0]
+		c.queues[tn] = c.queues[tn][1:]
+		c.queued--
+		c.admit(tn)
+		c.drainAt = tn + 1
+		return t, true
+	}
+	return Txn{}, false
+}
+
+// ShedCount returns the number of arrivals shed for tenant tn.
+func (c *Controller) ShedCount(tn int) int64 { return c.shedCount[tn] }

@@ -1,0 +1,117 @@
+package load
+
+import "testing"
+
+// overloadRun drives roughly 2x the measured service capacity at the
+// workers and returns the result under the given admission mode.
+func overloadRun(t *testing.T, admission string) *Result {
+	t.Helper()
+	sys := newLoadSystem("dirinval", -1)
+	tenants := testTenants(150) // ~450 txns/Mcycle across 3 workers
+	res, err := Run(sys, Config{
+		Tenants:     tenants,
+		Horizon:     2_000_000,
+		Policy:      "least",
+		Admission:   admission,
+		MaxInFlight: 6,
+		QueueLimit:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestAdmissionProtectsSLO is the acceptance gate for admission control:
+// under a ~2x overload, the admitted transactions' p99 latency and SLO
+// attainment must be strictly better with shedding on than with admission
+// disabled.
+func TestAdmissionProtectsSLO(t *testing.T) {
+	off := overloadRun(t, "none")
+	on := overloadRun(t, "shed")
+
+	if off.Metrics.Shed != 0 {
+		t.Fatalf("admission none shed %d transactions", off.Metrics.Shed)
+	}
+	if on.Metrics.Shed == 0 {
+		t.Fatal("overload run shed nothing — not actually overloaded, test is vacuous")
+	}
+	// The overload must be real: without admission control, latency blows
+	// far past the SLO for the tail.
+	slo := testTenants(1)[0].SLOCycles
+	if off.Metrics.P99 <= slo {
+		t.Fatalf("admission-off p99 %d within SLO %d — not overloaded", off.Metrics.P99, slo)
+	}
+	if on.Metrics.P99 >= off.Metrics.P99 {
+		t.Fatalf("admitted p99 not improved: on=%d off=%d", on.Metrics.P99, off.Metrics.P99)
+	}
+	attain := func(r *Result) float64 {
+		var a float64
+		for _, tm := range r.Metrics.Tenants {
+			a += tm.SLOAttained
+		}
+		return a / float64(len(r.Metrics.Tenants))
+	}
+	aOn, aOff := attain(on), attain(off)
+	if aOn <= aOff {
+		t.Fatalf("SLO attainment not improved: on=%.3f off=%.3f", aOn, aOff)
+	}
+	t.Logf("p99: off=%d on=%d; attainment: off=%.3f on=%.3f; shed=%d/%d",
+		off.Metrics.P99, on.Metrics.P99, aOff, aOn, on.Metrics.Shed, on.Metrics.Offered)
+}
+
+// TestQueueModeDrains checks that mode "queue" eventually executes every
+// arrival (nothing shed, nothing lost) even under temporary overload.
+func TestQueueModeDrains(t *testing.T) {
+	sys := newLoadSystem("dirinval", -1)
+	res, err := Run(sys, Config{
+		Tenants:     testTenants(60),
+		Horizon:     1_000_000,
+		Policy:      "rr",
+		Admission:   "queue",
+		MaxInFlight: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Shed != 0 {
+		t.Fatalf("queue mode shed %d", res.Metrics.Shed)
+	}
+	if len(res.Records) != res.Arrivals {
+		t.Fatalf("queue mode lost transactions: %d of %d", len(res.Records), res.Arrivals)
+	}
+}
+
+// TestTenantFairnessUnderOverload: a flooding tenant must not destroy a
+// light tenant's SLO attainment when admission control is on.
+func TestTenantFairnessUnderOverload(t *testing.T) {
+	sys := newLoadSystem("dirinval", -1)
+	tenants := []TenantConfig{
+		{Name: "flood", Seed: 1, Arrival: "poisson", RatePerMCycle: 400,
+			SLOCycles: 300_000, Weight: 1},
+		{Name: "light", Seed: 2, Arrival: "poisson", RatePerMCycle: 10,
+			SLOCycles: 300_000, Weight: 1},
+	}
+	res, err := Run(sys, Config{
+		Tenants:     tenants,
+		Horizon:     2_000_000,
+		Policy:      "least",
+		Admission:   "shed",
+		MaxInFlight: 6,
+		QueueLimit:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flood, light := res.Metrics.Tenants[0], res.Metrics.Tenants[1]
+	if flood.Shed == 0 {
+		t.Fatal("flooding tenant shed nothing — not overloaded")
+	}
+	if light.SLOAttained < 0.9 {
+		t.Fatalf("light tenant attainment %.3f < 0.9 despite admission control", light.SLOAttained)
+	}
+	if light.SLOAttained <= flood.SLOOffered {
+		t.Fatalf("light tenant (%.3f) not protected relative to flooder's offered attainment (%.3f)",
+			light.SLOAttained, flood.SLOOffered)
+	}
+}

@@ -1,0 +1,140 @@
+package load
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Arrival processes. Each generator consumes the tenant's private PRNG in
+// one fixed pass (gap draw, then per-transaction draws), entirely on the
+// host before the simulation starts, so the schedule is a pure function of
+// (TenantConfig, horizon) — identical under both engines and under -race.
+//
+// The diurnal profile is a piecewise-linear triangle wave rather than a
+// sinusoid on purpose: integer breakpoints and linear interpolation keep
+// the golden-schedule test exact, with no dependence on libm rounding.
+
+const mCycle = 1_000_000 // cycles per "Mcycle" rate unit
+
+// burstyState holds the two-state MMPP parameters: a burst phase at 2.5x
+// the base rate and an idle phase at 0.5x, with mean dwells of 10 and 30
+// Mcycles — the time-average rate equals the configured base rate.
+var burstyPhases = []struct {
+	rateMult  float64
+	meanDwell float64 // cycles
+}{
+	{2.5, 10 * mCycle},
+	{0.5, 30 * mCycle},
+}
+
+// diurnalPeriod is the length of one simulated "day".
+const diurnalPeriod = 80 * mCycle
+
+// diurnalMult returns the rate multiplier at time t: a triangle wave from
+// 0.25x at the start of the day to 1.75x at midday and back, mean 1.0x.
+func diurnalMult(t sim.Time) float64 {
+	phase := float64(t%diurnalPeriod) / float64(diurnalPeriod) // [0,1)
+	if phase < 0.5 {
+		return 0.25 + 3.0*phase // 0.25 → 1.75 over the first half
+	}
+	return 1.75 - 3.0*(phase-0.5) // 1.75 → 0.25 over the second
+}
+
+// diurnalPeak is the maximum diurnal multiplier, used as the thinning
+// envelope rate.
+const diurnalPeak = 1.75
+
+// BuildTenantSchedule generates one tenant's full transaction stream up to
+// horizon. pages is the buffer-cache size the page draws index into.
+func BuildTenantSchedule(tenant int, cfg TenantConfig, pages int, horizon sim.Time) []Txn {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	meanGap := mCycle / cfg.RatePerMCycle // cycles between arrivals at 1x
+
+	var txns []Txn
+	var t sim.Time
+
+	// Bursty phase state: which phase we are in and when it ends. The
+	// phase sequence is drawn lazily as time advances.
+	phase := 0
+	phaseEnd := sim.Time(0)
+	if cfg.Arrival == "bursty" {
+		phaseEnd = expGap(r, burstyPhases[0].meanDwell)
+	}
+
+	for {
+		var gap sim.Time
+		accept := true
+		switch cfg.Arrival {
+		case "poisson":
+			gap = expGap(r, meanGap)
+		case "bursty":
+			gap = expGap(r, meanGap/burstyPhases[phase].rateMult)
+			// Phase changes take effect at arrival granularity: if this
+			// arrival lands past the phase end, switch phases there and
+			// redraw the remainder at the new rate.
+			for t+gap > phaseEnd {
+				t = phaseEnd
+				phase = 1 - phase
+				phaseEnd = t + expGap(r, burstyPhases[phase].meanDwell)
+				gap = expGap(r, meanGap/burstyPhases[phase].rateMult)
+			}
+		case "diurnal":
+			// Thinning: candidates at the peak rate, accepted with
+			// probability mult(t)/peak.
+			gap = expGap(r, meanGap/diurnalPeak)
+			accept = r.Float64() < diurnalMult(t+gap)/diurnalPeak
+		}
+		t += gap
+		if t >= horizon {
+			return txns
+		}
+		if !accept {
+			continue
+		}
+		txn := Txn{Tenant: tenant, Seq: len(txns), At: t, Kind: KindOLTP}
+		if cfg.DSSFraction > 0 && r.Float64() < cfg.DSSFraction {
+			txn.Kind = KindDSS
+			txn.Page = r.Intn(pages)
+			txn.Pages = cfg.DSSPages
+		} else {
+			txn.Page = r.Intn(pages)
+			txn.Row = r.Intn(64) // row word within the 512-byte page
+		}
+		txns = append(txns, txn)
+	}
+}
+
+// expGap draws an exponential gap with the given mean, clamped to at least
+// one cycle so schedules are strictly increasing per tenant.
+func expGap(r *rand.Rand, mean float64) sim.Time {
+	g := sim.Time(r.ExpFloat64() * mean)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// BuildSchedule generates every tenant's stream and merges them into one
+// dispatch-ordered list. Ties on arrival time break by (tenant, seq) so the
+// merged order is total and engine-independent.
+func BuildSchedule(tenants []TenantConfig, pages int, horizon sim.Time) ([]Txn, error) {
+	var all []Txn
+	for i := range tenants {
+		if err := tenants[i].Validate(); err != nil {
+			return nil, err
+		}
+		all = append(all, BuildTenantSchedule(i, tenants[i], pages, horizon)...)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].At != all[b].At {
+			return all[a].At < all[b].At
+		}
+		if all[a].Tenant != all[b].Tenant {
+			return all[a].Tenant < all[b].Tenant
+		}
+		return all[a].Seq < all[b].Seq
+	})
+	return all, nil
+}

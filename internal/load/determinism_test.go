@@ -1,0 +1,113 @@
+package load
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestGoldenSchedule pins the exact head of each arrival model's schedule
+// for a fixed seed. The schedule is generated host-side before the
+// simulation starts, so these values must be identical on every engine,
+// under -race, and across platforms; a change here means the determinism
+// contract (or the PRNG consumption order) was broken.
+func TestGoldenSchedule(t *testing.T) {
+	golden := map[string][]sim.Time{
+		"poisson": {33332, 36082, 39844, 49671, 85329, 89674, 96717, 118529},
+		"bursty":  {13766, 19002, 23416, 27346, 41609, 43347, 46164, 54889},
+		"diurnal": {69483, 108800, 187868, 223576, 316396, 343668, 348086, 359051},
+	}
+	for model, want := range golden {
+		cfg := TenantConfig{
+			Name: "g", Seed: 12345, Arrival: model, RatePerMCycle: 50,
+			DSSFraction: 0.2, DSSPages: 4, SLOCycles: 300_000, Weight: 1,
+		}
+		txns := BuildTenantSchedule(0, cfg, 128, 500_000)
+		var got []sim.Time
+		for i := 0; i < len(txns) && i < 8; i++ {
+			got = append(got, txns[i].At)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s schedule head changed:\n got %v\nwant %v", model, got, want)
+		}
+	}
+}
+
+// TestScheduleRepeatable checks same seed => identical full schedule,
+// including the per-transaction draws, and that different seeds diverge.
+func TestScheduleRepeatable(t *testing.T) {
+	tenants := testTenants(30)
+	a, err := BuildSchedule(tenants, 128, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(tenants, 128, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	tenants[0].Seed++
+	c, err := BuildSchedule(tenants, 128, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seed produced identical schedule")
+	}
+}
+
+// runOnce executes one fixed loadgen config and returns everything two
+// engines must agree on.
+func runOnce(t *testing.T, protocol string, parWorkers int) (*Result, []uint64) {
+	t.Helper()
+	sys := newLoadSystem(protocol, parWorkers)
+	res, err := Run(sys, Config{
+		Tenants:     testTenants(25),
+		Horizon:     1_500_000,
+		Policy:      "least",
+		Admission:   "shed",
+		MaxInFlight: 6,
+		QueueLimit:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sys.SnapshotShared()
+}
+
+// TestCrossEngineDeterminism is the tentpole determinism gate: the same
+// seed and config must produce identical transaction records (every
+// timestamp and breakdown bucket), identical SLO metrics, and a
+// byte-identical final shared-memory image on the sequential and parallel
+// engines, for both protocols.
+func TestCrossEngineDeterminism(t *testing.T) {
+	for _, proto := range []string{"dirinval", "tardis"} {
+		t.Run(proto, func(t *testing.T) {
+			seqRes, seqMem := runOnce(t, proto, -1)
+			parRes, parMem := runOnce(t, proto, 2)
+			if len(seqRes.Records) == 0 {
+				t.Fatal("no transactions completed")
+			}
+			if !reflect.DeepEqual(seqRes.Records, parRes.Records) {
+				for i := range seqRes.Records {
+					if i < len(parRes.Records) && seqRes.Records[i] != parRes.Records[i] {
+						t.Fatalf("record %d diverges:\nseq %+v\npar %+v", i, seqRes.Records[i], parRes.Records[i])
+					}
+				}
+				t.Fatalf("record count diverges: %d vs %d", len(seqRes.Records), len(parRes.Records))
+			}
+			if !reflect.DeepEqual(seqRes.Sheds, parRes.Sheds) {
+				t.Fatalf("shed counts diverge: %v vs %v", seqRes.Sheds, parRes.Sheds)
+			}
+			if !reflect.DeepEqual(seqRes.Metrics, parRes.Metrics) {
+				t.Fatalf("metrics diverge:\nseq %+v\npar %+v", seqRes.Metrics, parRes.Metrics)
+			}
+			if !reflect.DeepEqual(seqMem, parMem) {
+				t.Fatal("final shared memory diverges between engines")
+			}
+		})
+	}
+}

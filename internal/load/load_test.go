@@ -1,0 +1,162 @@
+package load
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sim/parallel"
+)
+
+// testTenants returns a small three-tenant population covering all three
+// arrival models at the given per-tenant rate.
+func testTenants(rate float64) []TenantConfig {
+	ts := DefaultTenants(3, 42, rate)
+	for i := range ts {
+		ts[i].SLOCycles = 300_000
+	}
+	return ts
+}
+
+// newLoadSystem builds a 2x2 system (1 dispatcher CPU + 3 worker CPUs).
+func newLoadSystem(protocol string, parWorkers int) *core.System {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.CPUsPerNode = 2
+	cfg.SharedBytes = 2 << 20
+	cfg.MaxTime = sim.Cycles(400e6)
+	cfg.Protocol = protocol
+	opts := []core.Option{core.WithConfig(cfg)}
+	if parWorkers >= 0 {
+		opts = append(opts, core.WithEngine(parallel.New(parWorkers)))
+	}
+	return core.Build(opts...)
+}
+
+func TestLoadgenSmoke(t *testing.T) {
+	sys := newLoadSystem("dirinval", -1)
+	res, err := Run(sys, Config{
+		Tenants: testTenants(20),
+		Horizon: 2_000_000,
+		Policy:  "rr",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrivals == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if len(res.Records) != res.Arrivals {
+		t.Fatalf("admitted %d of %d arrivals with admission none", len(res.Records), res.Arrivals)
+	}
+	m := res.Metrics
+	if m.P50 <= 0 || m.P95 < m.P50 || m.P99 < m.P95 {
+		t.Fatalf("implausible percentiles: p50=%d p95=%d p99=%d", m.P50, m.P95, m.P99)
+	}
+	if m.MeanDB <= 0 {
+		t.Fatal("no database service time recorded")
+	}
+	for _, tm := range m.Tenants {
+		if tm.Admitted == 0 {
+			t.Fatalf("tenant %s admitted no transactions", tm.Name)
+		}
+	}
+}
+
+func TestLoadgenPolicies(t *testing.T) {
+	for _, pol := range []string{"rr", "least", "locality"} {
+		t.Run(pol, func(t *testing.T) {
+			sys := newLoadSystem("dirinval", -1)
+			res, err := Run(sys, Config{
+				Tenants: testTenants(15),
+				Horizon: 1_500_000,
+				Policy:  pol,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Records) != res.Arrivals {
+				t.Fatalf("%s lost transactions: %d of %d", pol, len(res.Records), res.Arrivals)
+			}
+		})
+	}
+}
+
+func TestLocalityPlacesAtHome(t *testing.T) {
+	view := &ClusterView{
+		Issued:     make([]int64, 3),
+		Done:       make([]int64, 3),
+		HomeWorker: func(pg int) int { return pg % 3 },
+	}
+	pol, err := NewPolicy("locality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pg := 0; pg < 9; pg++ {
+		if w := pol.Pick(&Txn{Page: pg}, view); w != pg%3 {
+			t.Fatalf("page %d placed on worker %d, want %d", pg, w, pg%3)
+		}
+	}
+}
+
+func TestLeastLoadedBalances(t *testing.T) {
+	view := &ClusterView{Issued: []int64{5, 2, 9}, Done: []int64{1, 1, 4}}
+	pol, _ := NewPolicy("least")
+	if w := pol.Pick(&Txn{}, view); w != 1 {
+		t.Fatalf("least-loaded picked worker %d, want 1 (backlogs 4,1,5)", w)
+	}
+}
+
+func TestUnknownPolicyAndAdmission(t *testing.T) {
+	if _, err := NewPolicy("random"); err == nil {
+		t.Fatal("NewPolicy accepted unknown name")
+	}
+	if _, err := NewController("drop", testTenants(1), 4, 4); err == nil {
+		t.Fatal("NewController accepted unknown mode")
+	}
+	if _, err := NewController("queue", testTenants(1), 0, 4); err == nil {
+		t.Fatal("NewController accepted zero MaxInFlight")
+	}
+}
+
+func TestControllerFairness(t *testing.T) {
+	tenants := testTenants(1)[:2]
+	tenants[0].Weight = 1
+	tenants[1].Weight = 1
+	c, err := NewController("shed", tenants, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant 0 floods: it may take only its weighted share (2 of 4).
+	for i := 0; i < 2; i++ {
+		if d := c.Arrive(Txn{Tenant: 0, Seq: i}); d != Admit {
+			t.Fatalf("arrival %d: got %v, want Admit", i, d)
+		}
+	}
+	if d := c.Arrive(Txn{Tenant: 0, Seq: 2}); d != Queue {
+		t.Fatalf("over-share arrival: got %v, want Queue", d)
+	}
+	// Tenant 1 still gets its share despite tenant 0's backlog.
+	if d := c.Arrive(Txn{Tenant: 1, Seq: 0}); d != Admit {
+		t.Fatalf("light tenant: got %v, want Admit", d)
+	}
+	// Tenant 0's queue fills (limit 2), then sheds.
+	if d := c.Arrive(Txn{Tenant: 0, Seq: 3}); d != Queue {
+		t.Fatalf("got %v, want Queue", d)
+	}
+	if d := c.Arrive(Txn{Tenant: 0, Seq: 4}); d != Shed {
+		t.Fatalf("got %v, want Shed", d)
+	}
+	if c.ShedCount(0) != 1 {
+		t.Fatalf("shed count = %d, want 1", c.ShedCount(0))
+	}
+	// A completion lets the queue drain in FIFO order.
+	c.Complete(0)
+	txn, ok := c.PopQueued()
+	if !ok || txn.Tenant != 0 || txn.Seq != 2 {
+		t.Fatalf("PopQueued = %+v ok=%v, want tenant 0 seq 2", txn, ok)
+	}
+	if _, ok := c.PopQueued(); ok {
+		t.Fatal("PopQueued admitted past capacity")
+	}
+}

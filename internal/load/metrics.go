@@ -1,0 +1,139 @@
+package load
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// TxnRecord is the outcome of one admitted transaction, recorded by the
+// worker that executed it, in simulated time only.
+type TxnRecord struct {
+	Tenant int
+	Seq    int
+	Kind   TxnKind
+	Worker int
+	Arrive sim.Time // scheduled arrival
+	Start  sim.Time // worker began service
+	Done   sim.Time // worker finished
+	// Service-time breakdown from the worker's stats buckets: DB is
+	// compute (task + check + poll overhead), Protocol is miss and
+	// message stalls, Sync is lock/flag stalls — the queueing vs. service
+	// vs. protocol-stall split of the trace events.
+	DB       sim.Time
+	Protocol sim.Time
+	Sync     sim.Time
+}
+
+// Latency is the full arrival-to-completion latency.
+func (r *TxnRecord) Latency() sim.Time { return r.Done - r.Arrive }
+
+// Queueing is the time from arrival until a worker began service
+// (dispatcher queue + ring wait).
+func (r *TxnRecord) Queueing() sim.Time { return r.Start - r.Arrive }
+
+// TenantMetrics summarizes one tenant's outcomes.
+type TenantMetrics struct {
+	Name      string   `json:"name"`
+	Offered   int64    `json:"offered"`  // arrivals generated
+	Admitted  int64    `json:"admitted"` // executed to completion
+	Shed      int64    `json:"shed"`     // rejected by admission control
+	P50       sim.Time `json:"p50"`      // latency percentiles over admitted
+	P95       sim.Time `json:"p95"`
+	P99       sim.Time `json:"p99"`
+	MeanQueue sim.Time `json:"mean_queue"`
+	SLOCycles sim.Time `json:"slo_cycles"`
+	// SLOAttained is the fraction of admitted transactions that met the
+	// SLO; SLOOffered counts sheds as misses (the tenant's view: a shed
+	// request did not meet its objective).
+	SLOAttained float64 `json:"slo_attained"`
+	SLOOffered  float64 `json:"slo_offered"`
+}
+
+// Metrics summarizes a whole run.
+type Metrics struct {
+	Offered  int64           `json:"offered"`
+	Admitted int64           `json:"admitted"`
+	Shed     int64           `json:"shed"`
+	P50      sim.Time        `json:"p50"`
+	P95      sim.Time        `json:"p95"`
+	P99      sim.Time        `json:"p99"`
+	MeanDB   sim.Time        `json:"mean_db"` // per-txn service breakdown means
+	MeanProt sim.Time        `json:"mean_prot"`
+	MeanSync sim.Time        `json:"mean_sync"`
+	Tenants  []TenantMetrics `json:"tenants"`
+}
+
+// pctile returns the nearest-rank percentile of sorted (ascending); zero
+// for an empty slice.
+func pctile(sorted []sim.Time, p float64) sim.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Summarize computes run and per-tenant metrics from the merged records
+// and shed counts. recs may be in any order; sheds[i] is tenant i's shed
+// count.
+func Summarize(recs []TxnRecord, sheds []int64, tenants []TenantConfig) *Metrics {
+	m := &Metrics{Tenants: make([]TenantMetrics, len(tenants))}
+	perTenant := make([][]sim.Time, len(tenants))
+	var all []sim.Time
+	var sumDB, sumProt, sumSync, sumQueue int64
+	queuePer := make([]int64, len(tenants))
+	attained := make([]int64, len(tenants))
+	counts := make([]int64, len(tenants))
+	for i := range recs {
+		r := &recs[i]
+		lat := r.Latency()
+		all = append(all, lat)
+		perTenant[r.Tenant] = append(perTenant[r.Tenant], lat)
+		counts[r.Tenant]++
+		queuePer[r.Tenant] += int64(r.Queueing())
+		sumQueue += int64(r.Queueing())
+		sumDB += int64(r.DB)
+		sumProt += int64(r.Protocol)
+		sumSync += int64(r.Sync)
+		if lat <= tenants[r.Tenant].SLOCycles {
+			attained[r.Tenant]++
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	m.Admitted = int64(len(recs))
+	m.P50, m.P95, m.P99 = pctile(all, 0.50), pctile(all, 0.95), pctile(all, 0.99)
+	if len(recs) > 0 {
+		n := int64(len(recs))
+		m.MeanDB = sim.Time(sumDB / n)
+		m.MeanProt = sim.Time(sumProt / n)
+		m.MeanSync = sim.Time(sumSync / n)
+	}
+	for tn := range tenants {
+		lats := perTenant[tn]
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		tm := &m.Tenants[tn]
+		tm.Name = tenants[tn].Name
+		tm.SLOCycles = tenants[tn].SLOCycles
+		tm.Admitted = counts[tn]
+		tm.Shed = sheds[tn]
+		tm.Offered = counts[tn] + sheds[tn]
+		tm.P50, tm.P95, tm.P99 = pctile(lats, 0.50), pctile(lats, 0.95), pctile(lats, 0.99)
+		if counts[tn] > 0 {
+			tm.MeanQueue = sim.Time(queuePer[tn] / counts[tn])
+			tm.SLOAttained = float64(attained[tn]) / float64(counts[tn])
+		}
+		if tm.Offered > 0 {
+			tm.SLOOffered = float64(attained[tn]) / float64(tm.Offered)
+		}
+		m.Shed += sheds[tn]
+	}
+	m.Offered = m.Admitted + m.Shed
+	return m
+}

@@ -1,0 +1,130 @@
+// Package load implements the multi-tenant open-loop traffic subsystem:
+// tenants with deterministic seeded arrival processes (Poisson, bursty,
+// diurnal), per-tenant latency SLOs in simulated cycles, a load balancer
+// that places each arriving transaction on a worker process (round-robin,
+// least-loaded, or locality-aware), and admission control that queues or
+// sheds arrivals under overload with weighted per-tenant fairness.
+//
+// Unlike every other workload in the repository, the client population is
+// open-loop: arrivals keep coming at their scheduled times whether or not
+// earlier transactions have finished, so queueing delay — and the latency
+// knee where the DSM protocol saturates — is visible instead of being
+// absorbed by a fixed closed-loop client count.
+//
+// Determinism contract: every random draw (arrival gaps, transaction kind,
+// page, row) is made at schedule-generation time on the host from a
+// per-tenant PRNG, never from global math/rand and never during the
+// simulation. The simulated dispatcher and workers make all runtime
+// decisions from simulated state (simulated clocks, shared-memory
+// counters), so the same seed and config produce byte-identical runs on
+// the sequential and parallel engines.
+package load
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// TxnKind selects the database transaction an arrival issues.
+type TxnKind int
+
+const (
+	// KindOLTP is a short TPC-B-style read-modify-write with a log append.
+	KindOLTP TxnKind = iota
+	// KindDSS is a read-only multi-page decision-support scan.
+	KindDSS
+)
+
+func (k TxnKind) String() string {
+	if k == KindDSS {
+		return "dss"
+	}
+	return "oltp"
+}
+
+// TenantConfig describes one tenant of the shared database.
+type TenantConfig struct {
+	// Name identifies the tenant in reports.
+	Name string
+	// Seed feeds the tenant's private PRNG; different tenants should use
+	// different seeds or they will issue identical streams.
+	Seed int64
+	// Arrival selects the arrival process: "poisson", "bursty" (two-state
+	// MMPP), or "diurnal" (piecewise-linear rate profile with thinning).
+	Arrival string
+	// RatePerMCycle is the mean arrival rate in transactions per million
+	// simulated cycles.
+	RatePerMCycle float64
+	// DSSFraction is the probability an arrival is a DSS scan instead of
+	// an OLTP transaction.
+	DSSFraction float64
+	// DSSPages is the scan length of a DSS transaction, in pages.
+	DSSPages int
+	// SLOCycles is the per-transaction latency objective (arrival to
+	// completion) in simulated cycles.
+	SLOCycles sim.Time
+	// Weight is the tenant's admission-control share; a tenant's in-flight
+	// cap is MaxInFlight * Weight / totalWeight.
+	Weight int
+}
+
+// Validate rejects structurally invalid tenant configurations.
+func (t *TenantConfig) Validate() error {
+	switch t.Arrival {
+	case "poisson", "bursty", "diurnal":
+	default:
+		return fmt.Errorf("load: tenant %q: unknown arrival process %q (want poisson, bursty, or diurnal)", t.Name, t.Arrival)
+	}
+	if t.RatePerMCycle <= 0 {
+		return fmt.Errorf("load: tenant %q: RatePerMCycle must be positive, got %g", t.Name, t.RatePerMCycle)
+	}
+	if t.DSSFraction < 0 || t.DSSFraction > 1 {
+		return fmt.Errorf("load: tenant %q: DSSFraction must be in [0,1], got %g", t.Name, t.DSSFraction)
+	}
+	if t.DSSFraction > 0 && t.DSSPages <= 0 {
+		return fmt.Errorf("load: tenant %q: DSSPages must be positive when DSSFraction > 0", t.Name)
+	}
+	if t.SLOCycles <= 0 {
+		return fmt.Errorf("load: tenant %q: SLOCycles must be positive, got %d", t.Name, t.SLOCycles)
+	}
+	if t.Weight <= 0 {
+		return fmt.Errorf("load: tenant %q: Weight must be positive, got %d", t.Name, t.Weight)
+	}
+	return nil
+}
+
+// Txn is one precomputed transaction descriptor. Every field is drawn from
+// the tenant's PRNG before the simulation starts, so dispatching it is
+// engine-invariant.
+type Txn struct {
+	Tenant int      // index into the tenant slice
+	Seq    int      // per-tenant sequence number
+	At     sim.Time // scheduled arrival time
+	Kind   TxnKind
+	Page   int // OLTP: target page; DSS: scan start page
+	Row    int // OLTP: target row word within the page
+	Pages  int // DSS: scan length in pages
+}
+
+// DefaultTenants returns n tenants with round-robin arrival models, a
+// 10% DSS mix, and rate-proportional SLOs — the standard population for
+// sweeps and CI smoke runs. The per-tenant seed is derived from seed so a
+// sweep point is fully reproducible from (n, seed).
+func DefaultTenants(n int, seed int64, ratePerMCycle float64) []TenantConfig {
+	models := []string{"poisson", "bursty", "diurnal"}
+	ts := make([]TenantConfig, n)
+	for i := range ts {
+		ts[i] = TenantConfig{
+			Name:          fmt.Sprintf("t%d", i),
+			Seed:          seed + int64(i)*7919, // distinct streams per tenant
+			Arrival:       models[i%len(models)],
+			RatePerMCycle: ratePerMCycle,
+			DSSFraction:   0.1,
+			DSSPages:      4,
+			SLOCycles:     400_000,
+			Weight:        1,
+		}
+	}
+	return ts
+}

@@ -1,0 +1,167 @@
+package oracledb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestValidateRejections(t *testing.T) {
+	base := OLTP(2, []int{1, 2}, 0, 10)
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		field  string
+	}{
+		{"zero servers", func(p *Params) { p.Servers = 0 }, "Servers"},
+		{"negative servers", func(p *Params) { p.Servers = -3 }, "Servers"},
+		{"cpu count mismatch", func(p *Params) { p.ServerCPUs = []int{1} }, "ServerCPUs"},
+		{"unknown query", func(p *Params) { p.Query = "olap" }, "Query"},
+		{"oltp zero txns", func(p *Params) { p.Txns = 0 }, "Txns"},
+		{"oltp negative txns", func(p *Params) { p.Txns = -1 }, "Txns"},
+		{"zero pages", func(p *Params) { p.Pages = 0 }, "Pages"},
+		{"bad rows per page", func(p *Params) { p.RowsPerPage = 7 }, "RowsPerPage"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			p.ServerCPUs = append([]int(nil), base.ServerCPUs...)
+			tc.mutate(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted invalid params")
+			}
+			var pe *ParamsError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *ParamsError", err)
+			}
+			if pe.Field != tc.field {
+				t.Fatalf("Field = %q, want %q (err: %v)", pe.Field, tc.field, err)
+			}
+			if !strings.Contains(err.Error(), "Params."+tc.field) {
+				t.Fatalf("error %q does not name the field", err)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsPresets(t *testing.T) {
+	for _, p := range []Params{
+		DSS1(1, []int{1}, 0),
+		DSS2(3, []int{1, 4, 5}, 0),
+		OLTP(2, []int{1, 2}, 0, 12),
+		LoadMix(64),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("preset %s rejected: %v", p.Query, err)
+		}
+	}
+}
+
+func TestRunRejectsInvalidParams(t *testing.T) {
+	sys, osl := newDBSystem(t, false)
+	p := OLTP(2, []int{1, 2}, 0, 0) // oltp with Txns == 0
+	if _, err := Run(sys, osl, p); err == nil {
+		t.Fatal("Run accepted oltp with zero txns")
+	}
+}
+
+// TestEnvOLTPAcrossNodes boots an Env and issues transactions from two
+// processes on different nodes; the increments must all land (latch mutual
+// exclusion) and the cross-node issuer must take remote misses.
+func TestEnvOLTPAcrossNodes(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SharedBytes = 2 << 20
+	cfg.MaxTime = sim.Cycles(600e6)
+	cfg.ProtocolProcs = true
+	cfg.Checks = true
+	sys := core.Build(core.WithConfig(cfg))
+
+	const txnsEach = 20
+	var env *Env
+	issue := func(c *core.Proc) {
+		for i := 0; i < txnsEach; i++ {
+			// All on page 5: forced latch contention. Commit in groups of
+			// GroupCommitEvery, exercising both the append and skip paths.
+			commit := (i+1)%env.GroupCommitEvery() == 0
+			env.OLTPTxn(c, 5, i%4, commit)
+		}
+	}
+	sys.Spawn("w0", 0, func(p *core.Proc) { env.WarmOwned(p, 0); issue(p) })
+	var remote *core.Proc
+	sys.Spawn("w1", 4, func(p *core.Proc) { env.WarmOwned(p, 1); issue(p); remote = p })
+	var err error
+	env, err = NewEnv(sys, LoadMix(32), []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		addr := env.SGA() + uint64(5*PageBytes) + uint64(w*8)
+		got := sys.Peek(addr)
+		want := uint64(5*1000+w) + 2*txnsEach/4
+		if got != want {
+			t.Fatalf("row word %d = %d, want %d (lost update)", w, got, want)
+		}
+	}
+	if remote.Stats().ReadMisses() == 0 {
+		t.Fatal("cross-node issuer took no remote misses")
+	}
+	// Page 5's redo goes to stripe 5; each issuer appends once per group.
+	wantSeq := uint64(2 * txnsEach / env.GroupCommitEvery())
+	if got := sys.Peek(env.logSeq[5%envLogStripes]); got != wantSeq {
+		t.Fatalf("log stripe seq = %d, want %d", got, wantSeq)
+	}
+}
+
+// TestEnvDSSAggregate checks DSSTxn returns the deterministic aggregate of
+// the warmed pg*1000+w fill.
+func TestEnvDSSAggregate(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SharedBytes = 2 << 20
+	cfg.MaxTime = sim.Cycles(600e6)
+	cfg.ProtocolProcs = true
+	sys := core.Build(core.WithConfig(cfg))
+
+	prm := LoadMix(16)
+	var env *Env
+	var got uint64
+	sys.Spawn("w", 0, func(p *core.Proc) {
+		env.WarmOwned(p, 0)
+		got = env.DSSTxn(p, 2, 3) // pages 2,3,4
+	})
+	env, err := NewEnv(sys, prm, []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rowW := PageBytes / 8 / prm.RowsPerPage
+	var want uint64
+	for pg := 2; pg < 5; pg++ {
+		for r := 0; r < prm.RowsPerPage; r++ {
+			want += uint64(pg*1000 + r*rowW)
+		}
+	}
+	if got != want {
+		t.Fatalf("DSS aggregate = %d, want %d", got, want)
+	}
+}
+
+func TestNewEnvRejectsBadParams(t *testing.T) {
+	cfg := core.DefaultConfig()
+	sys := core.Build(core.WithConfig(cfg))
+	sys.Spawn("w", 0, func(p *core.Proc) {})
+	if _, err := NewEnv(sys, Params{Pages: 0, RowsPerPage: 8}, nil, 0); err == nil {
+		t.Fatal("NewEnv accepted zero pages")
+	}
+	if _, err := NewEnv(sys, Params{Pages: 4, RowsPerPage: 7}, nil, 0); err == nil {
+		t.Fatal("NewEnv accepted indivisible RowsPerPage")
+	}
+}

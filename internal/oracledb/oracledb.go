@@ -26,6 +26,18 @@ const PageBytes = 512
 // noTransients disables the transient startup processes (debugging).
 var noTransients bool
 
+// ParamsError reports an invalid database configuration field with enough
+// structure for callers (flag parsing, the load subsystem) to name the
+// offending knob instead of surfacing a silent misbehavior.
+type ParamsError struct {
+	Field  string // the Params field that is invalid
+	Reason string // why it was rejected
+}
+
+func (e *ParamsError) Error() string {
+	return fmt.Sprintf("oracledb: invalid Params.%s: %s", e.Field, e.Reason)
+}
+
 // Params configures a database run.
 type Params struct {
 	// Servers is the number of query server processes; ServerCPUs gives
@@ -49,6 +61,34 @@ type Params struct {
 	Query string
 	// Txns is the OLTP transaction count per server.
 	Txns int
+}
+
+// Validate rejects structurally invalid parameters with a *ParamsError
+// naming the offending field. Run calls it before spawning anything so a
+// bad configuration fails loudly instead of hanging a zero-server run or
+// silently executing zero transactions.
+func (p *Params) Validate() error {
+	if p.Servers <= 0 {
+		return &ParamsError{Field: "Servers", Reason: fmt.Sprintf("must be positive, got %d", p.Servers)}
+	}
+	if len(p.ServerCPUs) != p.Servers {
+		return &ParamsError{Field: "ServerCPUs", Reason: fmt.Sprintf("need a CPU for each of %d servers, got %d", p.Servers, len(p.ServerCPUs))}
+	}
+	switch p.Query {
+	case "dss1", "dss2", "oltp":
+	default:
+		return &ParamsError{Field: "Query", Reason: fmt.Sprintf("unknown query %q (want dss1, dss2, or oltp)", p.Query)}
+	}
+	if p.Query == "oltp" && p.Txns <= 0 {
+		return &ParamsError{Field: "Txns", Reason: fmt.Sprintf("oltp needs a positive transaction count, got %d", p.Txns)}
+	}
+	if p.Pages <= 0 {
+		return &ParamsError{Field: "Pages", Reason: fmt.Sprintf("must be positive, got %d", p.Pages)}
+	}
+	if p.RowsPerPage <= 0 || PageBytes/8%p.RowsPerPage != 0 {
+		return &ParamsError{Field: "RowsPerPage", Reason: fmt.Sprintf("must evenly divide the %d words of a page, got %d", PageBytes/8, p.RowsPerPage)}
+	}
+	return nil
 }
 
 // DSS1 returns parameters modeled after the paper's TPC-D-like DSS-1
@@ -97,8 +137,8 @@ type Result struct {
 // (several processes are created, some die almost immediately, then the
 // servers do most of the work — §4.3.3).
 func Run(sys *core.System, osl *clusteros.OS, prm Params) (*Result, error) {
-	if prm.Servers <= 0 || len(prm.ServerCPUs) != prm.Servers {
-		return nil, fmt.Errorf("oracledb: need a CPU for each of %d servers", prm.Servers)
+	if err := prm.Validate(); err != nil {
+		return nil, err
 	}
 	res := &Result{Params: prm}
 	var serverProcs []*core.Proc
@@ -283,19 +323,42 @@ func serverDSS(c *core.Proc, osl *clusteros.OS, d *daemons, prm Params, sga uint
 	}
 	var agg uint64
 	for pg := start; pg < end; pg++ {
-		base := sga + uint64(pg*PageBytes)
-		b := c.BatchStart(core.Range{Addr: base, Bytes: PageBytes, Write: false})
-		rowW := PageBytes / 8 / prm.RowsPerPage
-		for r := 0; r < prm.RowsPerPage; r++ {
-			agg += b.Load(base + uint64(r*rowW*8))
-			c.Compute(sim.Time(prm.RowComputeCycles))
-		}
-		c.BatchEnd(b)
+		agg += scanPage(c, sga, prm.RowsPerPage, sim.Time(prm.RowComputeCycles), pg)
 		if prm.DaemonInteractEvery > 0 && (pg-start+1)%prm.DaemonInteractEvery == 0 {
 			d.logHandoff(c, osl, myPID)
 		}
 	}
 	_ = agg
+}
+
+// scanPage aggregates the rows of one cached page through a read batch,
+// charging the per-row compute cost. Shared by the closed-loop DSS servers
+// and the Env.DSSTxn open-loop path so both issue identical access
+// sequences.
+func scanPage(c *core.Proc, sga uint64, rowsPerPage int, rowCompute sim.Time, pg int) uint64 {
+	base := sga + uint64(pg*PageBytes)
+	b := c.BatchStart(core.Range{Addr: base, Bytes: PageBytes, Write: false})
+	rowW := PageBytes / 8 / rowsPerPage
+	var agg uint64
+	for r := 0; r < rowsPerPage; r++ {
+		agg += b.Load(base + uint64(r*rowW*8))
+		c.Compute(rowCompute)
+	}
+	c.BatchEnd(b)
+	return agg
+}
+
+// rowRMW performs the latched read-modify-write of one account row: latch
+// the page, increment the row under the latch, publish with a release
+// barrier. Shared by the closed-loop OLTP servers and the Env.OLTPTxn
+// open-loop path.
+func rowRMW(c *core.Proc, sga uint64, latches []dsmsync.Lock, pg, rowWord int) {
+	lk := latches[pg%len(latches)]
+	lk.Acquire(c)
+	row := sga + uint64(pg*PageBytes) + uint64(rowWord)*8
+	c.Store(row, c.Load(row)+1)
+	c.MemBar()
+	lk.Release(c)
 }
 
 // serverOLTP runs TPC-B-like transactions: latch a page, read-modify-write
@@ -305,12 +368,7 @@ func serverOLTP(c *core.Proc, osl *clusteros.OS, d *daemons, prm Params, sga uin
 	r := c.Rand()
 	for t := 0; t < prm.Txns; t++ {
 		pg := r.Intn(prm.Pages)
-		lk := latches[pg%len(latches)]
-		lk.Acquire(c)
-		row := sga + uint64(pg*PageBytes) + uint64(r.Intn(PageBytes/8))*8
-		c.Store(row, c.Load(row)+1)
-		c.MemBar()
-		lk.Release(c)
+		rowRMW(c, sga, latches, pg, r.Intn(PageBytes/8))
 		c.Compute(sim.Time(prm.RowComputeCycles))
 		if (t+1)%prm.DaemonInteractEvery == 0 {
 			d.logHandoff(c, osl, myPID) // group commit

@@ -53,18 +53,31 @@ type Summary struct {
 	// LinkStats sums the end-of-run "stats"/"link" events per sending
 	// node and metric name (sends, bytes, drops, dups).
 	LinkStats map[int]map[string]int64
+
+	// LoadEvents counts the load generator's transaction lifecycle events
+	// ("load" category) by event name: arrive, queue, shed, dispatch,
+	// start, done.
+	LoadEvents map[string]int64
+	// LoadDone and LoadDoneLatency count completed load transactions and
+	// accumulate their arrival-to-completion latency, keyed by transaction
+	// kind (oltp, dss), from "load"/"done" events.
+	LoadDone        map[string]int64
+	LoadDoneLatency map[string]int64
 }
 
 // Read parses a JSONL trace stream.
 func Read(r io.Reader) (*Summary, error) {
 	s := &Summary{
-		TimeByCategory: map[string]int64{},
-		Counters:       map[string]int64{},
-		MsgSends:       map[string]int64{},
-		MsgHandleDelay: map[string]int64{},
-		MsgHandles:     map[string]int64{},
-		Sched:          map[string]int64{},
-		LinkStats:      map[int]map[string]int64{},
+		TimeByCategory:  map[string]int64{},
+		Counters:        map[string]int64{},
+		MsgSends:        map[string]int64{},
+		MsgHandleDelay:  map[string]int64{},
+		MsgHandles:      map[string]int64{},
+		Sched:           map[string]int64{},
+		LinkStats:       map[int]map[string]int64{},
+		LoadEvents:      map[string]int64{},
+		LoadDone:        map[string]int64{},
+		LoadDoneLatency: map[string]int64{},
 	}
 	procs := map[int]bool{}
 	sc := bufio.NewScanner(r)
@@ -105,6 +118,12 @@ func Read(r io.Reader) (*Summary, error) {
 			}
 		case "sched":
 			s.Sched[e.Ev]++
+		case "load":
+			s.LoadEvents[e.Ev]++
+			if e.Ev == "done" {
+				s.LoadDone[e.S]++
+				s.LoadDoneLatency[e.S] += e.B
+			}
 		case "net":
 			switch e.Ev {
 			case "drop":
@@ -202,6 +221,19 @@ func (s *Summary) Render() string {
 				fmt.Fprintf(&b, " %s=%d", k, ls[k])
 			}
 			fmt.Fprintf(&b, "\n")
+		}
+	}
+	if len(s.LoadEvents) > 0 {
+		fmt.Fprintf(&b, "\nmulti-tenant load:")
+		for _, k := range sortedKeys(s.LoadEvents) {
+			fmt.Fprintf(&b, " %s=%d", k, s.LoadEvents[k])
+		}
+		fmt.Fprintf(&b, "\n")
+		for _, k := range sortedKeys(s.LoadDone) {
+			if n := s.LoadDone[k]; n > 0 {
+				fmt.Fprintf(&b, "  %-6s %8d done, mean latency %8.0f cycles\n",
+					k, n, float64(s.LoadDoneLatency[k])/float64(n))
+			}
 		}
 	}
 	if len(s.Sched) > 0 {

@@ -43,6 +43,12 @@ type Time = int64
 //	             (P = sending proc, O = peer proc, Blk = block,
 //	             S = message kind, A = attempt number).
 //	cat "os":    Ev syscall|fork|exit, P = proc, S = call name, O = peer.
+//	cat "load":  open-loop load generator (internal/load); lifecycle events
+//	             arrive|queue|shed|dispatch (P = dispatcher proc, O = tenant,
+//	             A = txn seq, Blk = chosen worker on dispatch, S = txn kind
+//	             on arrive) and start|done (P = worker proc, O = tenant,
+//	             A = txn seq, B = queueing delay on start or total latency
+//	             on done, S = txn kind on done).
 //	cat "stats": end-of-run accounting; Ev time (S = category, A = cycles),
 //	             count (S = counter, A = value), P = proc; and per-link
 //	             network totals Ev link (P = sending node, S = sends|
